@@ -1,0 +1,105 @@
+"""A5 — CESM node layouts: partitioned vs shared (Sec. 4.2).
+
+"The compute nodes can either be partitioned, each running (part of)
+one model, shared, each running (part of) multiple models, or use a
+combination of both ...  it may take a user quite a bit of
+experimenting to find an efficient configuration."
+
+This bench measures the REAL per-component step cost of CESM-lite, then
+evaluates layouts by their critical path (the quantity a real scheduler
+optimises; on a single-core CI host thread-parallel wall time would
+only measure the GIL).  It also shows the data-model trick: replacing
+the ocean by its data twin rebalances the layout.
+"""
+
+import time
+
+import pytest
+
+from repro.cesm import EarthSystemModel, Layout, data_twin
+
+
+def measure_component_costs(esm, repeats=10):
+    esm.exchange()
+    costs = {}
+    for name, component in esm.components.items():
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            component.step(5.0)
+        costs[name] = (time.perf_counter() - t0) / repeats
+    return costs
+
+
+def critical_path(layout, costs):
+    """Per-rank cost sums; the slowest rank is the step time."""
+    per_rank = {}
+    for name, ranks in layout.assignment.items():
+        owner = min(ranks)
+        per_rank[owner] = per_rank.get(owner, 0.0) + costs[name]
+    return max(per_rank.values())
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return measure_component_costs(EarthSystemModel())
+
+
+def test_a5_component_costs(costs, report, benchmark):
+    esm = EarthSystemModel()
+    esm.exchange()
+    benchmark.pedantic(
+        esm.atm.step, args=(5.0,), rounds=10, iterations=1
+    )
+    report(
+        "A5: measured per-component step cost",
+        [f"{name:<4} {cost * 1e3:7.2f} ms"
+         for name, cost in sorted(costs.items())],
+    )
+    assert all(cost > 0 for cost in costs.values())
+
+
+def test_a5_partitioned_beats_single_shared(costs, report):
+    partitioned = critical_path(Layout.partitioned(), costs)
+    shared_one = critical_path(Layout.shared(1), costs)
+    report(
+        "A5: layout critical paths",
+        [f"partitioned (4 ranks): {partitioned * 1e3:7.2f} ms",
+         f"shared (1 rank):       {shared_one * 1e3:7.2f} ms",
+         f"speed-up: {shared_one / partitioned:.2f}x"],
+    )
+    assert partitioned < shared_one
+
+
+def test_a5_balance_matters(costs, report):
+    """A deliberately bad partitioning (everything heavy on rank 0) is
+    no better than serial — the configuration pain the paper notes."""
+    bad = Layout(
+        {"atm": (0,), "ocn": (0,), "lnd": (0,), "ice": (0,)}
+    )
+    good = Layout.partitioned()
+    bad_path = critical_path(bad, costs)
+    good_path = critical_path(good, costs)
+    report(
+        "A5: good vs bad layout",
+        [f"balanced {good_path * 1e3:7.2f} ms vs "
+         f"all-on-rank-0 {bad_path * 1e3:7.2f} ms"],
+    )
+    assert good_path < bad_path
+
+
+def test_a5_data_model_rebalances(report):
+    """Swapping the active ocean for its data twin removes its cost
+    from the layout (CESM's data-model configurations)."""
+    active = EarthSystemModel()
+    active_costs = measure_component_costs(active)
+
+    replayed = EarthSystemModel()
+    replayed.components["ocn"] = data_twin(replayed.ocn)
+    data_costs = measure_component_costs(replayed)
+
+    report(
+        "A5: active vs data ocean",
+        [f"active ocn: {active_costs['ocn'] * 1e3:7.2f} ms",
+         f"data ocn:   {data_costs['ocn'] * 1e3:7.2f} ms"],
+    )
+    assert data_costs["ocn"] < active_costs["ocn"]

@@ -1,0 +1,80 @@
+"""A1 — channel ablation: direct (MPI-local) vs sockets vs ibis.
+
+AMUSE supports interchangeable worker channels (paper Sec. 4.1).  This
+bench measures REAL call latency and bulk-transfer throughput through
+each, quantifying what the extra daemon hop of the ibis channel costs —
+the paper's claim is that it is small enough for remote GPUs to win.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.phigrape import PhiGRAPEInterface
+from repro.distributed import DistributedChannel, IbisDaemon
+from repro.rpc import new_channel
+
+
+@pytest.fixture(scope="module")
+def channels():
+    daemon = IbisDaemon()
+    daemon.start()
+    chans = {
+        "direct": new_channel("direct", PhiGRAPEInterface),
+        "sockets": new_channel("sockets", PhiGRAPEInterface),
+        "ibis": DistributedChannel(
+            PhiGRAPEInterface, daemon=daemon, resource="local"
+        ),
+    }
+    yield chans
+    for ch in chans.values():
+        ch.stop()
+    daemon.shutdown()
+
+
+@pytest.mark.parametrize("kind", ["direct", "sockets", "ibis"])
+def test_a1_call_latency(channels, kind, benchmark):
+    ch = channels[kind]
+    benchmark.pedantic(
+        ch.call, args=("get_model_time",),
+        rounds=100, iterations=1, warmup_rounds=10,
+    )
+    assert benchmark.stats.stats.median < 5e-3
+
+
+@pytest.mark.parametrize("kind", ["direct", "sockets", "ibis"])
+def test_a1_bulk_add_particles(channels, kind, benchmark):
+    n = 5000
+    rng = np.random.default_rng(1)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = np.full(n, 1.0 / n)
+    ch = channels[kind]
+    benchmark.pedantic(
+        ch.call,
+        args=("new_particle", mass, pos[:, 0], pos[:, 1], pos[:, 2],
+              vel[:, 0], vel[:, 1], vel[:, 2]),
+        rounds=5, iterations=1,
+    )
+    assert benchmark.stats.stats.median < 1.0
+
+
+def test_a1_channel_overhead_ordering(channels, report):
+    """direct < sockets <= ibis in per-call overhead; all results
+    identical (the channel must not change physics)."""
+    import time
+
+    medians = {}
+    for kind, ch in channels.items():
+        times = []
+        for _ in range(200):
+            t0 = time.perf_counter()
+            ch.call("get_model_time")
+            times.append(time.perf_counter() - t0)
+        medians[kind] = sorted(times)[len(times) // 2]
+    report(
+        "A1: per-call channel overhead",
+        [f"{kind:<8} {median * 1e6:8.1f} us"
+         for kind, median in medians.items()],
+    )
+    assert medians["direct"] < medians["sockets"]
+    assert medians["direct"] < medians["ibis"]

@@ -1,0 +1,81 @@
+"""E3 — Fig. 6: the four stages of the embedded-cluster simulation.
+
+The paper's Fig. 6 shows the simulation at four times: (a) stars
+embedded in gas, (b) gas expanding, (c) a thin shell remaining, (d) gas
+completely removed with a visibly larger cluster.  This bench runs the
+REAL coupled simulation (all four models) and asserts that the stage
+sequence, the monotonic gas expulsion, the supernova activity and the
+final cluster expansion all reproduce.
+"""
+
+import pytest
+
+from repro.coupling import EmbeddedClusterSimulation
+from repro.viz import StageTracker
+
+
+@pytest.fixture(scope="module")
+def run():
+    sim = EmbeddedClusterSimulation(
+        n_stars=16, n_gas=128, rng=4, mass_min=5.0, mass_max=30.0,
+        bridge_timestep_myr=0.5, se_interval=1,
+        star_mass_fraction=0.3, sn_efficiency=2e-4,
+        wind_speed_kms=30.0,
+    )
+    tracker = StageTracker()
+    tracker.record(sim.diagnostics())
+    for _ in range(22):
+        sim.evolve_one_iteration()
+        tracker.record(sim.diagnostics())
+    yield sim, tracker
+    sim.stop()
+
+
+def test_e3_stage_sequence(run, report, benchmark):
+    sim, tracker = run
+    benchmark.pedantic(
+        sim.diagnostics, rounds=3, iterations=1
+    )
+    lines = []
+    for row in tracker.stage_table():
+        lines.append(
+            f"{row['stage']:<10} t={row['time_myr']:6.2f} Myr  "
+            f"bound={row['bound_gas_fraction']:5.2f}  "
+            f"gas r_h={row['gas_half_mass_radius_pc']:5.2f} pc  "
+            f"stars r_h={row['star_half_mass_radius_pc']:5.2f} pc"
+        )
+    report("E3: Fig. 6 stage table", lines)
+    stages = tracker.stages_seen
+    assert stages[0] == "embedded"
+    assert stages == sorted(
+        stages, key=["embedded", "expanding", "shell",
+                     "expelled"].index
+    ), "stages must appear in the Fig. 6 order"
+    assert "shell" in stages or "expelled" in stages
+
+
+def test_e3_gas_monotonically_expelled(run):
+    sim, tracker = run
+    assert tracker.is_monotonic_expulsion()
+    first = tracker.snapshots[0]["bound_gas_fraction"]
+    last = tracker.snapshots[-1]["bound_gas_fraction"]
+    assert last < first - 0.5, "most of the gas must be expelled"
+
+
+def test_e3_supernovae_during_run(run, report):
+    """Paper Sec. 6: 'several of the bigger stars exploding in a
+    supernova during the simulation'."""
+    sim, tracker = run
+    report(
+        "E3: stellar evolution activity",
+        [f"supernovae: {sim.n_supernovae}",
+         f"stellar mass lost: "
+         f"{tracker.snapshots[0]['total_star_mass_msun'] - tracker.snapshots[-1]['total_star_mass_msun']:.1f} MSun"],
+    )
+    assert sim.n_supernovae >= 1
+
+
+def test_e3_cluster_expands(run):
+    """Fig. 6(d): 'note the larger size of the cluster'."""
+    sim, tracker = run
+    assert tracker.cluster_expanded()

@@ -1,0 +1,93 @@
+"""A3 — the central coupler as bottleneck (Secs. 4.1 and 7).
+
+"All communication required between different models is done through
+the AMUSE coupler ...  However, it also introduces a potential
+bottleneck when large-scale simulations are done.  We regard creating a
+distributed version of the coupler, or adding direct communication
+between models as future work."
+
+This ablation quantifies, on the jungle placement, the two planned
+improvements: overlapping the model drifts (async bridge) and letting
+the coupling model talk to gravity/hydro directly.
+"""
+
+import pytest
+
+from repro.jungle import IterationWorkload
+
+from scenario_helpers import build_scenario
+
+
+@pytest.fixture(scope="module")
+def variants():
+    out = {}
+    for scale in (1, 10):
+        w = IterationWorkload(n_stars=1000 * scale,
+                              n_gas=10000 * scale)
+        model, _, placement = build_scenario("jungle", w)
+        out[scale] = {
+            "prototype": model.iteration_time(w, placement),
+            "async-drift": model.iteration_time(
+                w, placement, overlap_drift=True
+            ),
+            "direct-comm": model.iteration_time(
+                w, placement, direct_model_comm=True
+            ),
+            "both": model.iteration_time(
+                w, placement, overlap_drift=True,
+                direct_model_comm=True,
+            ),
+        }
+    return out
+
+
+def test_a3_report(variants, report, benchmark):
+    model, w, placement = build_scenario("jungle")
+    benchmark.pedantic(
+        model.iteration_time, args=(w, placement),
+        kwargs={"overlap_drift": True}, rounds=5, iterations=1,
+    )
+    for scale, table in variants.items():
+        report(
+            f"A3: coupler bottleneck (scale x{scale})",
+            [f"{name:<12} {res['total_s']:9.1f} s/iter"
+             for name, res in table.items()],
+        )
+
+
+def test_a3_async_drift_helps(variants):
+    for table in variants.values():
+        assert table["async-drift"]["total_s"] < \
+            table["prototype"]["total_s"]
+
+
+def test_a3_direct_comm_reduces_coupling_comm(variants):
+    for table in variants.values():
+        proto = table["prototype"]["breakdown"]["coupling"]["comm_s"]
+        direct = table["direct-comm"]["breakdown"]["coupling"]["comm_s"]
+        assert direct <= proto
+
+
+def test_a3_combined_best(variants):
+    for table in variants.values():
+        best = min(res["total_s"] for res in table.values())
+        assert table["both"]["total_s"] == pytest.approx(best)
+
+
+def test_a3_bottleneck_grows_with_scale(variants, report):
+    """The bigger the simulation, the more the central coupler costs —
+    exactly why the paper flags it for future work."""
+    gain_small = (
+        variants[1]["prototype"]["total_s"]
+        - variants[1]["both"]["total_s"]
+    )
+    gain_large = (
+        variants[10]["prototype"]["total_s"]
+        - variants[10]["both"]["total_s"]
+    )
+    report(
+        "A3: absolute gain from decentralising",
+        [f"scale x1:  {gain_small:7.1f} s/iter",
+         f"scale x10: {gain_large:7.1f} s/iter"],
+    )
+    assert gain_large > gain_small

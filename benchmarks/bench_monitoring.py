@@ -1,0 +1,95 @@
+"""E5 — Figs. 10/11: the IbisDeploy monitoring views.
+
+Fig. 10: resource map, job list, overlay network (ssh tunnels / one-way
+arrows).  Fig. 11: the 3-D traffic visualization — IPL traffic between
+sites, MPI traffic inside them, load bars per machine, and the paper's
+observation: "Note that the nodes running models that support GPUs have
+a very low load.  As the GPU is used, the CPUs in the machine are
+almost completely idle."
+"""
+
+import pytest
+
+from repro.distributed import (
+    DistributedAmuse,
+    JungleRunner,
+    ResourceSpec,
+)
+from repro.jungle import make_sc11_jungle
+from repro.viz import render_snapshot
+
+
+@pytest.fixture(scope="module")
+def monitored_run():
+    jungle = make_sc11_jungle()
+    damuse = DistributedAmuse(jungle, jungle.host("laptop"))
+    damuse.add_resource(
+        ResourceSpec("LGM", "LGM (LU)", "ssh", 1, needs_gpu=True)
+    )
+    damuse.add_resource(ResourceSpec("VU", "DAS-4 (VU)", "sge", 8))
+    damuse.add_resource(ResourceSpec("UvA", "DAS-4 (UvA)", "sge", 1))
+    damuse.add_resource(
+        ResourceSpec("TUD", "DAS-4 (TUD)", "sge", 2, needs_gpu=True)
+    )
+    damuse.new_pilot("gravity", "LGM")
+    damuse.new_pilot("hydro", "VU", node_count=8)
+    damuse.new_pilot("se", "UvA")
+    damuse.new_pilot("coupling", "TUD", node_count=2)
+    damuse.wait_for_pilots()
+    runner = JungleRunner(None, damuse)
+    runner.run(5)
+    return jungle, damuse, damuse.monitor().snapshot()
+
+
+def test_e5_snapshot_complete(monitored_run, report, benchmark):
+    jungle, damuse, snapshot = monitored_run
+    benchmark.pedantic(
+        damuse.monitor().snapshot, rounds=5, iterations=1
+    )
+    assert snapshot["resources"] and snapshot["jobs"]
+    assert snapshot["overlay"]
+    report(
+        "E5: monitor snapshot",
+        render_snapshot(snapshot).splitlines(),
+    )
+
+
+def test_e5_ipl_traffic_between_sites(monitored_run):
+    """Fig. 11: IPL (blue) traffic flows coupler <-> model sites."""
+    jungle, damuse, snapshot = monitored_run
+    ipl = snapshot["traffic_ipl"]
+    assert ipl[("Seattle (SC11)", "DAS-4 (VU)")] > 0
+    assert ipl[("Seattle (SC11)", "DAS-4 (TUD)")] > 0
+
+
+def test_e5_mpi_traffic_inside_cluster(monitored_run):
+    """Fig. 11: MPI (orange) traffic stays inside Gadget's cluster."""
+    jungle, damuse, snapshot = monitored_run
+    mpi = snapshot["traffic_mpi"]
+    assert mpi[("DAS-4 (VU)", "DAS-4 (VU)")] > 0
+    # no wide-area MPI
+    assert all(src == dst for src, dst in mpi)
+
+
+def test_e5_gpu_nodes_idle_cpus(monitored_run, report):
+    """The paper's load observation, quantitatively."""
+    jungle, damuse, snapshot = monitored_run
+    loads = snapshot["loads"]
+    gpu_node_cpu = loads["DAS-4 (TUD)-node00"]["cpu"]
+    gpu_node_gpu = loads["DAS-4 (TUD)-node00"]["gpu"]
+    cpu_node_cpu = loads["DAS-4 (VU)-node00"]["cpu"]
+    report(
+        "E5: load bars (Fig. 11)",
+        [f"GPU node (Octgrav): cpu={gpu_node_cpu:.1%} "
+         f"gpu={gpu_node_gpu:.1%}",
+         f"CPU node (Gadget):  cpu={cpu_node_cpu:.1%}"],
+    )
+    assert gpu_node_cpu < 0.05
+    assert gpu_node_gpu > 0.05
+    assert cpu_node_cpu > gpu_node_cpu
+
+
+def test_e5_overlay_lists_tunnelled_links(monitored_run):
+    jungle, damuse, snapshot = monitored_run
+    kinds = {kind for _, _, kind in snapshot["overlay"]}
+    assert "one-way" in kinds      # the Fig. 10 arrows

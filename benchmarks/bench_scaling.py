@@ -1,0 +1,89 @@
+"""E6 — full-run projection and the planned scale-up (Secs. 6.2/7).
+
+The paper: "the total simulation takes about 1200 iterations" and "we
+plan to scale up our experiment significantly, with at least a factor
+100, in the near future."  This bench projects full-run times for every
+Sec. 6.2 scenario and sweeps the problem size to locate where the
+jungle placement's advantage grows — the reason jungle computing is
+"necessary to make scientific progress".
+"""
+
+import pytest
+
+from repro.jungle import IterationWorkload
+
+from scenario_helpers import build_scenario
+
+FULL_RUN_ITERATIONS = 1200
+SCENARIOS = ("cpu", "local-gpu", "remote-gpu", "jungle")
+
+
+def test_e6_full_run_projection(report, benchmark):
+    projections = {}
+    for name in SCENARIOS:
+        model, workload, placement = build_scenario(name)
+        per_iter = model.iteration_time(workload, placement)["total_s"]
+        projections[name] = per_iter * FULL_RUN_ITERATIONS
+    benchmark.pedantic(
+        lambda: build_scenario("cpu")[0], rounds=3, iterations=1
+    )
+    lines = [
+        f"{name:<12} {projections[name] / 3600.0:6.1f} h "
+        f"({projections[name] / 86400.0:4.1f} days)"
+        for name in SCENARIOS
+    ]
+    report(
+        f"E6: projected full run ({FULL_RUN_ITERATIONS} iterations)",
+        lines,
+    )
+    # CPU-only: ~5 days; jungle: <1 day — the paper's practical point
+    assert projections["cpu"] / 86400.0 > 3.0
+    assert projections["jungle"] / 86400.0 < 1.5
+
+
+@pytest.mark.parametrize("scale", [1, 4, 10])
+def test_e6_jungle_advantage_grows_with_n(scale, report):
+    """At x100 problem scale (the paper's plan), single machines
+    become hopeless while the jungle keeps the run feasible."""
+    workload = IterationWorkload(
+        n_stars=1000 * scale, n_gas=10000 * scale
+    )
+    times = {}
+    for name in ("local-gpu", "jungle"):
+        model, _, placement = build_scenario(name, workload)
+        times[name] = model.iteration_time(workload, placement)[
+            "total_s"]
+    advantage = times["local-gpu"] / times["jungle"]
+    report(
+        f"E6: scale x{scale}",
+        [f"local-gpu {times['local-gpu']:9.1f} s/iter   "
+         f"jungle {times['jungle']:9.1f} s/iter   "
+         f"advantage {advantage:.2f}x"],
+    )
+    assert advantage > 1.0
+    if scale >= 10:
+        assert advantage > 1.4
+
+
+def test_e6_kernel_scaling_shapes(report):
+    """Per-kernel work scaling: direct N^2 vs tree N log N — why the
+    gravity model needs the GRAPE/GPU class machines as N grows."""
+    lines = []
+    for scale in (1, 10, 100):
+        w = IterationWorkload(n_stars=1000 * scale,
+                              n_gas=10000 * scale)
+        _, direct = w.work_units("gravity")
+        _, tree = w.work_units("coupling")
+        lines.append(
+            f"x{scale:<4} direct={direct:.2e}  tree={tree:.2e}  "
+            f"ratio={direct / tree:6.1f}"
+        )
+    report("E6: kernel work scaling", lines)
+    w1 = IterationWorkload(1000, 10000)
+    w100 = IterationWorkload(100000, 1000000)
+    growth_direct = w100.work_units("gravity")[1] / \
+        w1.work_units("gravity")[1]
+    growth_tree = w100.work_units("coupling")[1] / \
+        w1.work_units("coupling")[1]
+    assert growth_direct == pytest.approx(1e4, rel=1e-6)   # N^2
+    assert growth_tree < 200.0                             # N log N

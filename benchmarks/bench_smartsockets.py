@@ -1,0 +1,102 @@
+"""A2 — SmartSockets strategy ablation: direct vs reverse vs routed.
+
+Sec. 3 describes the three connection strategies.  This bench measures
+(on the modeled SC11 network) what each costs in setup time and
+steady-state transfer time — the price of connectivity behind firewalls
+and NATs, and why hubs live on well-connected front-ends.
+"""
+
+import pytest
+
+from repro.ibis.smartsockets import VirtualSocketFactory
+from repro.jungle import make_sc11_jungle
+
+
+@pytest.fixture(scope="module")
+def setup():
+    jungle = make_sc11_jungle()
+    factory = VirtualSocketFactory(jungle)
+    for site in jungle.sites.values():
+        factory.overlay.add_hub(site.frontend)
+    cases = {
+        # direct: open frontend -> open frontend
+        "direct": (
+            jungle.host("DAS-4 (VU)-frontend"),
+            jungle.host("DAS-4 (UvA)-frontend"),
+        ),
+        # reverse: open frontend -> firewalled LGM node
+        "reverse": (
+            jungle.host("DAS-4 (VU)-frontend"),
+            jungle.host("LGM (LU)-node00"),
+        ),
+        # routed: firewalled laptop -> isolated compute node
+        "routed": (
+            jungle.host("laptop"),
+            jungle.host("DAS-4 (VU)-node00"),
+        ),
+    }
+    return jungle, factory, cases
+
+
+MESSAGE_BYTES = 1_000_000
+
+
+def test_a2_strategies_selected_as_expected(setup, report):
+    jungle, factory, cases = setup
+    lines = []
+    for expected, (src, dst) in cases.items():
+        server = factory.create_server_socket(dst)
+        conn = factory.connect_untimed(src, server.address)
+        lines.append(
+            f"{src.name} -> {dst.name}: {conn.strategy} "
+            f"(setup {conn.setup_time_s * 1e3:.1f} ms, "
+            f"{conn.hops} hop(s))"
+        )
+        assert conn.strategy == expected, (
+            f"{src.name}->{dst.name} expected {expected}"
+        )
+    report("A2: strategy selection on the SC11 network", lines)
+
+
+def test_a2_cost_ordering(setup, report, benchmark):
+    """Setup: direct < reverse < routed; transfer: routed pays the
+    relay hops, reverse pays nothing once established."""
+    jungle, factory, cases = setup
+    metrics = {}
+    for name, (src, dst) in cases.items():
+        server = factory.create_server_socket(dst)
+        conn = factory.connect_untimed(src, server.address)
+        metrics[name] = (
+            conn.setup_time_s,
+            conn.transfer_time(MESSAGE_BYTES),
+        )
+    benchmark.pedantic(
+        lambda: factory.plan(
+            cases["routed"][0],
+            factory.create_server_socket(cases["routed"][1]).address,
+        ),
+        rounds=20, iterations=1,
+    )
+    report(
+        "A2: strategy costs (1 MB message)",
+        [f"{name:<8} setup={metrics[name][0] * 1e3:7.2f} ms  "
+         f"transfer={metrics[name][1] * 1e3:7.2f} ms"
+         for name in ("direct", "reverse", "routed")],
+    )
+    assert metrics["direct"][0] <= metrics["reverse"][0]
+    assert metrics["reverse"][0] <= metrics["routed"][0] * 1.5
+    # routed transfer pays every relay hop
+    assert metrics["routed"][1] >= metrics["direct"][1]
+
+
+def test_a2_hub_placement_matters(setup):
+    """Without hubs, blocked endpoints are simply unreachable."""
+    from repro.ibis.smartsockets import NoRouteError
+
+    jungle = make_sc11_jungle()
+    bare = VirtualSocketFactory(jungle)      # no hubs
+    server = bare.create_server_socket(
+        jungle.host("DAS-4 (VU)-node00")
+    )
+    with pytest.raises(NoRouteError):
+        bare.connect_untimed(jungle.host("laptop"), server.address)

@@ -1,0 +1,35 @@
+"""Benchmark fixtures (report printing)."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report block that survives pytest's capture."""
+
+    def _report(title, lines):
+        with capsys.disabled():
+            print(f"\n--- {title} ---")
+            for line in lines:
+                print(f"    {line}")
+
+    return _report
+
+
+def pytest_collection_modifyitems(config, items):
+    """Under --benchmark-only, keep the shape-assertion tests alive.
+
+    pytest-benchmark skips any test that does not request its fixture;
+    every test in this harness IS part of an experiment's reproduction,
+    so inject the fixture name instead of losing the assertions.
+    """
+    try:
+        benchmark_only = config.getoption("--benchmark-only")
+    except ValueError:
+        return
+    if not benchmark_only:
+        return
+    for item in items:
+        names = getattr(item, "fixturenames", None)
+        if names is not None and "benchmark" not in names:
+            names.append("benchmark")

@@ -1,0 +1,58 @@
+"""Scenario builders shared by the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (see
+EXPERIMENTS.md).  Shape assertions live next to the measurements, so
+``pytest benchmarks/ --benchmark-only`` both reports the reproduced
+numbers and fails if the qualitative result drifts.
+"""
+
+from repro.jungle import (
+    CostModel,
+    IterationWorkload,
+    Placement,
+    make_desktop_jungle,
+    make_lab_jungle,
+)
+
+#: the paper's Sec. 6.2 lab measurements (s/iteration)
+PAPER_SCENARIOS = {
+    "cpu": 353.0,
+    "local-gpu": 89.0,
+    "remote-gpu": 84.0,
+    "jungle": 62.4,
+}
+
+
+def build_scenario(name, workload=None):
+    """(cost_model, workload, placement) for one Sec. 6.2 scenario."""
+    w = workload or IterationWorkload(n_stars=1000, n_gas=10000)
+    if name == "cpu":
+        j = make_desktop_jungle(with_gpu=False)
+        p = Placement(coupler_host=j.host("desktop"))
+        for role in ("coupling", "gravity", "hydro", "se"):
+            p.assign(role, j.host("desktop"), channel="direct")
+    elif name == "local-gpu":
+        j = make_desktop_jungle(with_gpu=True)
+        p = Placement(coupler_host=j.host("desktop"))
+        for role in ("coupling", "gravity", "hydro", "se"):
+            p.assign(role, j.host("desktop"), channel="direct")
+    elif name == "remote-gpu":
+        j = make_lab_jungle()
+        p = Placement(coupler_host=j.host("desktop"))
+        p.assign("coupling", j.host("LGM (LU)-node00"), channel="ibis")
+        for role in ("gravity", "hydro", "se"):
+            p.assign(role, j.host("desktop"), channel="direct")
+    elif name == "jungle":
+        j = make_lab_jungle()
+        p = Placement(coupler_host=j.host("desktop"))
+        p.assign("coupling", j.host("DAS-4 (TUD)-node00"), nodes=2,
+                 channel="ibis")
+        p.assign("gravity", j.host("LGM (LU)-node00"), channel="ibis")
+        p.assign("hydro", j.host("DAS-4 (VU)-node00"), nodes=8,
+                 channel="ibis")
+        p.assign("se", j.host("DAS-4 (UvA)-node00"), channel="ibis")
+    else:
+        raise KeyError(name)
+    return CostModel(j), w, p
+
+

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The SC11 worst-case demonstration (paper Sec. 6.1, Figs. 8-11).
+
+Rebuilds the transatlantic jungle of Fig. 9 — the AMUSE coupler on a
+laptop in Seattle, the four models on four Dutch sites — deploys every
+worker through IbisDeploy/PyGAT, runs modeled iterations through the
+calibrated cost model, and prints the IbisDeploy GUI panes (resource
+map, job table, SmartSockets overlay, traffic view, load bars) the
+paper shows as Figs. 10 and 11.
+
+Run:  python examples/sc11_jungle.py
+"""
+
+from repro.distributed import DistributedAmuse, JungleRunner, ResourceSpec
+from repro.jungle import make_sc11_jungle
+from repro.viz import render_snapshot
+
+
+def main():
+    jungle = make_sc11_jungle()
+    laptop = jungle.host("laptop")
+    damuse = DistributedAmuse(jungle, laptop)
+
+    # step 2 of the paper's recipe: one config entry per resource
+    damuse.add_resource(
+        ResourceSpec("LGM", "LGM (LU)", "ssh", 1, needs_gpu=True)
+    )
+    damuse.add_resource(ResourceSpec("VU", "DAS-4 (VU)", "sge", 8))
+    damuse.add_resource(ResourceSpec("UvA", "DAS-4 (UvA)", "sge", 1))
+    damuse.add_resource(
+        ResourceSpec("TUD", "DAS-4 (TUD)", "sge", 2, needs_gpu=True)
+    )
+
+    # step 4: one pilot per model, exactly the Fig. 9 placement
+    damuse.new_pilot("gravity", "LGM")             # PhiGRAPE, Tesla
+    damuse.new_pilot("hydro", "VU", node_count=8)  # Gadget, 8 nodes
+    damuse.new_pilot("se", "UvA")                  # SSE, 1 node
+    damuse.new_pilot("coupling", "TUD", node_count=2)  # Octgrav, GPUs
+
+    ok = damuse.wait_for_pilots()
+    print(f"all models deployed: {ok} "
+          f"(DES t = {jungle.env.now:.1f} s)\n")
+
+    runner = JungleRunner(None, damuse)
+    summary = runner.run(5)
+    print(
+        f"modeled {summary['iterations']} iterations, "
+        f"{summary['modeled_s_per_iteration']:.1f} s/iteration "
+        "(transatlantic worst case)\n"
+    )
+
+    print(render_snapshot(damuse.monitor().snapshot()))
+    damuse.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Zorilla: turn loose machines into a cluster, then deploy on it.
+
+Paper Sec. 3: "Zorilla is ideal in cases where no middleware is
+available, and can turn any collection of machines into a cluster-like
+system in minutes."
+
+This example builds a handful of stand-alone machines with *no* batch
+middleware, joins them into a Zorilla overlay (gossip membership),
+flood-schedules a worker job over the overlay, and finally submits a
+job through PyGAT's zorilla adaptor against the virtual cluster.
+
+Run:  python examples/zorilla_adhoc.py
+"""
+
+from repro.ibis.gat import GAT, JobDescription
+from repro.ibis.zorilla import ZorillaOverlay
+from repro.jungle import FirewallPolicy, Host, Jungle, Site
+
+
+def main():
+    jungle = Jungle()
+    # five stand-alone machines in three places, no middleware at all
+    for i, (site_name, lat, lon) in enumerate(
+        [("office-A", 52.3, 4.8), ("office-A", 52.3, 4.8),
+         ("office-B", 51.9, 4.4), ("office-B", 51.9, 4.4),
+         ("home", 52.0, 5.1)]
+    ):
+        if site_name not in jungle.sites:
+            jungle.new_site(site_name, "standalone",
+                            location=(lat, lon))
+        site = jungle.sites[site_name]
+        host = Host(f"pc-{i}", cores=4, policy=FirewallPolicy.OPEN)
+        site.add_host(host, frontend=(len(site.hosts) == 0))
+    jungle.connect("office-A", "office-B", 0.002, 1.0)
+    jungle.connect("office-B", "home", 0.008, 0.1)
+
+    # join everything into a Zorilla overlay and let gossip converge
+    overlay = ZorillaOverlay(jungle, rng=3)
+    for host in list(jungle.all_hosts()):
+        overlay.add_node(host)
+    overlay.run_gossip()
+    jungle.env.run()
+    print(f"gossip converged: {overlay.converged()} "
+          f"({len(overlay.nodes)} nodes, "
+          f"{overlay.total_slots()} slots)")
+
+    # flood-schedule 3 nodes straight through the overlay
+    claimed = overlay.flood_schedule(jungle.host("pc-0"), 3)
+    print("flood-scheduled on:",
+          [node.host.name for node in claimed])
+    overlay.release(claimed)
+
+    # ... or use it like any middleware through PyGAT
+    cluster = overlay.as_site("adhoc-cluster")
+    gat = GAT(jungle, jungle.host("pc-0"))
+    job = gat.submit_job(
+        JobDescription("worker", node_count=2, duration_s=30.0),
+        cluster,
+    )
+    jungle.env.run()
+    print(f"PyGAT job on the ad-hoc cluster: {job.state} "
+          f"(adaptor: {job.adaptor_name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *High-Performance Distributed Multi-Model /
+Multi-Kernel Simulations: A Case-Study in Jungle Computing* (Drost et al.,
+2012, arXiv:1203.0321).
+
+The package mirrors the paper's two software stacks:
+
+* the **AMUSE side** — units (:mod:`repro.units`), particle data model
+  (:mod:`repro.datamodel`), model kernels (:mod:`repro.codes`), the RPC
+  channel/worker machinery (:mod:`repro.rpc`) and the BRIDGE coupler
+  (:mod:`repro.coupling`);
+* the **Ibis side** — SmartSockets, IPL, PyGAT, Zorilla and Deploy under
+  :mod:`repro.ibis`, running on the simulated jungle substrate
+  (:mod:`repro.jungle`), glued to AMUSE by :mod:`repro.distributed`.
+
+A compact earth-system model (:mod:`repro.cesm`) reproduces the paper's
+second 3MK instance.  See DESIGN.md for the full inventory and
+EXPERIMENTS.md for the per-figure reproduction index.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .units import units, constants, nbody_system, Quantity
+from .datamodel import Particles
+
+__all__ = [
+    "units",
+    "constants",
+    "nbody_system",
+    "Quantity",
+    "Particles",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""CESM-lite: the paper's second 3MK instance (climate modeling)."""
+
+from .components import (
+    Atmosphere,
+    Component,
+    DataComponent,
+    Land,
+    Ocean,
+    SOLAR_CONSTANT,
+    SeaIce,
+    data_twin,
+    insolation,
+)
+from .coupler import EarthSystemModel, Layout, ParallelDriver, land_mask
+
+__all__ = [
+    "Atmosphere",
+    "Ocean",
+    "Land",
+    "SeaIce",
+    "Component",
+    "DataComponent",
+    "data_twin",
+    "insolation",
+    "SOLAR_CONSTANT",
+    "EarthSystemModel",
+    "Layout",
+    "ParallelDriver",
+    "land_mask",
+]

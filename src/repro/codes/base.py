@@ -1,0 +1,249 @@
+"""Common machinery for model codes ("community codes" in AMUSE speak).
+
+Every kernel (PhiGRAPE, SSE, Gadget, Octgrav, Fi) is implemented as a
+*low-level interface*: a class holding raw float64 state whose public
+methods take and return plain numbers/arrays — exactly the surface the
+original Fortran/C codes expose through MPI.  The RPC layer
+(:mod:`repro.rpc`) can run any low-level interface behind a channel, and
+the high-level layer (:mod:`repro.codes.highlevel`) adds units and
+particle-set mirroring on the script side.
+
+The AMUSE state model is reproduced in compact form: codes move through
+``UNINITIALIZED → INITIALIZED → EDIT → RUN`` via ``initialize_code``,
+``commit_parameters`` and ``commit_particles``; editing particles drops a
+RUN code back to EDIT; ``stop`` ends in STOPPED.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CodeInterface",
+    "InCodeParticleStorage",
+    "CodeStateError",
+    "STATES",
+]
+
+STATES = ("UNINITIALIZED", "INITIALIZED", "EDIT", "RUN", "STOPPED")
+
+
+class CodeStateError(RuntimeError):
+    """Raised on illegal state transitions (e.g. evolving a stopped code)."""
+
+
+class InCodeParticleStorage:
+    """Id-keyed structure-of-arrays storage used inside model codes.
+
+    Rows are dense; particle ids map to rows through ``_id_to_row``.
+    Deletion compacts the arrays (ids of other particles stay valid).
+    """
+
+    def __init__(self, fields):
+        # fields: name -> number of components (1 = scalar, 3 = vector)
+        self.fields = dict(fields)
+        self.arrays = {
+            name: np.empty((0, dim)) if dim > 1 else np.empty(0)
+            for name, dim in self.fields.items()
+        }
+        self.ids = np.empty(0, dtype=np.int64)
+        self._id_to_row = {}
+        self._next_id = 0
+
+    def __len__(self):
+        return len(self.ids)
+
+    def add(self, **values):
+        """Append particles; returns the assigned ids (ndarray)."""
+        counts = {
+            name: np.atleast_1d(np.asarray(v, dtype=float)).shape[0]
+            for name, v in values.items()
+        }
+        n = max(counts.values()) if counts else 1
+        new_ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        self._next_id += n
+        for name, dim in self.fields.items():
+            arr = values.get(name)
+            if arr is None:
+                block = np.zeros((n, dim)) if dim > 1 else np.zeros(n)
+            else:
+                block = np.asarray(arr, dtype=float)
+                if dim > 1:
+                    block = np.broadcast_to(
+                        np.atleast_2d(block), (n, dim)
+                    ).copy()
+                else:
+                    block = np.broadcast_to(
+                        np.atleast_1d(block), (n,)
+                    ).copy()
+            self.arrays[name] = np.concatenate([self.arrays[name], block])
+        base_row = len(self.ids)
+        self.ids = np.concatenate([self.ids, new_ids])
+        for offset, pid in enumerate(new_ids):
+            self._id_to_row[int(pid)] = base_row + offset
+        return new_ids
+
+    def rows(self, ids):
+        """Row indices for the given particle ids."""
+        try:
+            return np.array(
+                [self._id_to_row[int(i)] for i in np.atleast_1d(ids)],
+                dtype=np.intp,
+            )
+        except KeyError as exc:
+            raise KeyError(f"unknown particle id {exc}") from None
+
+    def get(self, name, ids=None):
+        arr = self.arrays[name]
+        if ids is None:
+            return arr
+        return arr[self.rows(ids)]
+
+    def set(self, name, values, ids=None):
+        arr = self.arrays[name]
+        values = np.asarray(values, dtype=float)
+        if ids is None:
+            arr[...] = values
+        else:
+            arr[self.rows(ids)] = values
+
+    def remove(self, ids):
+        rows = self.rows(ids)
+        keep = np.ones(len(self.ids), dtype=bool)
+        keep[rows] = False
+        for name in self.arrays:
+            self.arrays[name] = self.arrays[name][keep]
+        self.ids = self.ids[keep]
+        self._id_to_row = {
+            int(pid): row for row, pid in enumerate(self.ids)
+        }
+
+
+class CodeInterface:
+    """Base class for low-level model-code interfaces.
+
+    Subclasses define PARAMETERS (name -> (default, docstring)) and get
+    one instance attribute per parameter.  The state machine hooks
+    (``initialize_code`` etc.) may be overridden; ``ensure_state`` walks
+    the chain automatically, mirroring AMUSE's implicit state
+    transitions.
+    """
+
+    PARAMETERS = {}
+    #: device the kernel variant targets — used by the jungle cost model
+    KERNEL_DEVICE = "cpu"
+    #: short literature tag, for documentation / monitoring displays
+    LITERATURE = ""
+
+    def __init__(self, **parameter_overrides):
+        self.state = "UNINITIALIZED"
+        self.model_time = 0.0
+        # instrumentation counters read by the jungle performance model
+        self.interaction_count = 0
+        self.step_count = 0
+        for name, (default, _doc) in self.PARAMETERS.items():
+            setattr(self, name, parameter_overrides.pop(name, default))
+        if parameter_overrides:
+            raise TypeError(
+                f"unknown parameters {sorted(parameter_overrides)} for "
+                f"{type(self).__name__}; valid: {sorted(self.PARAMETERS)}"
+            )
+
+    # -- state machine ------------------------------------------------------
+
+    _CHAIN = {
+        "UNINITIALIZED": ("INITIALIZED", "initialize_code"),
+        "INITIALIZED": ("EDIT", "commit_parameters"),
+        "EDIT": ("RUN", "commit_particles"),
+    }
+
+    def ensure_state(self, target):
+        if self.state == "STOPPED":
+            raise CodeStateError(
+                f"{type(self).__name__} has been stopped"
+            )
+        guard = 0
+        while self.state != target:
+            step = self._CHAIN.get(self.state)
+            if step is None:
+                raise CodeStateError(
+                    f"cannot reach state {target} from {self.state}"
+                )
+            next_state, hook = step
+            getattr(self, hook)()
+            # hooks may not change state themselves:
+            if self.state != next_state:
+                self.state = next_state
+            guard += 1
+            if guard > len(STATES):
+                raise CodeStateError("state machine did not converge")
+
+    def invalidate_model(self):
+        """Particle edits drop a running model back to EDIT."""
+        if self.state == "RUN":
+            self.state = "EDIT"
+
+    # default (overridable) hooks
+    def initialize_code(self):
+        return 0
+
+    def commit_parameters(self):
+        return 0
+
+    def commit_particles(self):
+        return 0
+
+    def synchronize_model(self):
+        return 0
+
+    def recommit_particles(self):
+        return 0
+
+    def cleanup_code(self):
+        return 0
+
+    def stop(self):
+        if self.state != "STOPPED":
+            self.cleanup_code()
+            self.state = "STOPPED"
+        return 0
+
+    # -- parameter access (RPC-friendly) ---------------------------------------
+
+    def get_parameter(self, name):
+        if name not in self.PARAMETERS:
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def set_parameter(self, name, value):
+        if name not in self.PARAMETERS:
+            raise KeyError(name)
+        if self.state not in ("UNINITIALIZED", "INITIALIZED"):
+            # AMUSE allows it only before commit_parameters; be faithful
+            raise CodeStateError(
+                f"parameter {name} must be set before commit_parameters"
+            )
+        setattr(self, name, value)
+        return 0
+
+    def parameter_names(self):
+        return sorted(self.PARAMETERS)
+
+    def get_model_time(self):
+        return self.model_time
+
+    # -- introspection used by the RPC worker ------------------------------------
+
+    @classmethod
+    def remote_methods(cls):
+        """Public callables exposed through a channel."""
+        out = {}
+        for name in dir(cls):
+            if name.startswith("_"):
+                continue
+            attr = getattr(cls, name)
+            if callable(attr) and name not in (
+                "remote_methods",
+            ):
+                out[name] = attr
+        return out

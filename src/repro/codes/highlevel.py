@@ -1,0 +1,372 @@
+"""High-level (script-side) model code wrappers.
+
+These are the objects an AMUSE script instantiates: they hide the channel
+and the worker behind a units-checked interface.  "This API is based as
+much as possible on the physical interactions of the different types of
+models, rather than their underlying numerical representation" (paper
+Sec. 4.1) — and "AMUSE implements ... automatic unit conversion", which
+happens here: gravity/hydro workers run in N-body units internally, the
+script sees SI quantities through a
+:class:`~repro.units.nbody.ConvertBetweenGenericAndSiUnits`.
+
+Usage::
+
+    conv = nbody_system.nbody_to_si(1000 | units.MSun, 1 | units.parsec)
+    gravity = PhiGRAPE(conv, channel_type="sockets", kernel="gpu")
+    gravity.add_particles(stars)
+    gravity.evolve_model(1.0 | units.Myr)
+    gravity.particles.new_channel_to(stars).copy_attributes(
+        ["position", "velocity"])
+    gravity.stop()
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..datamodel import Particles
+from ..rpc import new_channel
+from ..units import nbody as nbody_system
+from ..units import units as u
+from ..units.core import Quantity
+from .gadget import GadgetInterface
+from .phigrape import PhiGRAPEInterface
+from .sse import SSEInterface
+from .treecode import FiInterface, OctgravInterface
+
+__all__ = [
+    "CommunityCode",
+    "GravitationalDynamicsCode",
+    "PhiGRAPE",
+    "Octgrav",
+    "Fi",
+    "Gadget",
+    "SSE",
+]
+
+
+class _ParametersProxy:
+    """Attribute-style access to worker parameters over the channel."""
+
+    def __init__(self, channel, names):
+        object.__setattr__(self, "_channel", channel)
+        object.__setattr__(self, "_names", tuple(names))
+
+    def __getattr__(self, name):
+        if name not in self._names:
+            raise AttributeError(
+                f"unknown parameter {name!r}; valid: {sorted(self._names)}"
+            )
+        return self._channel.call("get_parameter", name)
+
+    def __setattr__(self, name, value):
+        if name not in self._names:
+            raise AttributeError(
+                f"unknown parameter {name!r}; valid: {sorted(self._names)}"
+            )
+        self._channel.call("set_parameter", name, value)
+
+    def __repr__(self):
+        pairs = ", ".join(
+            f"{n}={self._channel.call('get_parameter', n)!r}"
+            for n in sorted(self._names)
+        )
+        return f"<parameters {pairs}>"
+
+
+class CommunityCode:
+    """Base for script-side code wrappers.
+
+    Subclasses set ``INTERFACE`` to a low-level interface class.  The
+    worker is started through a channel chosen by name ("direct"/"mpi",
+    "sockets", "ibis"/"distributed") — switching resource or channel is
+    the single-line change the paper demonstrates (Sec. 6.2: "we only
+    had to change a single line in our simulation script").
+    """
+
+    INTERFACE = None
+
+    def __init__(self, convert_nbody=None, channel_type="direct",
+                 channel_options=None, **parameters):
+        interface_cls = self.INTERFACE
+        if interface_cls is None:
+            raise TypeError(
+                f"{type(self).__name__} does not define an interface"
+            )
+        # partial (not a closure) so the ibis channel can pickle the
+        # factory across the daemon's loopback socket
+        factory = functools.partial(interface_cls, **parameters)
+
+        self.channel = new_channel(
+            channel_type, factory, **(channel_options or {})
+        )
+        self.converter = convert_nbody
+        self.parameters = _ParametersProxy(
+            self.channel, self.channel.call("parameter_names")
+        )
+        self.particles = Particles(0)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._stopped = False
+
+    # -- unit plumbing -------------------------------------------------------
+
+    def _to_code(self, quantity, code_unit):
+        """Script quantity -> bare number in the code's unit."""
+        if self.converter is not None and not quantity.unit.is_generic:
+            quantity = self.converter.to_nbody(quantity)
+        return quantity.value_in(code_unit)
+
+    def _from_code(self, number, code_unit):
+        """Bare number in the code's unit -> script quantity."""
+        q = Quantity(number, code_unit)
+        if self.converter is not None:
+            q = self.converter.to_si(q)
+        return q
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def model_time(self):
+        return self._from_code(
+            self.channel.call("get_model_time"), self._TIME_UNIT
+        )
+
+    def stop(self):
+        if not self._stopped:
+            self.channel.stop()
+            self._stopped = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+
+class GravitationalDynamicsCode(CommunityCode):
+    """Shared wrapper for PhiGRAPE / Octgrav / Fi (and Gadget's gravity
+    surface): particle management, evolution, energies, bridge fields."""
+
+    _TIME_UNIT = nbody_system.time
+    _MASS_UNIT = nbody_system.mass
+    _LENGTH_UNIT = nbody_system.length
+    _SPEED_UNIT = nbody_system.speed
+
+    def add_particles(self, particles):
+        """Register script particles with the worker; returns the local
+        mirror subset."""
+        mass = self._to_code(particles.mass, self._MASS_UNIT)
+        pos = self._to_code(particles.position, self._LENGTH_UNIT)
+        vel = self._to_code(particles.velocity, self._SPEED_UNIT)
+        ids = self.channel.call(
+            "new_particle", mass,
+            pos[:, 0], pos[:, 1], pos[:, 2],
+            vel[:, 0], vel[:, 1], vel[:, 2],
+        )
+        self._register(particles, ids, mass, pos, vel)
+        return self.particles
+
+    def _register(self, particles, ids, mass, pos, vel):
+        mirror = Particles(keys=np.asarray(particles.key))
+        mirror.mass = self._from_code(mass, self._MASS_UNIT)
+        mirror.position = self._from_code(pos, self._LENGTH_UNIT)
+        mirror.velocity = self._from_code(vel, self._SPEED_UNIT)
+        self.particles.add_particles(mirror)
+        self._ids = np.concatenate(
+            [self._ids, np.asarray(ids, dtype=np.int64)]
+        )
+
+    def commit_particles(self):
+        self.channel.call("ensure_state", "RUN")
+
+    def evolve_model(self, end_time):
+        """Advance the worker to *end_time* and refresh the mirror."""
+        t = self._to_code(end_time, self._TIME_UNIT)
+        result = self.channel.call("evolve_model", float(t))
+        self.pull_state()
+        return result
+
+    def pull_state(self):
+        """Refresh the local mirror from the worker."""
+        if not len(self._ids):
+            return
+        mass = self.channel.call("get_mass", self._ids)
+        pos = self.channel.call("get_position", self._ids)
+        vel = self.channel.call("get_velocity", self._ids)
+        self.particles.mass = self._from_code(mass, self._MASS_UNIT)
+        self.particles.position = self._from_code(pos, self._LENGTH_UNIT)
+        self.particles.velocity = self._from_code(vel, self._SPEED_UNIT)
+
+    def push_masses(self):
+        """Send mirror masses to the worker (stellar-evolution coupling)."""
+        if len(self._ids):
+            self.channel.call(
+                "set_mass", self._ids,
+                self._to_code(self.particles.mass, self._MASS_UNIT),
+            )
+
+    def push_state(self):
+        """Send mirror positions/velocities/masses to the worker."""
+        if not len(self._ids):
+            return
+        pos = self._to_code(self.particles.position, self._LENGTH_UNIT)
+        vel = self._to_code(self.particles.velocity, self._SPEED_UNIT)
+        self.channel.call("set_position", self._ids, pos)
+        self.channel.call("set_velocity", self._ids, vel)
+        self.push_masses()
+
+    def kick(self, velocity_delta):
+        """Apply a velocity increment to all particles (bridge kicks)."""
+        vel = self.channel.call("get_velocity", self._ids)
+        dv = self._to_code(velocity_delta, self._SPEED_UNIT)
+        self.channel.call("set_velocity", self._ids, vel + dv)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    @property
+    def kinetic_energy(self):
+        return self._from_code(
+            self.channel.call("get_kinetic_energy"), nbody_system.energy
+        )
+
+    @property
+    def potential_energy(self):
+        return self._from_code(
+            self.channel.call("get_potential_energy"),
+            nbody_system.energy,
+        )
+
+    @property
+    def total_energy(self):
+        return self._from_code(
+            self.channel.call("get_total_energy"), nbody_system.energy
+        )
+
+    # -- bridge field surface ------------------------------------------------------
+
+    def get_gravity_at_point(self, eps, points):
+        eps2 = float(self._to_code(eps, self._LENGTH_UNIT)) ** 2
+        pts = self._to_code(points, self._LENGTH_UNIT)
+        acc = self.channel.call("get_gravity_at_point", eps2, pts)
+        return self._from_code(acc, nbody_system.acceleration)
+
+    def get_potential_at_point(self, eps, points):
+        eps2 = float(self._to_code(eps, self._LENGTH_UNIT)) ** 2
+        pts = self._to_code(points, self._LENGTH_UNIT)
+        phi = self.channel.call("get_potential_at_point", eps2, pts)
+        return self._from_code(phi, nbody_system.speed ** 2)
+
+
+class PhiGRAPE(GravitationalDynamicsCode):
+    """Direct N-body dynamics; ``kernel="cpu"`` or ``"gpu"``."""
+
+    INTERFACE = PhiGRAPEInterface
+
+
+class Octgrav(GravitationalDynamicsCode):
+    """GPU Barnes–Hut tree gravity (the coupling model of the paper)."""
+
+    INTERFACE = OctgravInterface
+
+
+class Fi(GravitationalDynamicsCode):
+    """CPU tree gravity — the coupling fallback when no GPU exists."""
+
+    INTERFACE = FiInterface
+
+
+class Gadget(GravitationalDynamicsCode):
+    """SPH gas dynamics; adds internal energy handling on top of the
+    gravitational surface."""
+
+    INTERFACE = GadgetInterface
+
+    def add_particles(self, particles):
+        mass = self._to_code(particles.mass, self._MASS_UNIT)
+        pos = self._to_code(particles.position, self._LENGTH_UNIT)
+        vel = self._to_code(particles.velocity, self._SPEED_UNIT)
+        uu = self._to_code(particles.u, self._SPEED_UNIT ** 2)
+        ids = self.channel.call(
+            "new_particle", mass,
+            pos[:, 0], pos[:, 1], pos[:, 2],
+            vel[:, 0], vel[:, 1], vel[:, 2], uu,
+        )
+        self._register(particles, ids, mass, pos, vel)
+        self.particles.u = self._from_code(uu, self._SPEED_UNIT ** 2)
+        return self.particles
+
+    def pull_state(self):
+        super().pull_state()
+        if len(self._ids):
+            uu = self.channel.call("get_internal_energy", self._ids)
+            self.particles.u = self._from_code(
+                uu, self._SPEED_UNIT ** 2
+            )
+
+    def inject_energy(self, subset_indices, du):
+        """Add specific internal energy *du* to the given particles —
+        the supernova/wind feedback path of the embedded-cluster run."""
+        ids = self._ids[np.asarray(subset_indices, dtype=np.intp)]
+        self.channel.call(
+            "add_internal_energy", ids,
+            self._to_code(du, self._SPEED_UNIT ** 2),
+        )
+
+    @property
+    def thermal_energy(self):
+        return self._from_code(
+            self.channel.call("get_thermal_energy"), nbody_system.energy
+        )
+
+
+class SSE(CommunityCode):
+    """Stellar evolution; native units are MSun/RSun/LSun/Myr/K, so no
+    N-body converter is involved."""
+
+    INTERFACE = SSEInterface
+    _TIME_UNIT = u.Myr
+
+    def __init__(self, channel_type="direct", channel_options=None,
+                 **parameters):
+        super().__init__(
+            convert_nbody=None, channel_type=channel_type,
+            channel_options=channel_options, **parameters,
+        )
+
+    def add_particles(self, particles):
+        zams = particles.mass.value_in(u.MSun)
+        ids = self.channel.call("new_particle", zams)
+        mirror = Particles(keys=np.asarray(particles.key))
+        mirror.mass = Quantity(zams, u.MSun)
+        self.particles.add_particles(mirror)
+        self._ids = np.concatenate(
+            [self._ids, np.asarray(ids, dtype=np.int64)]
+        )
+        self.pull_state()
+        return self.particles
+
+    def evolve_model(self, end_time):
+        result = self.channel.call(
+            "evolve_model", float(end_time.value_in(u.Myr))
+        )
+        self.pull_state()
+        return result
+
+    def pull_state(self):
+        if not len(self._ids):
+            return
+        mass, radius, lum, teff, stype = self.channel.call(
+            "get_state", self._ids
+        )
+        self.particles.mass = Quantity(mass, u.MSun)
+        self.particles.radius = Quantity(radius, u.RSun)
+        self.particles.luminosity = Quantity(lum, u.LSun)
+        self.particles.temperature = Quantity(teff, u.K)
+        self.particles.stellar_type = np.asarray(stype)
+
+    def time_of_next_supernova(self):
+        t = self.channel.call("time_of_next_supernova")
+        return Quantity(t, u.Myr)

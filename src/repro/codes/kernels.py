@@ -1,0 +1,269 @@
+"""Shared numerical kernels: direct-summation gravity and a Barnes–Hut
+octree.
+
+These are the compute cores behind the model codes: PhiGRAPE uses the
+direct O(N²) acceleration+jerk kernel (the work a GRAPE board / GPU does),
+Octgrav and Fi use the octree (Octgrav is literally "a gravitational
+tree-code on GPUs", Gaburov et al. 2010), and Gadget uses the octree for
+gas self-gravity.
+
+All kernels are NumPy-vectorized and blocked to bound peak memory, per the
+HPC guides ("vectorizing for loops", "beware of cache effects").  Units
+never appear here — raw float64 arrays only; unit handling happens at the
+AMUSE interface layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "direct_acceleration",
+    "direct_acc_jerk",
+    "direct_potential",
+    "total_energy",
+    "Octree",
+]
+
+
+def direct_acceleration(pos, mass, eps2=0.0, targets=None, G=1.0,
+                        block=1024):
+    """Softened direct-sum gravitational acceleration.
+
+    Parameters
+    ----------
+    pos : (N, 3) source positions;  mass : (N,) source masses.
+    targets : (M, 3) evaluation points; defaults to the sources
+        (self-interaction contributes zero force).
+    """
+    pos = np.asarray(pos, dtype=float)
+    mass = np.asarray(mass, dtype=float)
+    tgt = pos if targets is None else np.asarray(targets, dtype=float)
+    acc = np.zeros_like(tgt)
+    for i0 in range(0, len(tgt), block):
+        i1 = min(i0 + block, len(tgt))
+        d = pos[None, :, :] - tgt[i0:i1, None, :]     # (b, N, 3)
+        r2 = (d * d).sum(axis=2) + eps2
+        inv_r3 = np.zeros_like(r2)
+        np.divide(1.0, r2 * np.sqrt(r2), out=inv_r3, where=r2 > 0)
+        acc[i0:i1] = (mass[None, :, None] * d * inv_r3[:, :, None]).sum(
+            axis=1
+        )
+    return G * acc
+
+
+def direct_acc_jerk(pos, vel, mass, eps2=0.0, G=1.0, block=512):
+    """Acceleration and jerk (d a / d t) for the Hermite integrator.
+
+    jerk_i = G Σ_j m_j [ v_ij / r³ - 3 (r_ij·v_ij) r_ij / r⁵ ]
+    """
+    pos = np.asarray(pos, dtype=float)
+    vel = np.asarray(vel, dtype=float)
+    mass = np.asarray(mass, dtype=float)
+    n = len(pos)
+    acc = np.zeros_like(pos)
+    jerk = np.zeros_like(pos)
+    for i0 in range(0, n, block):
+        i1 = min(i0 + block, n)
+        dr = pos[None, :, :] - pos[i0:i1, None, :]    # (b, N, 3)
+        dv = vel[None, :, :] - vel[i0:i1, None, :]
+        r2 = (dr * dr).sum(axis=2) + eps2
+        inv_r2 = np.zeros_like(r2)
+        np.divide(1.0, r2, out=inv_r2, where=r2 > 0)
+        inv_r = np.sqrt(inv_r2)
+        inv_r3 = inv_r2 * inv_r
+        rv = (dr * dv).sum(axis=2) * inv_r2
+        m3 = mass[None, :, None] * inv_r3[:, :, None]
+        acc[i0:i1] = (m3 * dr).sum(axis=1)
+        jerk[i0:i1] = (m3 * (dv - 3.0 * rv[:, :, None] * dr)).sum(axis=1)
+    return G * acc, G * jerk
+
+
+def direct_potential(pos, mass, eps2=0.0, targets=None, G=1.0,
+                     block=1024, include_self=False):
+    """Softened potential φ at the target points.
+
+    When targets are the sources themselves the self term (m/ε) is
+    excluded unless *include_self* is set.
+    """
+    pos = np.asarray(pos, dtype=float)
+    mass = np.asarray(mass, dtype=float)
+    self_eval = targets is None
+    tgt = pos if self_eval else np.asarray(targets, dtype=float)
+    phi = np.zeros(len(tgt))
+    for i0 in range(0, len(tgt), block):
+        i1 = min(i0 + block, len(tgt))
+        d = pos[None, :, :] - tgt[i0:i1, None, :]
+        r2 = (d * d).sum(axis=2) + eps2
+        inv_r = np.zeros_like(r2)
+        np.divide(1.0, np.sqrt(r2), out=inv_r, where=r2 > 0)
+        if self_eval and not include_self and eps2 > 0:
+            rows = np.arange(i0, i1) - i0
+            cols = np.arange(i0, i1)
+            inv_r[rows, cols] = 0.0
+        phi[i0:i1] = -(mass[None, :] * inv_r).sum(axis=1)
+    return G * phi
+
+
+def total_energy(pos, vel, mass, eps2=0.0, G=1.0):
+    """Kinetic + potential energy (diagnostic for integrator tests)."""
+    ke = 0.5 * (mass * (np.asarray(vel) ** 2).sum(axis=1)).sum()
+    phi = direct_potential(pos, mass, eps2, G=G)
+    pe = 0.5 * (mass * phi).sum()
+    return ke + pe
+
+
+class _Node:
+    __slots__ = (
+        "center", "half", "mass", "com", "children", "start", "end",
+        "is_leaf",
+    )
+
+
+class Octree:
+    """Barnes–Hut octree over a fixed particle distribution.
+
+    Built once per force evaluation (positions move every step).  The
+    traversal is *vectorized over targets*: each node decides acceptance
+    for all pending targets at once, recursing only with the subset that
+    rejected the node — this keeps the Python-level work O(#nodes) instead
+    of O(#targets × #nodes).
+    """
+
+    def __init__(self, pos, mass, leaf_size=16):
+        self.pos = np.asarray(pos, dtype=float)
+        self.mass = np.asarray(mass, dtype=float)
+        if self.pos.ndim != 2 or self.pos.shape[1] != 3:
+            raise ValueError("positions must be (N, 3)")
+        self.leaf_size = int(leaf_size)
+        n = len(self.pos)
+        self.order = np.arange(n)
+        self.nodes = []
+        if n:
+            lo = self.pos.min(axis=0)
+            hi = self.pos.max(axis=0)
+            center = 0.5 * (lo + hi)
+            half = float(max((hi - lo).max() / 2.0, 1e-12))
+            self._build(0, n, center, half)
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, start, end, center, half):
+        """Create the node for order[start:end]; returns its index."""
+        node = _Node()
+        node.center = center
+        node.half = half
+        # copy: children overwrite order[start:end] during partitioning
+        idx = self.order[start:end].copy()
+        node.mass = float(self.mass[idx].sum())
+        if node.mass > 0:
+            node.com = (
+                self.mass[idx, None] * self.pos[idx]
+            ).sum(axis=0) / node.mass
+        else:
+            node.com = center.copy()
+        node.start, node.end = start, end
+        index = len(self.nodes)
+        self.nodes.append(node)
+        if end - start <= self.leaf_size or half < 1e-12:
+            node.is_leaf = True
+            node.children = ()
+            return index
+        node.is_leaf = False
+        # partition particles into octants
+        rel = self.pos[idx] >= center[None, :]
+        octant = rel[:, 0] * 4 + rel[:, 1] * 2 + rel[:, 2] * 1
+        children = []
+        cursor = start
+        quarter = half / 2.0
+        for oct_id in range(8):
+            sel = idx[octant == oct_id]
+            if not len(sel):
+                continue
+            self.order[cursor:cursor + len(sel)] = sel
+            offset = np.array(
+                [
+                    quarter if (oct_id & 4) else -quarter,
+                    quarter if (oct_id & 2) else -quarter,
+                    quarter if (oct_id & 1) else -quarter,
+                ]
+            )
+            child = self._build(
+                cursor, cursor + len(sel), center + offset, quarter
+            )
+            children.append(child)
+            cursor += len(sel)
+        node.children = tuple(children)
+        return index
+
+    # -- traversal ------------------------------------------------------------
+
+    def accelerations(self, targets=None, theta=0.6, eps2=0.0, G=1.0):
+        """Monopole BH acceleration at the target points."""
+        tgt = self.pos if targets is None else np.asarray(
+            targets, dtype=float
+        )
+        acc = np.zeros_like(tgt)
+        if self.nodes:
+            self._walk(
+                0, np.arange(len(tgt)), tgt, theta, eps2, acc, None
+            )
+        return G * acc
+
+    def potentials(self, targets=None, theta=0.6, eps2=0.0, G=1.0):
+        """Monopole BH potential at the target points."""
+        tgt = self.pos if targets is None else np.asarray(
+            targets, dtype=float
+        )
+        phi = np.zeros(len(tgt))
+        if self.nodes:
+            self._walk(0, np.arange(len(tgt)), tgt, theta, eps2, None, phi)
+        return G * phi
+
+    def _walk(self, node_id, pending, tgt, theta, eps2, acc, phi):
+        node = self.nodes[node_id]
+        if not len(pending) or node.mass == 0.0:
+            return
+        d = node.com[None, :] - tgt[pending]
+        r2 = (d * d).sum(axis=1)
+        size = 2.0 * node.half
+        if node.is_leaf:
+            accepted = np.zeros(len(pending), dtype=bool)
+        else:
+            accepted = size * size < theta * theta * r2
+        if accepted.any():
+            sel = pending[accepted]
+            dr = d[accepted]
+            r2a = r2[accepted] + eps2
+            if acc is not None:
+                inv_r3 = node.mass / (r2a * np.sqrt(r2a))
+                acc[sel] += dr * inv_r3[:, None]
+            if phi is not None:
+                phi[sel] -= node.mass / np.sqrt(r2a)
+        rejected = pending[~accepted]
+        if not len(rejected):
+            return
+        if node.is_leaf:
+            src = self.order[node.start:node.end]
+            dr = self.pos[src][None, :, :] - tgt[rejected][:, None, :]
+            r2l = (dr * dr).sum(axis=2) + eps2
+            inv_r = np.zeros_like(r2l)
+            np.divide(1.0, np.sqrt(r2l), out=inv_r, where=r2l > 0)
+            if acc is not None:
+                inv_r3 = inv_r / np.where(r2l > 0, r2l, 1.0)
+                acc[rejected] += (
+                    self.mass[src][None, :, None] * dr
+                    * inv_r3[:, :, None]
+                ).sum(axis=1)
+            if phi is not None:
+                # exclude exact self-hits (r == eps only from the
+                # softening): a zero distance means target == source
+                zero_dist = (dr == 0).all(axis=2)
+                inv_phi = inv_r.copy()
+                inv_phi[zero_dist] = 0.0
+                phi[rejected] -= (
+                    self.mass[src][None, :] * inv_phi
+                ).sum(axis=1)
+        else:
+            for child in node.children:
+                self._walk(child, rejected, tgt, theta, eps2, acc, phi)

@@ -1,0 +1,11 @@
+"""The AMUSE coupler: BRIDGE coupling and the embedded-cluster driver."""
+
+from .bridge import Bridge, CouplingField
+from .embedded import ClusterDiagnostics, EmbeddedClusterSimulation
+
+__all__ = [
+    "Bridge",
+    "CouplingField",
+    "EmbeddedClusterSimulation",
+    "ClusterDiagnostics",
+]

@@ -1,0 +1,13 @@
+"""AMUSE-style data model: particle sets and structured grids."""
+
+from .particles import AttributeChannel, Particle, Particles, ParticlesSubset
+from .grids import LatLonGrid, regrid_area_weighted
+
+__all__ = [
+    "Particles",
+    "Particle",
+    "ParticlesSubset",
+    "AttributeChannel",
+    "LatLonGrid",
+    "regrid_area_weighted",
+]

@@ -1,0 +1,153 @@
+"""Structured lat-lon grids for the earth-system substrate.
+
+CESM-lite model components (:mod:`repro.cesm`) exchange fields living on
+:class:`LatLonGrid` instances.  Grids know their cell geometry (areas,
+spacing), support units-tagged fields, and provide conservative-ish
+area-weighted regridding between resolutions — the job done by the CESM
+coupler's mapping files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units.core import Quantity
+
+__all__ = ["LatLonGrid", "regrid_area_weighted"]
+
+EARTH_RADIUS_M = 6.371e6
+
+
+class LatLonGrid:
+    """A regular latitude-longitude grid with named fields.
+
+    Latitudes are cell centers from -90+d/2 to 90-d/2; longitudes from 0
+    to 360.  Fields are (nlat, nlon) float arrays, optionally tagged with
+    a unit.
+    """
+
+    def __init__(self, nlat, nlon, radius_m=EARTH_RADIUS_M):
+        if nlat < 2 or nlon < 2:
+            raise ValueError("grid needs at least 2x2 cells")
+        self.nlat = int(nlat)
+        self.nlon = int(nlon)
+        self.radius_m = float(radius_m)
+        dlat = 180.0 / nlat
+        dlon = 360.0 / nlon
+        self.lat = -90.0 + dlat * (np.arange(nlat) + 0.5)
+        self.lon = dlon * (np.arange(nlon) + 0.5)
+        # Exact spherical cell areas: R^2 * dlon * (sin top - sin bottom)
+        lat_edges = np.radians(-90.0 + dlat * np.arange(nlat + 1))
+        band = np.sin(lat_edges[1:]) - np.sin(lat_edges[:-1])
+        self.cell_area_m2 = (
+            radius_m ** 2 * np.radians(dlon) * band[:, None]
+            * np.ones((1, nlon))
+        )
+        self._fields = {}
+
+    @property
+    def shape(self):
+        return (self.nlat, self.nlon)
+
+    @property
+    def total_area_m2(self):
+        return float(self.cell_area_m2.sum())
+
+    # -- fields --------------------------------------------------------------
+
+    def new_field(self, name, fill=0.0, unit=None):
+        arr = np.full(self.shape, float(fill))
+        self._fields[name] = (arr, unit)
+        return arr
+
+    def set_field(self, name, values, unit=None):
+        if isinstance(values, Quantity):
+            unit = values.unit
+            values = values.number
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != self.shape:
+            arr = np.broadcast_to(arr, self.shape).copy()
+        self._fields[name] = (arr, unit)
+
+    def field(self, name):
+        arr, unit = self._fields[name]
+        if unit is None:
+            return arr
+        return Quantity(arr, unit)
+
+    def field_array(self, name):
+        return self._fields[name][0]
+
+    def field_names(self):
+        return sorted(self._fields)
+
+    def has_field(self, name):
+        return name in self._fields
+
+    # -- reductions ------------------------------------------------------------
+
+    def area_mean(self, name):
+        """Area-weighted global mean of a field."""
+        arr = self.field_array(name)
+        return float(
+            (arr * self.cell_area_m2).sum() / self.total_area_m2
+        )
+
+    def area_integral(self, name):
+        """Area integral (field × m²)."""
+        arr = self.field_array(name)
+        return float((arr * self.cell_area_m2).sum())
+
+    def zonal_mean(self, name):
+        return self.field_array(name).mean(axis=1)
+
+    def copy_layout(self):
+        return LatLonGrid(self.nlat, self.nlon, self.radius_m)
+
+    def __repr__(self):
+        return (
+            f"<LatLonGrid {self.nlat}x{self.nlon} "
+            f"fields={self.field_names()}>"
+        )
+
+
+def regrid_area_weighted(src_grid, src_values, dst_grid):
+    """Area-weighted first-order conservative regridding.
+
+    Works on regular lat-lon grids by overlap of cell intervals in
+    latitude (by sine, i.e. true spherical area) and longitude.  The
+    global area integral of the field is conserved to round-off, which is
+    what the flux coupler requires.
+    """
+    src = np.asarray(src_values, dtype=float)
+    if src.shape != src_grid.shape:
+        raise ValueError("source values do not match source grid")
+
+    w_lat = _interval_overlap_matrix(
+        _sin_lat_edges(src_grid.nlat), _sin_lat_edges(dst_grid.nlat)
+    )
+    w_lon = _interval_overlap_matrix(
+        _lon_edges(src_grid.nlon), _lon_edges(dst_grid.nlon)
+    )
+    # integral over destination cell = w_lat^T @ (src * src_cell_geom) @ w_lon
+    overlap = w_lat.T @ src @ w_lon
+    norm = w_lat.T.sum(axis=1)[:, None] * w_lon.sum(axis=0)[None, :]
+    return overlap / norm
+
+
+def _sin_lat_edges(nlat):
+    return np.sin(np.radians(-90.0 + 180.0 / nlat * np.arange(nlat + 1)))
+
+
+def _lon_edges(nlon):
+    return 360.0 / nlon * np.arange(nlon + 1)
+
+
+def _interval_overlap_matrix(src_edges, dst_edges):
+    """M[i, j] = |overlap of src interval i and dst interval j| (weights)."""
+    ns, nd = len(src_edges) - 1, len(dst_edges) - 1
+    lo = np.maximum(src_edges[:-1, None], dst_edges[None, :-1])
+    hi = np.minimum(src_edges[1:, None], dst_edges[None, 1:])
+    out = np.clip(hi - lo, 0.0, None)
+    assert out.shape == (ns, nd)
+    return out

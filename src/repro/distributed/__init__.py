@@ -1,0 +1,25 @@
+"""Distributed AMUSE: daemon, ibis channel, pilots, jungle runner."""
+
+from .channel import DistributedChannel
+from .core import (
+    DistributedAmuse,
+    FaultPolicy,
+    JungleRunner,
+    Pilot,
+    ResourceSpec,
+    WorkerDiedError,
+)
+from .daemon import IbisDaemon
+from .discovery import discover_placement
+
+__all__ = [
+    "IbisDaemon",
+    "DistributedChannel",
+    "DistributedAmuse",
+    "ResourceSpec",
+    "Pilot",
+    "JungleRunner",
+    "FaultPolicy",
+    "WorkerDiedError",
+    "discover_placement",
+]

@@ -1,0 +1,184 @@
+"""The Ibis daemon — loopback gateway between coupler and workers.
+
+"The AMUSE coupler connects with a local Ibis daemon to start and
+communicate with remote workers.  The user must start this daemon on his
+or her machine before running any simulation, but it can be re-used for
+all simulations run.  We use this separate process as the Ibis software
+is written in Java, while AMUSE is written in Python.  The connection is
+created using a local loopback socket.  Benchmarks show that this
+connection is over 8Gbit/second even on a modest laptop, has a[n]
+extremely small latency." (paper Sec. 5)
+
+This daemon is a REAL loopback TCP server speaking the AMUSE frame
+protocol.  The coupler-side :class:`DistributedChannel` starts workers
+through it and routes every RPC through the daemon socket — the extra
+hop whose cost the paper measures (and ``benchmarks/bench_loopback.py``
+reproduces).  Workers run in daemon-side threads, standing in for the
+remote proxy+worker pair (the *modeled* wide-area side lives in
+:mod:`repro.distributed.core`).
+
+Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
+
+* ``("start_worker", req_id, factory_bytes, resource, node_count)``
+* ``("call", req_id, worker_id, method, args, kwargs)``
+* ``("echo", req_id, payload)`` — the loopback benchmark message
+* ``("stop_worker", req_id, worker_id)`` / ``("list_workers", req_id)``
+* ``("shutdown", req_id)``
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import traceback
+
+from ..rpc.protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["IbisDaemon"]
+
+
+class IbisDaemon:
+    """Loopback TCP daemon hosting AMUSE workers.
+
+    Start once per user machine::
+
+        daemon = IbisDaemon()
+        daemon.start()
+        ...
+        daemon.shutdown()
+    """
+
+    def __init__(self, host="127.0.0.1"):
+        self._host = host
+        self._listener = None
+        self._accept_thread = None
+        self._workers = {}
+        self._worker_meta = {}
+        self._worker_ids = iter(range(1, 1 << 30))
+        self._lock = threading.Lock()
+        self._running = False
+        self.address = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        self._listener = socket.socket(
+            socket.AF_INET, socket.SOCK_STREAM
+        )
+        self._listener.bind((self._host, 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def shutdown(self):
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            for interface in self._workers.values():
+                stop = getattr(interface, "stop", None)
+                if stop is not None:
+                    try:
+                        stop()
+                    except Exception:  # noqa: BLE001
+                        pass
+            self._workers.clear()
+            self._worker_meta.clear()
+
+    # -- serving -----------------------------------------------------------------
+
+    def _accept_loop(self):
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            )
+            handler.start()
+
+    def _serve(self, conn):
+        try:
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except ProtocolError:
+                    return
+                kind, req_id, *rest = message
+                try:
+                    reply = self._dispatch(kind, rest)
+                except BaseException as exc:  # noqa: BLE001 - to peer
+                    send_frame(
+                        conn,
+                        ("error", req_id, type(exc).__name__,
+                         str(exc), traceback.format_exc()),
+                    )
+                    continue
+                send_frame(conn, ("result", req_id, reply))
+                if kind == "shutdown":
+                    self.shutdown()
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, kind, rest):
+        if kind == "echo":
+            (payload,) = rest
+            return payload
+        if kind == "start_worker":
+            factory_bytes, resource, node_count = rest
+            factory = pickle.loads(factory_bytes)
+            interface = factory()
+            with self._lock:
+                worker_id = next(self._worker_ids)
+                self._workers[worker_id] = interface
+                self._worker_meta[worker_id] = {
+                    "resource": resource,
+                    "node_count": node_count,
+                    "code": type(interface).__name__,
+                }
+            return worker_id
+        if kind == "call":
+            worker_id, method, args, kwargs = rest
+            with self._lock:
+                interface = self._workers.get(worker_id)
+            if interface is None:
+                raise KeyError(f"unknown worker {worker_id}")
+            return getattr(interface, method)(*args, **kwargs)
+        if kind == "stop_worker":
+            (worker_id,) = rest
+            with self._lock:
+                interface = self._workers.pop(worker_id, None)
+                self._worker_meta.pop(worker_id, None)
+            if interface is not None and hasattr(interface, "stop"):
+                interface.stop()
+            return True
+        if kind == "list_workers":
+            with self._lock:
+                return dict(self._worker_meta)
+        if kind == "shutdown":
+            return True
+        raise ProtocolError(f"unknown daemon message kind {kind!r}")
+
+    # -- convenience ---------------------------------------------------------------
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False

@@ -1,0 +1,145 @@
+"""Automatic resource discovery — the paper's fifth requirement.
+
+Sec. 4.3: "Fifth and last is a requirement that is high on the wish
+list of users: the automatic discovery of suitable resources.  Given
+the list of resources a user has access to, ideally, software should
+find suitable resources itself, without any intervention from the
+user."  Sec. 5: "Automatic discovery of resources is another
+requirement that we do not fulfill."
+
+This module implements that future work on top of the calibrated cost
+model: given the jungle and the workload, it enumerates sensible
+placements (each role on each capable resource, multi-node where the
+role can use it) and returns the cheapest one — so the user supplies
+only the resource list, exactly as the paper wishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..jungle.perfmodel import CostModel, IterationWorkload, Placement
+
+__all__ = ["discover_placement", "candidate_hosts"]
+
+#: which roles want a GPU when one exists, and can use many nodes
+ROLE_TRAITS = {
+    "coupling": {"wants_gpu": True, "max_nodes": 2},
+    "gravity": {"wants_gpu": True, "max_nodes": 1},
+    "hydro": {"wants_gpu": False, "max_nodes": 8},
+    "se": {"wants_gpu": False, "max_nodes": 1},
+}
+
+
+def candidate_hosts(jungle, role, allowed_sites=None):
+    """(host, nodes) candidates for *role* across the jungle."""
+    traits = ROLE_TRAITS[role]
+    candidates = []
+    for site in jungle.sites.values():
+        if allowed_sites is not None and site.name not in allowed_sites:
+            continue
+        hosts = site.compute_hosts
+        gpu_hosts = [h for h in hosts if h.has_gpu]
+        if traits["wants_gpu"] and gpu_hosts:
+            candidates.append((gpu_hosts[0], 1))
+            if traits["max_nodes"] > 1 and len(gpu_hosts) > 1:
+                candidates.append(
+                    (gpu_hosts[0],
+                     min(traits["max_nodes"], len(gpu_hosts)))
+                )
+            continue
+        if not hosts:
+            continue
+        candidates.append((hosts[0], 1))
+        if traits["max_nodes"] > 1 and len(hosts) > 1:
+            candidates.append(
+                (hosts[0], min(traits["max_nodes"], len(hosts)))
+            )
+    return candidates
+
+
+def discover_placement(jungle, coupler_host, workload=None,
+                       allowed_sites=None, channel_for=None,
+                       max_combinations=100000):
+    """Find the cheapest placement for the four simulation roles.
+
+    Parameters
+    ----------
+    jungle : Jungle
+        The resources the user has access to.
+    coupler_host : Host
+        Where the AMUSE script runs.
+    workload : IterationWorkload, optional
+    allowed_sites : set of site names, optional
+        Restrict the search (reservations, allocations, ...).
+    channel_for : callable(host) -> channel name, optional
+        Defaults to "direct" on the coupler's site, "ibis" elsewhere.
+
+    Returns
+    -------
+    (placement, predicted) — the best placement and its cost-model
+    prediction dict.
+    """
+    workload = workload or IterationWorkload()
+    if channel_for is None:
+        def channel_for(host):
+            return (
+                "direct" if host.site == coupler_host.site else "ibis"
+            )
+
+    model = CostModel(jungle)
+    roles = sorted(ROLE_TRAITS)
+    options = [
+        candidate_hosts(jungle, role, allowed_sites)
+        for role in roles
+    ]
+    if any(not opts for opts in options):
+        missing = [
+            role for role, opts in zip(roles, options) if not opts
+        ]
+        raise ValueError(
+            f"no suitable resources for roles: {missing}"
+        )
+    total = 1
+    for opts in options:
+        total *= len(opts)
+    if total > max_combinations:
+        raise ValueError(
+            f"{total} placements exceed the search budget; restrict "
+            "allowed_sites"
+        )
+
+    best = None
+    best_cost = None
+    for combo in itertools.product(*options):
+        if not _slots_available(jungle, roles, combo):
+            continue
+        placement = Placement(coupler_host=coupler_host)
+        for role, (host, nodes) in zip(roles, combo):
+            placement.assign(
+                role, host, nodes=nodes, channel=channel_for(host)
+            )
+        predicted = model.iteration_time(workload, placement)
+        if best_cost is None or predicted["total_s"] < \
+                best_cost["total_s"]:
+            best, best_cost = placement, predicted
+    if best is None:
+        raise ValueError("no feasible placement found")
+    return best, best_cost
+
+
+def _slots_available(jungle, roles, combo):
+    """Feasibility: multi-node reservations fit the site's capacity.
+
+    Single-node roles may share one machine (the paper's desktop
+    scenarios run all four models on one quad-core box); only
+    multi-node reservations consume exclusive nodes.
+    """
+    demand = {}
+    for role, (host, nodes) in zip(roles, combo):
+        if nodes > 1:
+            demand[host.site] = demand.get(host.site, 0) + nodes
+    for site_name, wanted in demand.items():
+        if wanted > len(jungle.sites[site_name].compute_hosts):
+            return False
+    return True

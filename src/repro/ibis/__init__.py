@@ -1,0 +1,15 @@
+"""The Ibis software framework (paper Fig. 2), reproduced in Python:
+
+* :mod:`repro.ibis.smartsockets` — robust connectivity (hubs, overlay,
+  direct/reverse/routed virtual sockets);
+* :mod:`repro.ibis.ipl` — the Ibis Portability Layer (registry, ports,
+  messages, fault-tolerance events);
+* :mod:`repro.ibis.gat` — PyGAT middleware adaptors (jobs + files);
+* :mod:`repro.ibis.zorilla` — P2P middleware (gossip + flood
+  scheduling);
+* :mod:`repro.ibis.deploy` — IbisDeploy orchestration + monitoring.
+"""
+
+from . import deploy, gat, ipl, smartsockets, zorilla
+
+__all__ = ["smartsockets", "ipl", "gat", "zorilla", "deploy"]

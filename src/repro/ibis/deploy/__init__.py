@@ -1,0 +1,20 @@
+"""IbisDeploy: descriptions, deployment orchestration, monitoring."""
+
+from .core import Deploy, DeployJob
+from .descriptions import (
+    ApplicationDescription,
+    ClusterDescription,
+    GridDescription,
+    parse_grid_description,
+)
+from .monitor import Monitor
+
+__all__ = [
+    "Deploy",
+    "DeployJob",
+    "Monitor",
+    "ApplicationDescription",
+    "ClusterDescription",
+    "GridDescription",
+    "parse_grid_description",
+]

@@ -1,0 +1,163 @@
+"""IbisDeploy — one-call deployment of jungle applications.
+
+"Ibis also provides IbisDeploy: a library for deploying application in
+the Jungle, targeted specifically at end-users ...  To make the usage of
+SmartSockets as easy as possible, IbisDeploy automatically starts the
+hubs required by SmartSockets on each resource used." (paper Sec. 3/5)
+
+:class:`Deploy` drives the whole startup sequence on the DES:
+
+1. start the root hub + IPL registry server next to the client;
+2. for every resource used, start a SmartSockets hub on its front-end;
+3. submit worker jobs through PyGAT (files pre-staged, middleware
+   selected automatically), each worker joining the IPL pool when it
+   starts;
+4. expose a :class:`Monitor` with the data behind the IbisDeploy GUI:
+   the resource map, the job table, the hub overlay (with link kinds)
+   and the live traffic/load view (paper Figs. 10/11).
+"""
+
+from __future__ import annotations
+
+from ...jungle.des import all_of
+from ..gat import GAT, JobDescription, JobState
+from ..ipl import Ibis, Registry
+from ..smartsockets import VirtualSocketFactory
+from .monitor import Monitor
+
+__all__ = ["Deploy", "DeployJob"]
+
+
+class DeployJob:
+    """A deployed worker: the GAT job + its IPL presence."""
+
+    def __init__(self, gat_job, role):
+        self.gat_job = gat_job
+        self.role = role
+        self.ibis = None          # set when the worker joins the pool
+
+    @property
+    def state(self):
+        return self.gat_job.state
+
+    @property
+    def hosts(self):
+        return self.gat_job.hosts
+
+    def __repr__(self):
+        return f"<DeployJob {self.role} [{self.state}]>"
+
+
+class Deploy:
+    """End-user deployment orchestrator."""
+
+    def __init__(self, jungle, client_host, pool="amuse"):
+        self.jungle = jungle
+        self.client_host = client_host
+        self.gat = GAT(jungle, client_host)
+        self.factory = VirtualSocketFactory(jungle)
+        self.registry = Registry(jungle, pool=pool)
+        self.jobs = []
+        self._initialized_sites = set()
+        self.monitor = Monitor(self)
+        self.client_ibis = None
+
+    # -- initialization ----------------------------------------------------
+
+    def initialize(self):
+        """Start the root hub + registry endpoint on the client."""
+        self.factory.overlay.add_hub(self.client_host)
+        self.client_ibis = Ibis(
+            self.registry, self.client_host, "deploy-client",
+            self.factory,
+        )
+        return self.client_ibis
+
+    def _ensure_site_initialized(self, site):
+        """Start the SmartSockets hub on a resource's front-end (done
+        automatically per resource, as IbisDeploy does)."""
+        if site.name in self._initialized_sites:
+            return
+        self.factory.overlay.add_hub(site.frontend)
+        self._initialized_sites.add(site.name)
+
+    # -- job submission --------------------------------------------------------
+
+    def submit(self, application, site, role, node_count=1,
+               worker_body=None, needs_gpu=None):
+        """Deploy *application* on *site*; returns a :class:`DeployJob`.
+
+        The worker body (a DES generator factory) runs once the GAT job
+        reaches RUNNING; by default it creates the worker's Ibis and
+        joins the pool, then idles until cancelled — the distributed
+        AMUSE layer passes proxies with real behaviour here.
+        """
+        if self.client_ibis is None:
+            self.initialize()
+        self._ensure_site_initialized(site)
+        deploy_job = DeployJob(None, role)
+        gpu = application.needs_gpu if needs_gpu is None else needs_gpu
+
+        def default_body(env, hosts):
+            deploy_job.ibis = Ibis(
+                self.registry, hosts[0], f"{role}", self.factory
+            )
+            # idle until the job is cancelled (reservation ends)
+            try:
+                yield env.timeout(float("inf"))
+            finally:
+                pass
+
+        body = worker_body or default_body
+        description = JobDescription(
+            name=f"{application.name}-{role}",
+            node_count=node_count,
+            needs_gpu=gpu,
+            stage_in=dict(application.files),
+            role=role,
+            body=body,
+        )
+        gat_job = self.gat.submit_job(
+            description, site, preferred=_preferred_middleware(site)
+        )
+        deploy_job.gat_job = gat_job
+        self.jobs.append(deploy_job)
+        return deploy_job
+
+    def wait_until_deployed(self, timeout_s=3600.0):
+        """Run the DES until every submitted job is RUNNING (or dead).
+
+        Returns True when all jobs started successfully.
+        """
+        env = self.jungle.env
+        gate = all_of(
+            env,
+            [job.gat_job.when_state(JobState.RUNNING)
+             for job in self.jobs],
+        )
+        env.run(until=env.now + timeout_s)
+        started = all(
+            job.state in (JobState.RUNNING, JobState.POST_STAGING,
+                          JobState.STOPPED)
+            and job.gat_job.error is None
+            for job in self.jobs
+        )
+        return started and gate.triggered
+
+    def cancel_all(self):
+        for job in self.jobs:
+            job.gat_job.cancel()
+
+    # -- views --------------------------------------------------------------------
+
+    def job_table(self):
+        return self.gat.job_table()
+
+    def overlay_edges(self):
+        return self.factory.overlay.edges()
+
+
+def _preferred_middleware(site):
+    if site.middlewares:
+        return next(iter(site.middlewares))
+    return None

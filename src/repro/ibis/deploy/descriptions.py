@@ -1,0 +1,129 @@
+"""IbisDeploy description files: grids, clusters, applications.
+
+"IbisDeploy can be configured using a small number of simple
+configuration files" (paper Sec. 3) — the step-2 requirement of the
+distributed-AMUSE recipe (Sec. 5): "Specify some basic information such
+as hostname and type of middleware for each resource used in a
+configuration file."
+
+The INI dialect mirrors IbisDeploy's ``.grid`` files: a ``[defaults]``
+section plus one section per cluster::
+
+    [defaults]
+    user = niels
+
+    [VU]
+    middleware = ssh
+    frontend   = desktop
+    nodes      = 4
+    gpu        = GeForce 9600GT
+"""
+
+from __future__ import annotations
+
+import configparser
+import io
+
+__all__ = [
+    "ClusterDescription",
+    "GridDescription",
+    "ApplicationDescription",
+    "parse_grid_description",
+]
+
+
+class ClusterDescription:
+    """One resource entry of a grid file."""
+
+    def __init__(self, name, middleware="ssh", nodes=1, cores=8,
+                 frontend=None, user=None, gpu=None, location=None):
+        self.name = name
+        self.middleware = middleware
+        self.nodes = int(nodes)
+        self.cores = int(cores)
+        self.frontend = frontend or f"{name}-frontend"
+        self.user = user
+        self.gpu = gpu
+        self.location = location
+
+    def __repr__(self):
+        return (
+            f"<ClusterDescription {self.name} {self.middleware} "
+            f"nodes={self.nodes}>"
+        )
+
+
+class GridDescription:
+    """A set of cluster descriptions (one ``.grid`` file)."""
+
+    def __init__(self, clusters=(), defaults=None):
+        self.clusters = {c.name: c for c in clusters}
+        self.defaults = dict(defaults or {})
+
+    def add(self, cluster):
+        self.clusters[cluster.name] = cluster
+
+    def __getitem__(self, name):
+        return self.clusters[name]
+
+    def __iter__(self):
+        return iter(self.clusters.values())
+
+    def __len__(self):
+        return len(self.clusters)
+
+    def names(self):
+        return sorted(self.clusters)
+
+
+class ApplicationDescription:
+    """What to start on each resource (IbisDeploy ``.applications``).
+
+    ``files`` maps file names to sizes in bytes — these are pre-staged
+    to every resource the application runs on.  Our AMUSE never stages
+    the model binaries themselves (paper Sec. 5: "Our system assumes
+    that AMUSE is already installed on the target resource" because the
+    install is huge) — only scripts/config, which is why the default
+    footprint is small.
+    """
+
+    def __init__(self, name, files=None, needs_gpu=False,
+                 amuse_preinstalled=True):
+        self.name = name
+        self.files = dict(files or {"amuse-worker-config": 4096})
+        self.needs_gpu = bool(needs_gpu)
+        self.amuse_preinstalled = amuse_preinstalled
+
+    def __repr__(self):
+        return f"<ApplicationDescription {self.name}>"
+
+
+def parse_grid_description(text):
+    """Parse a ``.grid`` INI document into a :class:`GridDescription`."""
+    parser = configparser.ConfigParser()
+    parser.read_file(io.StringIO(text))
+    defaults = {}
+    if parser.has_section("defaults"):
+        defaults = dict(parser.items("defaults"))
+    clusters = []
+    for section in parser.sections():
+        if section == "defaults":
+            continue
+        get = lambda key, fallback=None: parser.get(  # noqa: E731
+            section, key, fallback=fallback
+        )
+        clusters.append(
+            ClusterDescription(
+                section,
+                middleware=get(
+                    "middleware", defaults.get("middleware", "ssh")
+                ),
+                nodes=int(get("nodes", defaults.get("nodes", 1))),
+                cores=int(get("cores", defaults.get("cores", 8))),
+                frontend=get("frontend"),
+                user=get("user", defaults.get("user")),
+                gpu=get("gpu"),
+                location=get("location"),
+            )
+        )
+    return GridDescription(clusters, defaults)

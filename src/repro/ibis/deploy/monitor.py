@@ -1,0 +1,85 @@
+"""Monitoring — the data behind the IbisDeploy GUI (paper Figs. 10/11).
+
+"it should be possible to do both performance and correctness monitoring
+of the system.  The bigger the system, the harder it is to oversee."
+(paper Sec. 4.3, third requirement)
+
+:class:`Monitor` assembles, from live substrate state, the four GUI
+views the paper shows:
+
+* the **resource map** (site name, kind, location, #hosts) — Fig. 10
+  top-left;
+* the **job table** (job, resource, middleware adaptor, state) —
+  Fig. 10 bottom;
+* the **overlay network** with link kinds (direct / one-way / tunnel)
+  — Fig. 10 top-right;
+* the **traffic/load view**: per-site-pair bytes split by protocol
+  (IPL vs MPI) and per-host CPU/GPU load — Fig. 11 ("IPL traffic is
+  shown in blue, while MPI traffic is shown in orange.  The bars at
+  each location denote machine load ...  Note that the nodes running
+  models that support GPUs have a very low [CPU] load.")
+"""
+
+from __future__ import annotations
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Snapshot provider over a :class:`~repro.ibis.deploy.core.Deploy`."""
+
+    def __init__(self, deploy):
+        self.deploy = deploy
+
+    # -- GUI panes -----------------------------------------------------------
+
+    def resource_map(self):
+        jungle = self.deploy.jungle
+        return [
+            {
+                "site": site.name,
+                "kind": site.kind,
+                "location": site.location,
+                "hosts": len(site.hosts),
+                "middleware": sorted(site.middlewares),
+                "hub": site.name in {
+                    self.deploy.factory.overlay.hubs[h].host.site
+                    for h in self.deploy.factory.overlay.hubs
+                },
+            }
+            for site in jungle.sites.values()
+        ]
+
+    def job_table(self):
+        return self.deploy.job_table()
+
+    def overlay(self):
+        return self.deploy.overlay_edges()
+
+    def traffic_matrix(self, protocol=None):
+        return self.deploy.jungle.network.traffic.matrix(protocol)
+
+    def host_loads(self, elapsed_s=None):
+        """host -> {'cpu': load, 'gpu': load} fractions."""
+        jungle = self.deploy.jungle
+        traffic = jungle.network.traffic
+        elapsed = elapsed_s or max(jungle.env.now, 1e-9)
+        out = {}
+        for host in jungle.all_hosts():
+            cpu = traffic.load(host.name, elapsed, "cpu")
+            gpu = traffic.load(host.name, elapsed, "gpu")
+            if cpu or gpu:
+                out[host.name] = {"cpu": cpu, "gpu": gpu}
+        return out
+
+    def snapshot(self):
+        return {
+            "time_s": self.deploy.jungle.env.now,
+            "resources": self.resource_map(),
+            "jobs": self.job_table(),
+            "overlay": self.overlay(),
+            "traffic_ipl": self.traffic_matrix("ipl"),
+            "traffic_mpi": self.traffic_matrix("mpi"),
+            "loads": self.host_loads(),
+            "strategies": dict(self.deploy.factory.strategy_counts),
+        }

@@ -1,0 +1,35 @@
+"""PyGAT: uniform Jobs/Files API over per-middleware adaptors."""
+
+from .core import (
+    Adaptor,
+    AdaptorNotApplicableError,
+    DEFAULT_ADAPTORS,
+    GAT,
+    GATError,
+    GlobusAdaptor,
+    Job,
+    JobDescription,
+    JobState,
+    LocalAdaptor,
+    PbsAdaptor,
+    SgeAdaptor,
+    SshAdaptor,
+    ZorillaAdaptor,
+)
+
+__all__ = [
+    "GAT",
+    "GATError",
+    "Adaptor",
+    "AdaptorNotApplicableError",
+    "DEFAULT_ADAPTORS",
+    "Job",
+    "JobDescription",
+    "JobState",
+    "LocalAdaptor",
+    "SshAdaptor",
+    "PbsAdaptor",
+    "SgeAdaptor",
+    "GlobusAdaptor",
+    "ZorillaAdaptor",
+]

@@ -1,0 +1,331 @@
+"""PyGAT — the JavaGAT analog: one API, many middlewares.
+
+"JavaGAT is a generic and simple interface to middleware.  Instead of
+writing software for one specific middleware ... applications can use the
+generic JavaGAT interface.  Using familiar concepts such as Files and
+Jobs, a programmer is able to start applications in a Jungle.  JavaGAT
+provides this functionality using Adapters ... JavaGAT will automatically
+select the appropriate adapter for each resource." (paper Sec. 3)
+
+Reproduced surface:
+
+* :class:`JobDescription` — executable-ish payload (a DES generator),
+  node count, files to stage in/out, GPU requirement;
+* :class:`Job` — state machine INITIAL → PRE_STAGING → SCHEDULED →
+  RUNNING → POST_STAGING → STOPPED (or SUBMISSION_ERROR), with state
+  listeners and cancellation;
+* adaptors for ``local``, ``ssh``, ``pbs``, ``sge``, ``globus`` and
+  ``zorilla`` middleware, each charging its characteristic submission
+  overhead and queue behaviour;
+* :class:`GAT` — the engine: automatic adaptor selection with ordered
+  fallback (collecting per-adaptor errors like JavaGAT's nested
+  exception does), plus file copies over the modeled network.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ...jungle.des import Interrupt
+
+__all__ = [
+    "JobDescription",
+    "Job",
+    "JobState",
+    "Adaptor",
+    "GAT",
+    "GATError",
+    "AdaptorNotApplicableError",
+]
+
+_job_ids = itertools.count(1)
+
+
+class GATError(RuntimeError):
+    """Submission failed in every applicable adaptor."""
+
+    def __init__(self, message, causes=()):
+        super().__init__(message)
+        self.causes = list(causes)
+
+
+class AdaptorNotApplicableError(RuntimeError):
+    """The adaptor does not speak this site's middleware."""
+
+
+class JobState:
+    INITIAL = "INITIAL"
+    PRE_STAGING = "PRE_STAGING"
+    SCHEDULED = "SCHEDULED"
+    RUNNING = "RUNNING"
+    POST_STAGING = "POST_STAGING"
+    STOPPED = "STOPPED"
+    SUBMISSION_ERROR = "SUBMISSION_ERROR"
+
+    ORDER = (
+        INITIAL, PRE_STAGING, SCHEDULED, RUNNING, POST_STAGING, STOPPED,
+    )
+
+
+class JobDescription:
+    """What to run and what it needs.
+
+    *body* is ``None`` (a plain sleep of ``duration_s`` — a batch job)
+    or a callable ``body(env, hosts) -> generator`` — the modeled
+    executable (the distributed-AMUSE layer passes the worker/proxy
+    bootstrap here).
+    """
+
+    def __init__(self, name, node_count=1, needs_gpu=False,
+                 stage_in=None, stage_out=None, duration_s=None,
+                 body=None, role=None):
+        self.name = name
+        self.node_count = int(node_count)
+        self.needs_gpu = bool(needs_gpu)
+        self.stage_in = dict(stage_in or {})     # filename -> bytes
+        self.stage_out = dict(stage_out or {})
+        self.duration_s = duration_s
+        self.body = body
+        self.role = role
+
+    def __repr__(self):
+        return (
+            f"<JobDescription {self.name} nodes={self.node_count}"
+            f"{' gpu' if self.needs_gpu else ''}>"
+        )
+
+
+class Job:
+    """A submitted job: state machine + DES process handle."""
+
+    def __init__(self, description, site, adaptor_name, env):
+        self.id = next(_job_ids)
+        self.description = description
+        self.site = site
+        self.adaptor_name = adaptor_name
+        self.env = env
+        self.state = JobState.INITIAL
+        self.hosts = []
+        self.error = None
+        self.submitted_at = env.now
+        self.started_at = None
+        self.stopped_at = None
+        self.process = None
+        self._listeners = []
+        self._state_events = {}
+
+    def add_state_listener(self, callback):
+        """callback(job, new_state) on every transition."""
+        self._listeners.append(callback)
+
+    def when_state(self, state):
+        """DES event firing when the job reaches *state*."""
+        if self.state == state or (
+            state in JobState.ORDER
+            and self.state in JobState.ORDER
+            and JobState.ORDER.index(self.state)
+            >= JobState.ORDER.index(state)
+        ):
+            done = self.env.event()
+            done.succeed(self)
+            return done
+        event = self._state_events.setdefault(state, self.env.event())
+        return event
+
+    def _set_state(self, state):
+        self.state = state
+        if state == JobState.RUNNING:
+            self.started_at = self.env.now
+        if state in (JobState.STOPPED, JobState.SUBMISSION_ERROR):
+            self.stopped_at = self.env.now
+        for callback in list(self._listeners):
+            callback(self, state)
+        event = self._state_events.pop(state, None)
+        if event is not None and not event.triggered:
+            event.succeed(self)
+
+    def cancel(self):
+        """Kill a running job (the scheduler ending a reservation)."""
+        if self.process is not None and not self.process.triggered:
+            self.process.interrupt("cancelled")
+
+    def __repr__(self):
+        return (
+            f"<Job #{self.id} {self.description.name} on "
+            f"{self.site.name} [{self.state}]>"
+        )
+
+
+class Adaptor:
+    """Base adaptor: stage-in → submit → queue → run → stage-out."""
+
+    middleware_kind = None
+
+    def applicable(self, site):
+        if self.middleware_kind not in site.middlewares:
+            raise AdaptorNotApplicableError(
+                f"{type(self).__name__}: site {site.name} has no "
+                f"{self.middleware_kind} middleware"
+            )
+        return site.middleware(self.middleware_kind)
+
+    def submit(self, gat, site, description):
+        """Create the Job and spawn its lifecycle process."""
+        middleware = self.applicable(site)
+        job = Job(description, site, type(self).__name__, gat.env)
+        job.process = gat.env.process(
+            self._lifecycle(gat, site, middleware, job)
+        )
+        return job
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _pick_hosts(self, site, description):
+        pool = [
+            h for h in site.compute_hosts
+            if not description.needs_gpu or h.has_gpu
+        ]
+        if len(pool) < description.node_count:
+            raise GATError(
+                f"site {site.name} cannot satisfy {description!r}: "
+                f"{len(pool)} suitable nodes"
+            )
+        return pool[: description.node_count]
+
+    def _lifecycle(self, gat, site, middleware, job):
+        env = gat.env
+        description = job.description
+        held_slots = 0
+        try:
+            # stage in
+            job._set_state(JobState.PRE_STAGING)
+            for filename, n_bytes in description.stage_in.items():
+                yield from gat.copy_file(
+                    gat.client_host, site.frontend, n_bytes, filename
+                )
+            # submit + queue (node set acquired atomically, as a batch
+            # scheduler would)
+            job._set_state(JobState.SCHEDULED)
+            yield env.timeout(middleware.submit_overhead)
+            yield middleware.slots.request_many(description.node_count)
+            held_slots = description.node_count
+            if middleware.queue_delay:
+                yield env.timeout(middleware.queue_delay)
+            job.hosts = self._pick_hosts(site, description)
+            # run
+            job._set_state(JobState.RUNNING)
+            if description.body is not None:
+                yield env.process(description.body(env, job.hosts))
+            else:
+                yield env.timeout(description.duration_s or 0.0)
+            # stage out
+            job._set_state(JobState.POST_STAGING)
+            for filename, n_bytes in description.stage_out.items():
+                yield from gat.copy_file(
+                    site.frontend, gat.client_host, n_bytes, filename
+                )
+            job._set_state(JobState.STOPPED)
+        except Interrupt as interrupt:
+            job.error = interrupt
+            job._set_state(JobState.STOPPED)
+        except Exception as exc:  # noqa: BLE001 - recorded on the job
+            job.error = exc
+            job._set_state(JobState.SUBMISSION_ERROR)
+        finally:
+            if held_slots:
+                middleware.slots.release(held_slots)
+
+
+class LocalAdaptor(Adaptor):
+    middleware_kind = "local"
+
+
+class SshAdaptor(Adaptor):
+    middleware_kind = "ssh"
+
+
+class PbsAdaptor(Adaptor):
+    middleware_kind = "pbs"
+
+
+class SgeAdaptor(Adaptor):
+    middleware_kind = "sge"
+
+
+class GlobusAdaptor(Adaptor):
+    middleware_kind = "globus"
+
+
+class ZorillaAdaptor(Adaptor):
+    """Submits through a Zorilla P2P overlay when the site runs one."""
+
+    middleware_kind = "zorilla"
+
+
+DEFAULT_ADAPTORS = (
+    LocalAdaptor(), SshAdaptor(), SgeAdaptor(), PbsAdaptor(),
+    GlobusAdaptor(), ZorillaAdaptor(),
+)
+
+
+class GAT:
+    """The adaptor engine + file operations."""
+
+    def __init__(self, jungle, client_host, adaptors=DEFAULT_ADAPTORS):
+        self.jungle = jungle
+        self.env = jungle.env
+        self.client_host = client_host
+        self.adaptors = list(adaptors)
+        self.jobs = []
+        #: which adaptor ran each job — JavaGAT-style introspection
+        self.adaptor_log = []
+
+    def submit_job(self, description, site, preferred=None):
+        """Automatic adaptor selection with fallback.
+
+        Tries *preferred* first (if given), then every registered
+        adaptor in order; raises :class:`GATError` carrying all
+        per-adaptor causes when nothing applies.
+        """
+        causes = []
+        candidates = list(self.adaptors)
+        if preferred is not None:
+            candidates.sort(
+                key=lambda a: a.middleware_kind != preferred
+            )
+        for adaptor in candidates:
+            try:
+                job = adaptor.submit(self, site, description)
+            except AdaptorNotApplicableError as exc:
+                causes.append(exc)
+                continue
+            self.jobs.append(job)
+            self.adaptor_log.append(
+                (description.name, site.name, adaptor.middleware_kind)
+            )
+            return job
+        raise GATError(
+            f"no adaptor could submit to {site.name}", causes
+        )
+
+    def copy_file(self, src_host, dst_host, n_bytes, name=""):
+        """DES generator: move a file between hosts (stage in/out)."""
+        yield self.jungle.network.transfer(
+            self.env, src_host, dst_host, n_bytes, protocol="file"
+        )
+        return n_bytes
+
+    def job_table(self):
+        """The IbisDeploy GUI's job list (paper Fig. 10, bottom)."""
+        return [
+            {
+                "id": job.id,
+                "name": job.description.name,
+                "site": job.site.name,
+                "adaptor": job.adaptor_name,
+                "nodes": job.description.node_count,
+                "state": job.state,
+                "role": job.description.role,
+            }
+            for job in self.jobs
+        ]

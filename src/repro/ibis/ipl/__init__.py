@@ -1,0 +1,29 @@
+"""IPL: registry, ibis instances, uni-directional message ports."""
+
+from .core import (
+    DeadIbisError,
+    Ibis,
+    IbisIdentifier,
+    IplError,
+    ONE_TO_ONE_OBJECT,
+    PortType,
+    ReadMessage,
+    ReceivePort,
+    Registry,
+    SendPort,
+    WriteMessage,
+)
+
+__all__ = [
+    "Registry",
+    "Ibis",
+    "IbisIdentifier",
+    "PortType",
+    "ONE_TO_ONE_OBJECT",
+    "SendPort",
+    "ReceivePort",
+    "WriteMessage",
+    "ReadMessage",
+    "IplError",
+    "DeadIbisError",
+]

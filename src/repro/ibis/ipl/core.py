@@ -1,0 +1,392 @@
+"""IPL — the Ibis Portability Layer.
+
+"IPL is a communication library specifically designed for use in a
+Jungle.  IPL is based on the concept of uni-directional
+connection-oriented message-based communication.  It provides support for
+fault-tolerance and malleability ...  an application using IPL will get
+notified if a machine crashes, allowing the application to react to and
+recover from this fault." (paper Sec. 3)
+
+Reproduced surface:
+
+* :class:`Registry` — pool membership (join/leave/died upcalls),
+  elections, signals; the malleability/fault-tolerance backbone;
+* :class:`Ibis` — one instance per participating process, owning a
+  SmartSockets endpoint;
+* :class:`PortType` — capability sets, checked at connection setup;
+* :class:`SendPort` / :class:`ReceivePort` — unidirectional,
+  connection-oriented, message-based communication with explicit
+  receive or upcalls;
+* :class:`WriteMessage` / :class:`ReadMessage` — streaming message
+  surfaces that account bytes (the IPL traffic of paper Fig. 11).
+
+Everything runs on the jungle DES through SmartSockets virtual
+connections, so firewalled/NAT'd workers transparently use
+reverse/routed connectivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ...jungle.des import Store
+from ..smartsockets import NoRouteError, VirtualSocketFactory
+
+__all__ = [
+    "IbisIdentifier",
+    "PortType",
+    "Registry",
+    "Ibis",
+    "SendPort",
+    "ReceivePort",
+    "WriteMessage",
+    "ReadMessage",
+    "IplError",
+    "DeadIbisError",
+]
+
+_ibis_counter = itertools.count(1)
+
+
+class IplError(RuntimeError):
+    """Generic IPL failure."""
+
+
+class DeadIbisError(IplError):
+    """Operation on/with an ibis that has been declared dead."""
+
+
+@dataclass(frozen=True)
+class IbisIdentifier:
+    """Identity of one Ibis instance in a pool."""
+
+    name: str
+    pool: str
+    location: str          # site name (the GUI map groups by this)
+    host_name: str
+
+    def __str__(self):
+        return f"{self.name}@{self.location}"
+
+
+class PortType:
+    """A capability set; send and receive ports must match exactly."""
+
+    CONNECTION_ONE_TO_ONE = "connection.onetoone"
+    CONNECTION_ONE_TO_MANY = "connection.onetomany"
+    CONNECTION_MANY_TO_ONE = "connection.manytoone"
+    COMMUNICATION_RELIABLE = "communication.reliable"
+    COMMUNICATION_FIFO = "communication.fifo"
+    SERIALIZATION_DATA = "serialization.data"
+    SERIALIZATION_OBJECT = "serialization.object"
+    RECEIVE_EXPLICIT = "receive.explicit"
+    RECEIVE_AUTO_UPCALLS = "receive.autoupcalls"
+
+    def __init__(self, *capabilities):
+        self.capabilities = frozenset(capabilities)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PortType)
+            and self.capabilities == other.capabilities
+        )
+
+    def __hash__(self):
+        return hash(self.capabilities)
+
+    def __contains__(self, capability):
+        return capability in self.capabilities
+
+    def __repr__(self):
+        return f"PortType({sorted(self.capabilities)})"
+
+
+#: the port type AMUSE's daemon/proxies use
+ONE_TO_ONE_OBJECT = PortType(
+    PortType.CONNECTION_ONE_TO_ONE,
+    PortType.COMMUNICATION_RELIABLE,
+    PortType.COMMUNICATION_FIFO,
+    PortType.SERIALIZATION_OBJECT,
+    PortType.RECEIVE_EXPLICIT,
+)
+
+
+class Registry:
+    """Central pool registry: membership, elections, signals.
+
+    The real IPL registry is a server started alongside the application
+    (IbisDeploy does it automatically); members discover each other and
+    get joined/left/died upcalls, which is what AMUSE's daemon uses to
+    track worker liveness.
+    """
+
+    def __init__(self, jungle, pool="default"):
+        self.jungle = jungle
+        self.pool = pool
+        self.members = {}
+        self.dead = set()
+        self.elections = {}
+        self._listeners = {}
+
+    def join(self, ibis):
+        if ibis.identifier in self.members:
+            raise IplError(f"{ibis.identifier} joined twice")
+        self.members[ibis.identifier] = ibis
+        self._notify("joined", ibis.identifier)
+        return sorted(self.members, key=str)
+
+    def leave(self, ibis):
+        self.members.pop(ibis.identifier, None)
+        self._notify("left", ibis.identifier)
+
+    def declare_dead(self, identifier):
+        """Report a crashed member; everyone gets a 'died' upcall."""
+        if identifier in self.dead:
+            return
+        self.dead.add(identifier)
+        self.members.pop(identifier, None)
+        self._notify("died", identifier)
+
+    def is_dead(self, identifier):
+        return identifier in self.dead
+
+    def elect(self, name, candidate):
+        """First candidate wins; later calls return the winner."""
+        if name not in self.elections:
+            self.elections[name] = candidate
+        return self.elections[name]
+
+    def get_election_result(self, name):
+        return self.elections.get(name)
+
+    def signal(self, signal_name, *identifiers):
+        """Deliver a string signal to specific members."""
+        for identifier in identifiers:
+            member = self.members.get(identifier)
+            if member is not None:
+                member._deliver_signal(signal_name)
+
+    def add_listener(self, listener_id, callback):
+        """callback(event, identifier) for joined/left/died events."""
+        self._listeners[listener_id] = callback
+
+    def remove_listener(self, listener_id):
+        self._listeners.pop(listener_id, None)
+
+    def _notify(self, event, identifier):
+        for callback in list(self._listeners.values()):
+            callback(event, identifier)
+
+    def size(self):
+        return len(self.members)
+
+
+class Ibis:
+    """One IPL instance: identity + ports + SmartSockets endpoint."""
+
+    def __init__(self, registry, host, name=None,
+                 socket_factory=None):
+        self.registry = registry
+        self.host = host
+        self.factory = socket_factory or VirtualSocketFactory(
+            registry.jungle
+        )
+        self.identifier = IbisIdentifier(
+            name or f"ibis-{next(_ibis_counter)}",
+            registry.pool, host.site, host.name,
+        )
+        self._receive_ports = {}
+        self.signals = []
+        self._server = self.factory.create_server_socket(host)
+        registry.join(self)
+
+    # -- ports -----------------------------------------------------------------
+
+    def create_send_port(self, port_type, name=None):
+        return SendPort(self, port_type, name or "send")
+
+    def create_receive_port(self, port_type, name, upcall=None):
+        if name in self._receive_ports:
+            raise IplError(f"receive port {name!r} exists")
+        port = ReceivePort(self, port_type, name, upcall)
+        self._receive_ports[name] = port
+        return port
+
+    def lookup_receive_port(self, name):
+        try:
+            return self._receive_ports[name]
+        except KeyError:
+            raise IplError(
+                f"{self.identifier} has no receive port {name!r}"
+            ) from None
+
+    def _deliver_signal(self, signal_name):
+        self.signals.append(signal_name)
+
+    def end(self):
+        self.registry.leave(self)
+
+    def __repr__(self):
+        return f"<Ibis {self.identifier}>"
+
+
+class WriteMessage:
+    """Streaming write surface; bytes are accounted and sent on finish."""
+
+    def __init__(self, send_port):
+        self.send_port = send_port
+        self._payload = []
+        self._n_bytes = 16          # frame header
+
+    def write(self, obj, n_bytes=None):
+        """Append a python object; *n_bytes* overrides the size
+        estimate (for array payloads the caller knows exactly)."""
+        self._payload.append(obj)
+        if n_bytes is None:
+            n_bytes = _estimate_bytes(obj)
+        self._n_bytes += n_bytes
+        return self
+
+    write_object = write
+
+    def write_array(self, array):
+        return self.write(array, getattr(array, "nbytes", None))
+
+    def finish(self):
+        """DES generator: transmit and deliver; returns bytes sent."""
+        port = self.send_port
+        if port.connection is None:
+            raise IplError("send port is not connected")
+        receiver = port._remote_port
+        if port.ibis.registry.is_dead(receiver.ibis.identifier):
+            raise DeadIbisError(
+                f"receiver {receiver.ibis.identifier} is dead"
+            )
+        yield from port.connection.send(self._n_bytes)
+        message = ReadMessage(
+            tuple(self._payload), self._n_bytes,
+            port.ibis.identifier,
+        )
+        receiver._deliver(message)
+        port.bytes_sent += self._n_bytes
+        return self._n_bytes
+
+
+class ReadMessage:
+    """A received message: ordered payload + metadata."""
+
+    def __init__(self, payload, n_bytes, origin):
+        self._payload = list(payload)
+        self.n_bytes = n_bytes
+        self.origin = origin
+        self._cursor = 0
+
+    def read(self):
+        if self._cursor >= len(self._payload):
+            raise IplError("message exhausted")
+        value = self._payload[self._cursor]
+        self._cursor += 1
+        return value
+
+    read_object = read
+    read_array = read
+
+    def remaining(self):
+        return len(self._payload) - self._cursor
+
+
+class SendPort:
+    """Unidirectional sender; connects to exactly one receive port
+    (ONE_TO_ONE) through SmartSockets."""
+
+    def __init__(self, ibis, port_type, name):
+        self.ibis = ibis
+        self.port_type = port_type
+        self.name = name
+        self.connection = None
+        self._remote_port = None
+        self.bytes_sent = 0
+
+    def connect(self, remote_identifier, port_name):
+        """DES generator: establish the connection."""
+        registry = self.ibis.registry
+        if registry.is_dead(remote_identifier):
+            raise DeadIbisError(f"{remote_identifier} is dead")
+        remote_ibis = registry.members.get(remote_identifier)
+        if remote_ibis is None:
+            raise IplError(f"{remote_identifier} not in pool")
+        remote_port = remote_ibis.lookup_receive_port(port_name)
+        if remote_port.port_type != self.port_type:
+            raise IplError(
+                f"port type mismatch connecting to {port_name!r}"
+            )
+        try:
+            self.connection = yield from self.ibis.factory.connect(
+                self.ibis.host, remote_ibis._server.address,
+                protocol="ipl",
+            )
+        except NoRouteError as exc:
+            raise IplError(str(exc)) from exc
+        self._remote_port = remote_port
+        remote_port.connected_from.append(self.ibis.identifier)
+        return self.connection
+
+    def new_message(self):
+        return WriteMessage(self)
+
+    def close(self):
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+
+class ReceivePort:
+    """Unidirectional receiver: explicit receive or upcall delivery."""
+
+    def __init__(self, ibis, port_type, name, upcall=None):
+        self.ibis = ibis
+        self.port_type = port_type
+        self.name = name
+        self.upcall = upcall
+        self.connected_from = []
+        self.bytes_received = 0
+        self._store = Store(ibis.registry.jungle.env)
+
+    def _deliver(self, message):
+        self.bytes_received += message.n_bytes
+        if self.upcall is not None:
+            # upcall mode: schedule the callback on the DES
+            env = self.ibis.registry.jungle.env
+            event = env.event()
+            event.add_callback(lambda _ev: self.upcall(self, message))
+            event.succeed(message)
+        else:
+            self._store.put(message)
+
+    def receive(self):
+        """DES event yielding the next :class:`ReadMessage`."""
+        if self.upcall is not None:
+            raise IplError("explicit receive on an upcall port")
+        return self._store.get()
+
+    def poll(self):
+        return len(self._store) > 0
+
+
+def _estimate_bytes(obj):
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray, str)):
+        return len(obj)
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return 16 + sum(_estimate_bytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return 32 + sum(
+            _estimate_bytes(k) + _estimate_bytes(v)
+            for k, v in obj.items()
+        )
+    return 64

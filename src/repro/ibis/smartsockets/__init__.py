@@ -1,0 +1,21 @@
+"""SmartSockets: hub overlay + direct/reverse/routed virtual sockets."""
+
+from .core import (
+    Hub,
+    HubOverlay,
+    NoRouteError,
+    VirtualAddress,
+    VirtualConnection,
+    VirtualServerSocket,
+    VirtualSocketFactory,
+)
+
+__all__ = [
+    "Hub",
+    "HubOverlay",
+    "NoRouteError",
+    "VirtualAddress",
+    "VirtualConnection",
+    "VirtualServerSocket",
+    "VirtualSocketFactory",
+]

@@ -1,0 +1,355 @@
+"""SmartSockets — robust connectivity through an overlay of hubs.
+
+"SmartSockets provides a socket-like interface, while automatically
+dealing with any communication problems.  For this, SmartSockets uses an
+overlay network, consisting of a number of hubs.  These hubs typically
+run on machines with more connectivity, such as the front-end machine of
+a cluster." (paper Sec. 3)
+
+Three connection strategies are implemented, tried in order:
+
+1. **direct** — a plain connection; works when the target accepts
+   inbound traffic from the source.
+2. **reverse** — "firewalls in general only block traffic in one
+   direction ...  the overlay network can be used to send a 'reverse
+   connection request' to the target machine.  This machine can then
+   create an outgoing connection, thereby circumventing the firewall."
+   Needs a hub route to the target and the target being able to reach
+   the source.
+3. **routed** — all traffic relayed through the hub overlay (the
+   fallback when neither end can reach the other; e.g. NAT'd and
+   isolated compute nodes on both sides).
+
+Hub-to-hub links that could only be set up in one direction are tagged
+``one-way`` (the arrows in paper Fig. 10); links that required the
+reverse trick are tagged ``tunnel`` (the red ssh-tunnel lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = [
+    "VirtualAddress",
+    "Hub",
+    "HubOverlay",
+    "VirtualSocketFactory",
+    "VirtualServerSocket",
+    "VirtualConnection",
+    "NoRouteError",
+]
+
+#: handshake cost per connection-setup message
+SETUP_MESSAGE_BYTES = 256
+
+
+class NoRouteError(ConnectionError):
+    """No strategy could connect the two endpoints."""
+
+
+@dataclass(frozen=True)
+class VirtualAddress:
+    """SmartSockets virtual address: host name + virtual port."""
+
+    host: str
+    port: int
+
+    def __str__(self):
+        return f"{self.host}:{self.port}"
+
+
+class Hub:
+    """An overlay hub on a (well-connected) host."""
+
+    def __init__(self, host):
+        self.host = host
+        self.name = f"hub@{host.name}"
+
+    def __repr__(self):
+        return f"<Hub {self.name}>"
+
+
+class HubOverlay:
+    """The hub network: membership, gossip, routing.
+
+    The overlay graph is undirected for routing (a one-way TCP setup
+    still yields a bidirectional channel once established — exactly why
+    the reverse trick works) but every edge remembers how it was
+    created: ``direct``, ``one-way`` or ``tunnel``.
+    """
+
+    def __init__(self, jungle):
+        self.jungle = jungle
+        self.hubs = {}
+        self.graph = nx.Graph()
+
+    def add_hub(self, host):
+        """Start a hub on *host* and interconnect it with all existing
+        hubs (IbisDeploy starts one hub per resource used)."""
+        if host.name in self.hubs:
+            return self.hubs[host.name]
+        hub = Hub(host)
+        self.hubs[host.name] = hub
+        self.graph.add_node(host.name)
+        net = self.jungle.network
+        for other_name, other in self.hubs.items():
+            if other_name == host.name:
+                continue
+            forward = net.can_accept(host, other.host)
+            backward = net.can_accept(other.host, host)
+            if forward and backward:
+                kind = "direct"
+            elif forward or backward:
+                # connection possible in one direction only: the side
+                # that can originate sets it up (an ssh-tunnel-like
+                # reverse link in the GUI)
+                kind = "one-way"
+            else:
+                continue
+            self.graph.add_edge(
+                host.name, other_name, kind=kind,
+                latency=net.latency(host.site, other.host.site),
+            )
+        return hub
+
+    def hub_for(self, host):
+        """The hub a host talks to: on-host hub, same-site hub, or any
+        hub the host can originate a connection to."""
+        if host.name in self.hubs:
+            return self.hubs[host.name]
+        for hub in self.hubs.values():
+            if hub.host.site == host.site:
+                return hub
+        net = self.jungle.network
+        for hub in self.hubs.values():
+            if net.can_accept(host, hub.host):
+                return hub
+        return None
+
+    def hub_route(self, src_host, dst_host):
+        """Hub names forming a relay path src's hub -> dst's hub."""
+        a = self.hub_for(src_host)
+        b = self.hub_for(dst_host)
+        if a is None or b is None:
+            return None
+        if a is b:
+            return [a.host.name]
+        try:
+            return nx.shortest_path(
+                self.graph, a.host.name, b.host.name, weight="latency"
+            )
+        except nx.NetworkXNoPath:
+            return None
+
+    def edges(self):
+        """[(hub_a, hub_b, kind)] — the Fig. 10 overlay display data."""
+        return sorted(
+            (u, v, data["kind"])
+            for u, v, data in self.graph.edges(data=True)
+        )
+
+
+class VirtualConnection:
+    """An established SmartSockets connection.
+
+    ``route`` is the list of host objects traffic traverses (endpoints
+    included); ``strategy`` records how the setup succeeded.
+    """
+
+    def __init__(self, factory, src_host, dst_host, route, strategy,
+                 setup_time_s, protocol="ipl"):
+        self.factory = factory
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.route = route
+        self.strategy = strategy
+        self.setup_time_s = setup_time_s
+        self.protocol = protocol
+        self.bytes_sent = 0
+        self.closed = False
+
+    @property
+    def hops(self):
+        return len(self.route) - 1
+
+    def transfer_time(self, n_bytes):
+        """Seconds to push *n_bytes* along the (possibly relayed) route."""
+        net = self.factory.overlay.jungle.network
+        return sum(
+            net.transfer_time(a.site, b.site, n_bytes)
+            for a, b in zip(self.route, self.route[1:])
+        )
+
+    def send(self, n_bytes):
+        """DES event generator: move *n_bytes* through the route."""
+        env = self.factory.overlay.jungle.env
+        net = self.factory.overlay.jungle.network
+        self.bytes_sent += n_bytes
+        for a, b in zip(self.route, self.route[1:]):
+            net.traffic.record(a.site, b.site, n_bytes, self.protocol)
+        yield env.timeout(self.transfer_time(n_bytes))
+        return n_bytes
+
+    def close(self):
+        self.closed = True
+
+    def __repr__(self):
+        hops = " -> ".join(h.name for h in self.route)
+        return f"<VirtualConnection {self.strategy}: {hops}>"
+
+
+class VirtualServerSocket:
+    """A listening endpoint registered with the factory."""
+
+    def __init__(self, factory, address, host):
+        self.factory = factory
+        self.address = address
+        self.host = host
+        self.accepted = []
+
+    def __repr__(self):
+        return f"<VirtualServerSocket {self.address}>"
+
+
+class VirtualSocketFactory:
+    """Per-jungle SmartSockets endpoint manager.
+
+    One factory serves all hosts (the real library has one per JVM; the
+    aggregation is an implementation convenience — state is still keyed
+    by host).
+    """
+
+    def __init__(self, jungle, overlay=None):
+        self.jungle = jungle
+        self.overlay = overlay or HubOverlay(jungle)
+        self._servers = {}
+        self._ports = {}
+        #: counters for the connection-strategy ablation bench
+        self.strategy_counts = {"direct": 0, "reverse": 0, "routed": 0}
+
+    # -- server side -------------------------------------------------------
+
+    def create_server_socket(self, host, port=0):
+        if port == 0:
+            port = self._ports.get(host.name, 5000)
+            self._ports[host.name] = port + 1
+        address = VirtualAddress(host.name, port)
+        server = VirtualServerSocket(self, address, host)
+        self._servers[address] = server
+        return server
+
+    def lookup(self, address):
+        try:
+            return self._servers[address]
+        except KeyError:
+            raise NoRouteError(
+                f"no server socket at {address}"
+            ) from None
+
+    # -- strategy planning ----------------------------------------------------
+
+    def plan(self, src_host, address, protocol="ipl"):
+        """Choose a strategy; returns an un-timed VirtualConnection.
+
+        Raises :class:`NoRouteError` when every strategy fails — e.g.
+        two ISOLATED endpoints with no hub on either site.
+        """
+        server = self.lookup(address)
+        dst_host = server.host
+        net = self.jungle.network
+        base_latency = net.latency(src_host.site, dst_host.site)
+
+        if net.can_accept(src_host, dst_host):
+            return VirtualConnection(
+                self, src_host, dst_host, [src_host, dst_host],
+                "direct", base_latency * 1.5, protocol,
+            )
+
+        hub_route = self.overlay.hub_route(src_host, dst_host)
+
+        # reverse: ask dst (via the hubs) to connect back to us
+        if (
+            hub_route is not None
+            and net.can_accept(dst_host, src_host)
+        ):
+            # setup: request travels src -> hubs -> dst, then dst dials
+            # back directly; payload then flows on the direct link
+            setup = self._route_latency(
+                src_host, dst_host, hub_route
+            ) + base_latency
+            return VirtualConnection(
+                self, src_host, dst_host, [src_host, dst_host],
+                "reverse", setup, protocol,
+            )
+
+        # routed: relay all traffic through the hub overlay
+        if hub_route is not None:
+            relay_hosts = [
+                self.overlay.hubs[name].host for name in hub_route
+            ]
+            route = [src_host] + relay_hosts + [dst_host]
+            # drop duplicate endpoints (hub on the same machine)
+            route = [
+                h for i, h in enumerate(route)
+                if i == 0 or h.name != route[i - 1].name
+            ]
+            if self._route_usable(route):
+                setup = 2.0 * self._route_latency(
+                    src_host, dst_host, hub_route
+                )
+                return VirtualConnection(
+                    self, src_host, dst_host, route, "routed", setup,
+                    protocol,
+                )
+
+        raise NoRouteError(
+            f"cannot connect {src_host.name} -> {address} "
+            "(no direct path, no reverse path, no hub route)"
+        )
+
+    def _route_latency(self, src_host, dst_host, hub_route):
+        net = self.jungle.network
+        hubs = [self.overlay.hubs[name].host for name in hub_route]
+        chain = [src_host] + hubs + [dst_host]
+        return sum(
+            net.latency(a.site, b.site)
+            for a, b in zip(chain, chain[1:])
+        )
+
+    def _route_usable(self, route):
+        """Every adjacent pair must be connectable in some direction."""
+        net = self.jungle.network
+        return all(
+            net.can_accept(a, b) or net.can_accept(b, a)
+            for a, b in zip(route, route[1:])
+        )
+
+    # -- client side ---------------------------------------------------------------
+
+    def connect(self, src_host, address, protocol="ipl"):
+        """DES generator: plan + charge setup time, return connection.
+
+        Use as ``conn = yield from factory.connect(host, addr)`` inside
+        a process, or :meth:`connect_untimed` outside the DES.
+        """
+        conn = self.plan(src_host, address, protocol)
+        self.strategy_counts[conn.strategy] += 1
+        net = self.jungle.network
+        # handshake messages also show up in the traffic view
+        net.traffic.record(
+            src_host.site, conn.dst_host.site, SETUP_MESSAGE_BYTES,
+            protocol,
+        )
+        yield self.jungle.env.timeout(conn.setup_time_s)
+        server = self.lookup(address)
+        server.accepted.append(conn)
+        return conn
+
+    def connect_untimed(self, src_host, address, protocol="ipl"):
+        conn = self.plan(src_host, address, protocol)
+        self.strategy_counts[conn.strategy] += 1
+        server = self.lookup(address)
+        server.accepted.append(conn)
+        return conn

@@ -1,0 +1,5 @@
+"""Zorilla P2P middleware: gossip membership + flood scheduling."""
+
+from .core import ZorillaError, ZorillaNode, ZorillaOverlay
+
+__all__ = ["ZorillaOverlay", "ZorillaNode", "ZorillaError"]

@@ -1,0 +1,197 @@
+"""Zorilla — peer-to-peer middleware (Drost et al. 2011).
+
+"JavaGAT is also able to use Zorilla, a prototype middleware based on
+Peer-to-Peer techniques.  Zorilla is ideal in cases where no middleware
+is available, and can turn any collection of machines into a
+cluster-like system in minutes." (paper Sec. 3)
+
+Reproduction: nodes joined through a bootstrap peer learn about each
+other by periodic membership *gossip* (seeded, deterministic), and jobs
+are scheduled by *flooding* a job advertisement over the overlay with a
+hop TTL, claiming slots on the nodes that volunteer — Zorilla's
+flood-scheduling design.  :meth:`ZorillaOverlay.as_site` wraps the
+member machines as a virtual cluster so PyGAT's zorilla adaptor can
+submit to it like any other resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...jungle.des import SlotResource
+from ...jungle.resources import Site
+
+__all__ = ["ZorillaNode", "ZorillaOverlay", "ZorillaError"]
+
+#: bytes of one gossip exchange / job advertisement
+GOSSIP_BYTES = 512
+ADVERT_BYTES = 1024
+
+
+class ZorillaError(RuntimeError):
+    """Overlay-level failure (no capacity, unreachable, ...)."""
+
+
+class ZorillaNode:
+    """One peer: a host contributing its cores to the overlay."""
+
+    def __init__(self, overlay, host):
+        self.overlay = overlay
+        self.host = host
+        self.name = f"zorilla@{host.name}"
+        self.known = {self.name}       # gossiped membership view
+        self.slots = SlotResource(overlay.jungle.env, host.cores)
+
+    @property
+    def free_slots(self):
+        return self.slots.capacity - self.slots.in_use
+
+    def __repr__(self):
+        return f"<ZorillaNode {self.name} known={len(self.known)}>"
+
+
+class ZorillaOverlay:
+    """The P2P overlay: membership gossip + flood scheduling."""
+
+    def __init__(self, jungle, rng=0):
+        self.jungle = jungle
+        self.rng = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        self.nodes = {}
+        self._bootstrap = None
+
+    # -- membership ---------------------------------------------------------
+
+    def add_node(self, host):
+        """Join *host*; it initially knows only the bootstrap peer."""
+        node = ZorillaNode(self, host)
+        self.nodes[node.name] = node
+        if self._bootstrap is None:
+            self._bootstrap = node
+        else:
+            node.known.add(self._bootstrap.name)
+            self._bootstrap.known.add(node.name)
+        return node
+
+    def gossip_round(self):
+        """One synchronous gossip round: every node exchanges its
+        membership view with one random known peer."""
+        net = self.jungle.network
+        names = sorted(self.nodes)
+        for name in names:
+            node = self.nodes[name]
+            peers = sorted(node.known - {name})
+            if not peers:
+                continue
+            peer = self.nodes[
+                peers[int(self.rng.integers(len(peers)))]
+            ]
+            if not net.can_accept(node.host, peer.host) and \
+                    not net.can_accept(peer.host, node.host):
+                continue
+            net.traffic.record(
+                node.host.site, peer.host.site, GOSSIP_BYTES, "gossip"
+            )
+            union = node.known | peer.known
+            node.known = set(union)
+            peer.known = set(union)
+
+    def run_gossip(self, rounds=None, interval_s=1.0):
+        """DES process: gossip until the membership view converges."""
+        env = self.jungle.env
+        max_rounds = rounds or (4 * max(1, len(self.nodes)))
+
+        def _process():
+            for _ in range(max_rounds):
+                yield env.timeout(interval_s)
+                self.gossip_round()
+                if self.converged():
+                    break
+            return self.converged()
+
+        return env.process(_process())
+
+    def converged(self):
+        full = set(self.nodes)
+        return all(node.known == full for node in self.nodes.values())
+
+    # -- flood scheduling ------------------------------------------------------
+
+    def flood_schedule(self, origin_host, node_count, ttl=4,
+                       needs_gpu=False):
+        """Flood a job advert from *origin*; claim slots breadth-first.
+
+        Returns the list of claimed nodes; raises ZorillaError if the
+        flood (bounded by *ttl* hops) finds too little capacity.
+        """
+        origin = None
+        for node in self.nodes.values():
+            if node.host.name == origin_host.name:
+                origin = node
+                break
+        if origin is None:
+            raise ZorillaError(
+                f"{origin_host.name} is not a Zorilla node"
+            )
+        net = self.jungle.network
+        claimed = []
+        seen = {origin.name}
+        frontier = [origin]
+        hops = 0
+        while frontier and len(claimed) < node_count and hops <= ttl:
+            for node in frontier:
+                if len(claimed) >= node_count:
+                    break
+                if needs_gpu and not node.host.has_gpu:
+                    continue
+                if node.free_slots > 0:
+                    node.slots.request()      # immediate: has capacity
+                    claimed.append(node)
+            next_frontier = []
+            for node in frontier:
+                for peer_name in sorted(node.known - seen):
+                    seen.add(peer_name)
+                    peer = self.nodes[peer_name]
+                    net.traffic.record(
+                        node.host.site, peer.host.site, ADVERT_BYTES,
+                        "gossip",
+                    )
+                    next_frontier.append(peer)
+            frontier = next_frontier
+            hops += 1
+        if len(claimed) < node_count:
+            for node in claimed:
+                node.slots.release()
+            raise ZorillaError(
+                f"flood found {len(claimed)}/{node_count} free "
+                f"node(s) within ttl={ttl}"
+            )
+        return claimed
+
+    def release(self, nodes):
+        for node in nodes:
+            node.slots.release()
+
+    # -- GAT integration ---------------------------------------------------------
+
+    def as_site(self, name="zorilla-overlay"):
+        """A virtual cluster Site over the member machines, so PyGAT's
+        zorilla adaptor can treat the overlay as one resource."""
+        site = Site(name, "desktop-grid")
+        self.jungle.add_site(site)
+        for node in self.nodes.values():
+            # hosts stay attached to their original network sites; the
+            # virtual site only groups them for scheduling, so register
+            # lightweight aliases instead of moving the hosts
+            site.hosts[node.host.name] = node.host
+            if site.frontend is None:
+                site.frontend = node.host
+        site.add_middleware(
+            "zorilla", self.jungle.env, slots=self.total_slots()
+        )
+        return site
+
+    def total_slots(self):
+        return sum(n.slots.capacity for n in self.nodes.values())

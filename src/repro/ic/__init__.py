@@ -1,0 +1,16 @@
+"""Initial-condition generators (Plummer spheres, IMFs)."""
+
+from .plummer import new_plummer_gas_model, new_plummer_model
+from .imf import (
+    new_kroupa_mass_distribution,
+    new_salpeter_mass_distribution,
+)
+from .king import new_king_model
+
+__all__ = [
+    "new_plummer_model",
+    "new_plummer_gas_model",
+    "new_king_model",
+    "new_salpeter_mass_distribution",
+    "new_kroupa_mass_distribution",
+]

@@ -1,0 +1,82 @@
+"""Initial mass functions: Salpeter and Kroupa sampling.
+
+The embedded-cluster simulation draws stellar masses from an IMF so that
+the SSE stellar-evolution model has massive stars that explode as
+supernovae during the run (paper Sec. 6: "several of the bigger stars
+exploding in a supernova during the simulation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import astro
+from ..units.core import Quantity
+
+__all__ = ["new_salpeter_mass_distribution", "new_kroupa_mass_distribution"]
+
+
+def _rng(seed_or_rng):
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def _power_law_sample(alpha, m_lo, m_hi, u):
+    """Inverse-CDF sample of dN/dm ∝ m^-alpha on [m_lo, m_hi]."""
+    if abs(alpha - 1.0) < 1e-12:
+        return m_lo * (m_hi / m_lo) ** u
+    g = 1.0 - alpha
+    return (m_lo ** g + u * (m_hi ** g - m_lo ** g)) ** (1.0 / g)
+
+
+def new_salpeter_mass_distribution(
+    n, mass_min=0.1, mass_max=100.0, alpha=2.35, rng=None
+):
+    """Draw *n* masses (MSun) from the Salpeter (1955) IMF."""
+    rng = _rng(rng)
+    u = rng.uniform(0.0, 1.0, n)
+    masses = _power_law_sample(alpha, mass_min, mass_max, u)
+    return Quantity(masses, astro.MSun)
+
+
+# Kroupa (2001) segments: (m_lo, m_hi, alpha)
+_KROUPA_SEGMENTS = (
+    (0.01, 0.08, 0.3),
+    (0.08, 0.5, 1.3),
+    (0.5, np.inf, 2.3),
+)
+
+
+def new_kroupa_mass_distribution(
+    n, mass_min=0.08, mass_max=100.0, rng=None
+):
+    """Draw *n* masses (MSun) from the Kroupa (2001) broken power law."""
+    rng = _rng(rng)
+    # Build the piecewise-continuous CDF over [mass_min, mass_max].
+    segments = []
+    norm = 1.0
+    prev_hi = None
+    for lo, hi, alpha in _KROUPA_SEGMENTS:
+        lo = max(lo, mass_min)
+        hi = min(hi, mass_max)
+        if lo >= hi:
+            continue
+        if prev_hi is not None:
+            # continuity of dN/dm at the break
+            norm *= prev_hi[0] ** (prev_hi[1] - alpha)
+        g = 1.0 - alpha
+        integral = norm * (hi ** g - lo ** g) / g
+        segments.append((lo, hi, alpha, integral))
+        prev_hi = (hi, alpha)
+    weights = np.array([seg[3] for seg in segments])
+    weights = weights / weights.sum()
+    counts = rng.multinomial(n, weights)
+    samples = []
+    for (lo, hi, alpha, _), count in zip(segments, counts):
+        if count:
+            u = rng.uniform(0.0, 1.0, count)
+            samples.append(_power_law_sample(alpha, lo, hi, u))
+    masses = np.concatenate(samples) if samples else np.empty(0)
+    rng.shuffle(masses)
+    return Quantity(masses, astro.MSun)

@@ -1,0 +1,140 @@
+"""Plummer-sphere initial conditions (stars and gas).
+
+Implements the classic Aarseth–Hénon–Wielen (1974) sampling of the Plummer
+(1911) model, the default initial condition generator in AMUSE and the one
+used for the embedded-star-cluster simulation of the paper (young stars
+plus the gas sphere they formed from, Pelupessy & Portegies Zwart 2011).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datamodel import Particles
+from ..units import nbody as nbody_system
+from ..units.core import Quantity
+
+__all__ = ["new_plummer_model", "new_plummer_gas_model"]
+
+
+def _rng(seed_or_rng):
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def _plummer_positions(n, rng):
+    """Radii from the inverse mass profile + isotropic directions."""
+    # enclosed-mass fraction X in (0,1); avoid the tail blowing up
+    x = rng.uniform(0.0, 0.999, n)
+    r = (x ** (-2.0 / 3.0) - 1.0) ** -0.5
+    return r[:, None] * _isotropic_unit_vectors(n, rng).T
+
+
+def _isotropic_unit_vectors(n, rng):
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    sin_theta = np.sqrt(1.0 - z ** 2)
+    return np.array([sin_theta * np.cos(phi), sin_theta * np.sin(phi), z])
+
+
+def _plummer_velocities(radii, rng):
+    """Von Neumann rejection sampling of g(q) = q^2 (1 - q^2)^(7/2)."""
+    n = len(radii)
+    q = np.empty(n)
+    remaining = np.arange(n)
+    while remaining.size:
+        cand = rng.uniform(0.0, 1.0, remaining.size)
+        y = rng.uniform(0.0, 0.1, remaining.size)
+        ok = y < cand ** 2 * (1.0 - cand ** 2) ** 3.5
+        q[remaining[ok]] = cand[ok]
+        remaining = remaining[~ok]
+    vesc = np.sqrt(2.0) * (1.0 + radii ** 2) ** -0.25
+    speed = q * vesc
+    return speed[:, None] * _isotropic_unit_vectors(n, rng).T
+
+
+def new_plummer_model(
+    n,
+    convert_nbody=None,
+    rng=None,
+    do_scale=True,
+):
+    """Create *n* equal-mass Plummer-distributed stars.
+
+    Parameters
+    ----------
+    n : int
+        Number of particles.
+    convert_nbody : ConvertBetweenGenericAndSiUnits, optional
+        When given, the returned set is expressed in SI units through the
+        converter; otherwise it is in generic N-body units.
+    rng : int | numpy.random.Generator, optional
+        Seed or generator (determinism per DESIGN.md).
+    do_scale : bool
+        Rescale to standard Heggie–Mathieu units (E = -1/4, M = 1).
+    """
+    rng = _rng(rng)
+    stars = Particles(n)
+    positions = _plummer_positions(n, rng)
+    radii = np.linalg.norm(positions, axis=1)
+    velocities = _plummer_velocities(radii, rng)
+    # Scale factor 16/(3 pi) converts the model's natural length unit to
+    # virial units (Aarseth et al. 1974).
+    scale = 16.0 / (3.0 * np.pi)
+    stars.mass = Quantity(np.full(n, 1.0 / n), nbody_system.mass)
+    stars.position = Quantity(positions / scale, nbody_system.length)
+    stars.velocity = Quantity(
+        velocities * np.sqrt(scale), nbody_system.speed
+    )
+    stars.move_to_center()
+    if do_scale and n > 1:
+        stars.scale_to_standard()
+    if convert_nbody is not None:
+        stars.mass = convert_nbody.to_si(stars.mass)
+        stars.position = convert_nbody.to_si(stars.position)
+        stars.velocity = convert_nbody.to_si(stars.velocity)
+    return stars
+
+
+def new_plummer_gas_model(
+    n,
+    convert_nbody=None,
+    rng=None,
+    gas_fraction=1.0,
+    virial_ratio=0.5,
+):
+    """Create an SPH gas sphere with a Plummer density profile.
+
+    The gas starts cold in bulk motion (zero velocities) with an internal
+    energy profile chosen so the sphere is initially in approximate
+    hydrostatic support: u(r) follows the Plummer potential, scaled so the
+    total thermal energy is ``virial_ratio`` times |E_pot|/2.
+
+    Returns a :class:`Particles` set with ``mass, position, velocity,
+    u`` (specific internal energy).
+    """
+    rng = _rng(rng)
+    gas = Particles(n)
+    positions = _plummer_positions(n, rng)
+    scale = 16.0 / (3.0 * np.pi)
+    positions /= scale
+    radii = np.linalg.norm(positions, axis=1)
+    gas.mass = Quantity(
+        np.full(n, gas_fraction / n), nbody_system.mass
+    )
+    gas.position = Quantity(positions, nbody_system.length)
+    gas.velocity = Quantity(np.zeros((n, 3)), nbody_system.speed)
+    # Plummer internal-energy profile ~ |phi(r)| / 6 gives hydrostatic
+    # support for a gamma = 5/3 polytrope-ish sphere.
+    a = 3.0 * np.pi / 16.0
+    phi = gas_fraction / np.sqrt(radii ** 2 + a ** 2)
+    u = virial_ratio * phi / 2.0
+    gas.u = Quantity(u, nbody_system.speed ** 2)
+    gas.move_to_center()
+    if convert_nbody is not None:
+        gas.mass = convert_nbody.to_si(gas.mass)
+        gas.position = convert_nbody.to_si(gas.position)
+        gas.velocity = convert_nbody.to_si(gas.velocity)
+        gas.u = convert_nbody.to_si(gas.u)
+    return gas

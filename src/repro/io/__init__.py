@@ -1,0 +1,5 @@
+"""Dataset I/O: particle-set snapshots in self-describing formats."""
+
+from .amuse_io import read_set_from_file, write_set_to_file
+
+__all__ = ["write_set_to_file", "read_set_from_file"]

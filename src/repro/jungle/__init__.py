@@ -1,0 +1,58 @@
+"""The simulated Jungle Computing System substrate.
+
+Discrete-event kernel (:mod:`repro.jungle.des`), network + firewalls
+(:mod:`repro.jungle.network`), resources (:mod:`repro.jungle.resources`),
+the calibrated cost model (:mod:`repro.jungle.perfmodel`) and the paper's
+topologies (:mod:`repro.jungle.topology`).
+"""
+
+from .des import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SlotResource,
+    Store,
+    all_of,
+    any_of,
+)
+from .network import (
+    ConnectivityError,
+    FirewallPolicy,
+    NetworkModel,
+    TrafficRecorder,
+)
+from .perfmodel import (
+    CHANNEL_CALL_OVERHEAD_S,
+    CPU_CORE_RATES,
+    CostModel,
+    IterationWorkload,
+    Placement,
+)
+from .resources import (
+    GEFORCE_9600GT,
+    GTX580_NODE,
+    GpuSpec,
+    Host,
+    Jungle,
+    Middleware,
+    Site,
+    TESLA_C2050,
+)
+from .topology import (
+    make_desktop_jungle,
+    make_lab_jungle,
+    make_sc11_jungle,
+)
+
+__all__ = [
+    "Environment", "Event", "Process", "Store", "SlotResource",
+    "Interrupt", "all_of", "any_of",
+    "FirewallPolicy", "NetworkModel", "TrafficRecorder",
+    "ConnectivityError",
+    "CostModel", "IterationWorkload", "Placement",
+    "CPU_CORE_RATES", "CHANNEL_CALL_OVERHEAD_S",
+    "GpuSpec", "Host", "Site", "Jungle", "Middleware",
+    "GEFORCE_9600GT", "TESLA_C2050", "GTX580_NODE",
+    "make_desktop_jungle", "make_lab_jungle", "make_sc11_jungle",
+]

@@ -1,0 +1,366 @@
+"""Deterministic discrete-event simulation kernel.
+
+The jungle substrate (sites, links, middleware queues) and the Ibis stack
+logic (SmartSockets, IPL, GAT, Zorilla, Deploy) all run as coroutine
+processes on this kernel — a compact SimPy-style engine:
+
+* :class:`Environment` — event queue + virtual clock (seconds);
+* :class:`Event` — one-shot triggerable with callbacks;
+* :class:`Process` — a generator that yields events to wait on;
+* :class:`Timeout` — delay events;
+* :class:`Store` — FIFO channel with blocking get;
+* :class:`SlotResource` — counted resource (middleware job slots);
+* :func:`all_of` / :func:`any_of` — composite waits.
+
+Everything is single-threaded and deterministic: events at equal times
+fire in scheduling order.  Processes may be interrupted
+(:meth:`Process.interrupt`) — that is how resource failures are injected
+in the fault-tolerance tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from types import GeneratorType
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Store",
+    "SlotResource",
+    "Interrupt",
+    "all_of",
+    "any_of",
+]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event; processes yield these to wait for them."""
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self):
+        return self._value is not _PENDING
+
+    @property
+    def ok(self):
+        return self.triggered and self._ok
+
+    @property
+    def value(self):
+        if self._value is _PENDING:
+            raise RuntimeError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value=None):
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception):
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self):
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback):
+        if self.callbacks is None:
+            # already processed: run immediately
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """Event that fires *delay* seconds after creation.
+
+    The value materialises only when the scheduler processes the event
+    — ``triggered`` stays False until the delay has elapsed (composites
+    like :func:`all_of` rely on this).
+    """
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError("negative delay")
+        super().__init__(env)
+        self._pending_value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value=None):  # pragma: no cover - guard
+        raise RuntimeError("timeouts auto-trigger")
+
+
+class Process(Event):
+    """Runs a generator; the process event triggers on completion."""
+
+    def __init__(self, env, generator):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError("process target must be a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on = None
+        # bootstrap on the next tick
+        boot = Event(env)
+        boot._value = None
+        boot._ok = True
+        env._schedule(boot)
+        boot.add_callback(self._resume)
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current
+        wait point."""
+        if self.triggered:
+            return
+        interrupt_event = Event(self.env)
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._ok = False
+        # detach from what we were waiting on
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.env._schedule(interrupt_event)
+        interrupt_event.add_callback(self._resume)
+
+    def _resume(self, event):
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            super().succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            super().fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """Virtual clock + event queue."""
+
+    def __init__(self, start_time=0.0):
+        self.now = float(start_time)
+        self._queue = []
+        self._sequence = itertools.count()
+
+    def _schedule(self, event, delay=0.0):
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), event)
+        )
+
+    def timeout(self, delay, value=None):
+        return Timeout(self, delay, value)
+
+    def event(self):
+        return Event(self)
+
+    def process(self, generator):
+        return Process(self, generator)
+
+    def run(self, until=None):
+        """Process events until the queue empties or the clock passes
+        *until* (the clock is left at ``until`` in that case)."""
+        while self._queue:
+            when, _, event = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = when
+            if event._value is _PENDING and hasattr(
+                event, "_pending_value"
+            ):
+                event._value = event._pending_value
+                event._ok = True
+            if event.callbacks is not None:
+                event._run_callbacks()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_complete(self, process, limit=None):
+        """Run until *process* finishes; returns its value or raises."""
+        self.run(until=limit)
+        if not process.triggered:
+            raise RuntimeError(
+                f"process did not complete by t={self.now}"
+            )
+        if not process._ok:
+            raise process._value
+        return process._value
+
+
+class Store:
+    """FIFO item channel with blocking ``get``."""
+
+    def __init__(self, env, capacity=float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items = []
+        self._getters = []
+
+    def put(self, item):
+        """Non-blocking put (capacity is advisory for now)."""
+        while self._getters:
+            getter = self._getters.pop(0)
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self.items.append(item)
+
+    def get(self):
+        """Event that fires with the next item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self):
+        return len(self.items)
+
+
+class SlotResource:
+    """Counted resource: *capacity* concurrent holders, FIFO waiters.
+
+    Models middleware job slots (cluster nodes) — requesting a slot when
+    the cluster is full models queue wait time.
+    """
+
+    def __init__(self, env, capacity):
+        self.env = env
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self._waiters = []
+
+    def request(self):
+        return self.request_many(1)
+
+    def request_many(self, count):
+        """Atomically acquire *count* slots (all-or-wait, FIFO).
+
+        Atomicity prevents the piecemeal-acquisition deadlock two
+        multi-node jobs would otherwise hit; head-of-line blocking
+        matches how batch schedulers allocate node sets.
+        """
+        if count > self.capacity:
+            raise RuntimeError(
+                f"requested {count} slots but capacity is "
+                f"{self.capacity}"
+            )
+        event = Event(self.env)
+        self._waiters.append((event, count))
+        self._grant()
+        return event
+
+    def release(self, count=1):
+        if self.in_use < count:
+            raise RuntimeError("release without request")
+        self.in_use -= count
+        self._grant()
+
+    def _grant(self):
+        while self._waiters:
+            event, count = self._waiters[0]
+            if event.triggered:          # cancelled waiter
+                self._waiters.pop(0)
+                continue
+            if self.in_use + count > self.capacity:
+                return
+            self._waiters.pop(0)
+            self.in_use += count
+            event.succeed(self)
+
+    @property
+    def queued(self):
+        return len(
+            [1 for event, _ in self._waiters if not event.triggered]
+        )
+
+
+def all_of(env, events):
+    """Event that fires when every event in *events* has fired."""
+    gate = Event(env)
+    pending = [e for e in events if not e.triggered]
+    remaining = len(pending)
+    if remaining == 0:
+        gate.succeed([e.value for e in events])
+        return gate
+    state = {"left": remaining}
+
+    def _on_fire(event):
+        if gate.triggered:
+            return
+        if not event._ok:
+            gate.fail(event._value)
+            return
+        state["left"] -= 1
+        if state["left"] == 0:
+            gate.succeed([e.value for e in events])
+
+    for event in pending:
+        event.add_callback(_on_fire)
+    return gate
+
+
+def any_of(env, events):
+    """Event that fires when the first of *events* fires."""
+    gate = Event(env)
+
+    def _on_fire(event):
+        if gate.triggered:
+            return
+        if event._ok:
+            gate.succeed(event._value)
+        else:
+            gate.fail(event._value)
+
+    for event in events:
+        if event.triggered:
+            _on_fire(event)
+            break
+        event.add_callback(_on_fire)
+    return gate

@@ -1,0 +1,195 @@
+"""Wide-area network model: links, firewalls/NATs, traffic accounting.
+
+"Resources, especially clusters and supercomputers, are usually not
+designed with communication to the outside world in mind, resulting in
+non-routed networks, firewalls, NATs, and other restrictions on
+communication" (paper Sec. 2).  The model captures exactly the properties
+SmartSockets must overcome:
+
+* per-host :class:`FirewallPolicy` — OPEN accepts anything; FIREWALLED
+  and NAT hosts can originate outbound connections but refuse inbound
+  ones; ISOLATED hosts (non-routed compute nodes) have no off-site
+  connectivity at all;
+* links between sites with latency and bandwidth; transfer time is
+  path latency + volume/bottleneck-bandwidth;
+* a :class:`TrafficRecorder` keeping the per-site-pair, per-protocol
+  byte counts behind the paper's Fig. 11 traffic visualisation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+__all__ = [
+    "FirewallPolicy",
+    "ConnectivityError",
+    "NetworkModel",
+    "TrafficRecorder",
+]
+
+
+class FirewallPolicy(enum.Enum):
+    """Connectivity behaviour of a host."""
+
+    OPEN = "open"                  # accepts inbound from anywhere
+    FIREWALLED = "firewalled"      # outbound only; inbound refused
+    NAT = "nat"                    # private address; outbound only
+    ISOLATED = "isolated"          # non-routed: no off-site traffic
+
+
+class ConnectivityError(ConnectionError):
+    """Raised when the network refuses a connection setup."""
+
+
+#: default intra-site LAN characteristics
+LAN_LATENCY_S = 1e-4
+LAN_BANDWIDTH_BPS = 10e9
+#: loopback characteristics (paper Sec. 5: ">8 Gbit/s ... extremely
+#: small latency" on a modest laptop)
+LOOPBACK_LATENCY_S = 2e-5
+LOOPBACK_BANDWIDTH_BPS = 10e9
+
+
+class TrafficRecorder:
+    """Byte counts per (src site, dst site, protocol) + per-host load."""
+
+    def __init__(self):
+        self.bytes = {}
+        self.messages = {}
+        self.host_busy_s = {}
+
+    def record(self, src_site, dst_site, n_bytes, protocol):
+        key = (src_site, dst_site, protocol)
+        self.bytes[key] = self.bytes.get(key, 0) + int(n_bytes)
+        self.messages[key] = self.messages.get(key, 0) + 1
+
+    def record_busy(self, host_name, seconds, kind="cpu"):
+        key = (host_name, kind)
+        self.host_busy_s[key] = self.host_busy_s.get(key, 0.0) + seconds
+
+    def matrix(self, protocol=None):
+        """{(src, dst): bytes} filtered by protocol."""
+        out = {}
+        for (src, dst, proto), count in self.bytes.items():
+            if protocol is not None and proto != protocol:
+                continue
+            out[(src, dst)] = out.get((src, dst), 0) + count
+        return out
+
+    def total_bytes(self, protocol=None):
+        return sum(self.matrix(protocol).values())
+
+    def load(self, host_name, elapsed_s, kind="cpu"):
+        """Fraction of *elapsed_s* host spent busy on *kind* work."""
+        if elapsed_s <= 0:
+            return 0.0
+        busy = self.host_busy_s.get((host_name, kind), 0.0)
+        return min(1.0, busy / elapsed_s)
+
+
+class NetworkModel:
+    """Site-level WAN graph with host-level connectivity policies."""
+
+    def __init__(self):
+        self.graph = nx.Graph()
+        self.traffic = TrafficRecorder()
+
+    def add_site(self, site_name):
+        self.graph.add_node(site_name)
+
+    def connect(self, site_a, site_b, latency_s, bandwidth_bps,
+                name=None):
+        """Add a WAN link (e.g. a lightpath) between two sites."""
+        self.graph.add_edge(
+            site_a, site_b,
+            latency=float(latency_s), bandwidth=float(bandwidth_bps),
+            name=name or f"{site_a}--{site_b}",
+        )
+
+    # -- connectivity (what SmartSockets has to deal with) ------------------
+
+    def can_accept(self, src_host, dst_host):
+        """Would a direct connection attempt src -> dst succeed?"""
+        if src_host.site == dst_host.site:
+            return True
+        if not self.has_route(src_host.site, dst_host.site):
+            return False
+        if src_host.policy is FirewallPolicy.ISOLATED:
+            return False
+        if dst_host.policy in (
+            FirewallPolicy.FIREWALLED,
+            FirewallPolicy.NAT,
+            FirewallPolicy.ISOLATED,
+        ):
+            return False
+        return True
+
+    def can_originate(self, src_host, dst_site):
+        """Can *src_host* open any off-site connection toward dst_site?"""
+        if src_host.site == dst_site:
+            return True
+        if src_host.policy is FirewallPolicy.ISOLATED:
+            return False
+        return self.has_route(src_host.site, dst_site)
+
+    def has_route(self, site_a, site_b):
+        if site_a == site_b:
+            return True
+        try:
+            return nx.has_path(self.graph, site_a, site_b)
+        except nx.NodeNotFound:
+            return False
+
+    # -- timing ------------------------------------------------------------------
+
+    def path(self, site_a, site_b):
+        return nx.shortest_path(
+            self.graph, site_a, site_b, weight="latency"
+        )
+
+    def latency(self, site_a, site_b):
+        """One-way latency (s) along the shortest path."""
+        if site_a == site_b:
+            return LAN_LATENCY_S
+        path = self.path(site_a, site_b)
+        return sum(
+            self.graph.edges[u, v]["latency"]
+            for u, v in zip(path, path[1:])
+        )
+
+    def bandwidth(self, site_a, site_b):
+        """Bottleneck bandwidth (bit/s) along the shortest path."""
+        if site_a == site_b:
+            return LAN_BANDWIDTH_BPS
+        path = self.path(site_a, site_b)
+        return min(
+            self.graph.edges[u, v]["bandwidth"]
+            for u, v in zip(path, path[1:])
+        )
+
+    def transfer_time(self, site_a, site_b, n_bytes):
+        """Seconds to move *n_bytes* between the sites (one message)."""
+        if site_a == site_b:
+            return LAN_LATENCY_S + 8.0 * n_bytes / LAN_BANDWIDTH_BPS
+        return (
+            self.latency(site_a, site_b)
+            + 8.0 * n_bytes / self.bandwidth(site_a, site_b)
+        )
+
+    def transfer(self, env, src_host, dst_host, n_bytes,
+                 protocol="ipl"):
+        """DES event completing when the transfer is done (+ records
+        traffic for the Fig. 11 monitoring view)."""
+        self.traffic.record(
+            src_host.site, dst_host.site, n_bytes, protocol
+        )
+        return env.timeout(
+            self.transfer_time(src_host.site, dst_host.site, n_bytes)
+        )
+
+    def link_names(self):
+        return sorted(
+            data["name"] for _, _, data in self.graph.edges(data=True)
+        )

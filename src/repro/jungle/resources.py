@@ -1,0 +1,241 @@
+"""Jungle resources: hosts, GPUs, sites, middleware and the Jungle itself.
+
+"A Jungle Computing System consists of all compute resources available to
+end-users, including clusters, clouds, grids, desktop grids,
+supercomputers, as well as stand-alone machines and possibly even mobile
+devices" (paper Sec. 2).  This module models exactly that inventory:
+
+* :class:`Host` — cores, optional GPU, connectivity policy;
+* :class:`GpuSpec` — named device with per-kernel-class rates (the
+  GeForce 9600GT of the paper's desktop vs the Tesla C2050 of the LGM);
+* :class:`Middleware` — access layer with submit overhead + job slots
+  (SSH, PBS, SGE, local, Zorilla, Globus-like);
+* :class:`Site` — a named resource (cluster/grid/cloud/...) with hosts,
+  a front-end and one or more middlewares;
+* :class:`Jungle` — the whole system: sites + wide-area network.
+"""
+
+from __future__ import annotations
+
+from .des import Environment, SlotResource
+from .network import FirewallPolicy, NetworkModel
+
+__all__ = [
+    "GpuSpec",
+    "Host",
+    "Middleware",
+    "Site",
+    "Jungle",
+    "MIDDLEWARE_OVERHEADS",
+    "GEFORCE_9600GT",
+    "TESLA_C2050",
+    "GTX580_NODE",
+]
+
+
+class GpuSpec:
+    """A GPU device: name + rate (work units/s) per kernel class.
+
+    Kernel classes are the abstract operation kinds the cost model
+    charges: ``nbody_direct`` (GRAPE-style N² interactions/s), ``tree``
+    (tree interactions/s), ``sph`` (SPH pair interactions/s).
+    """
+
+    def __init__(self, name, rates):
+        self.name = name
+        self.rates = dict(rates)
+
+    def rate(self, op):
+        return self.rates[op]
+
+    def __repr__(self):
+        return f"<GpuSpec {self.name}>"
+
+
+# Devices of the paper's experiments.  Rates are calibrated so the Sec.
+# 6.2 lab scenarios reproduce (see jungle/perfmodel.py and DESIGN.md §6).
+GEFORCE_9600GT = GpuSpec(
+    "GeForce 9600GT",
+    {"nbody_direct": 4.0e8, "tree": 4.0e7, "sph": 1.6e7},
+)
+TESLA_C2050 = GpuSpec(
+    "Tesla C2050",
+    {"nbody_direct": 1.5e9, "tree": 6.0e7, "sph": 6.0e7},
+)
+GTX580_NODE = GpuSpec(
+    "GTX 580",
+    {"nbody_direct": 1.2e9, "tree": 4.5e7, "sph": 5.0e7},
+)
+
+
+class Host:
+    """One machine in the jungle."""
+
+    def __init__(self, name, cores=4, cpu_rate_factor=1.0, gpu=None,
+                 policy=FirewallPolicy.OPEN, tags=()):
+        self.name = name
+        self.cores = int(cores)
+        self.cpu_rate_factor = float(cpu_rate_factor)
+        self.gpu = gpu
+        self.policy = policy
+        self.tags = tuple(tags)
+        self.site = None        # set by Site.add_host
+
+    @property
+    def has_gpu(self):
+        return self.gpu is not None
+
+    def __repr__(self):
+        gpu = f" gpu={self.gpu.name}" if self.gpu else ""
+        return (
+            f"<Host {self.name}@{self.site} cores={self.cores}{gpu} "
+            f"{self.policy.value}>"
+        )
+
+
+MIDDLEWARE_OVERHEADS = {
+    # seconds of submit overhead + seconds of median queue delay
+    "local": (0.1, 0.0),
+    "ssh": (1.0, 0.0),
+    "pbs": (5.0, 30.0),
+    "sge": (5.0, 20.0),
+    "globus": (10.0, 60.0),
+    "glite": (15.0, 120.0),
+    "zorilla": (2.0, 0.0),
+}
+
+
+class Middleware:
+    """Access middleware for a site: submit overhead + job slots.
+
+    "the middleware used to access a resource differs greatly, using
+    completely different interfaces" (paper Sec. 2) — PyGAT adaptors
+    (:mod:`repro.ibis.gat`) translate a uniform job API onto these.
+    """
+
+    def __init__(self, kind, slots, submit_overhead=None, queue_delay=None):
+        if kind not in MIDDLEWARE_OVERHEADS:
+            raise ValueError(f"unknown middleware kind {kind!r}")
+        default_overhead, default_queue = MIDDLEWARE_OVERHEADS[kind]
+        self.kind = kind
+        self.slots = slots                    # SlotResource, set by Site
+        self.submit_overhead = (
+            default_overhead if submit_overhead is None else submit_overhead
+        )
+        self.queue_delay = (
+            default_queue if queue_delay is None else queue_delay
+        )
+
+    def __repr__(self):
+        return f"<Middleware {self.kind}>"
+
+
+class Site:
+    """A named resource: hosts + front-end + middleware(s)."""
+
+    KINDS = (
+        "cluster", "grid", "cloud", "desktop-grid", "supercomputer",
+        "standalone", "mobile",
+    )
+
+    def __init__(self, name, kind, location=(0.0, 0.0),
+                 default_policy=FirewallPolicy.FIREWALLED):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown site kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.location = location          # (lat, lon) for the GUI map
+        self.default_policy = default_policy
+        self.hosts = {}
+        self.frontend = None
+        self.middlewares = {}
+        self.jungle = None                # set by Jungle.add_site
+
+    def add_host(self, host, frontend=False):
+        host.site = self.name
+        self.hosts[host.name] = host
+        if frontend or self.frontend is None:
+            self.frontend = host
+        return host
+
+    def add_hosts(self, prefix, count, **host_kwargs):
+        """Convenience: add *count* identical compute nodes."""
+        created = []
+        for i in range(count):
+            host = Host(f"{prefix}{i:02d}", **host_kwargs)
+            created.append(self.add_host(host))
+        return created
+
+    def add_middleware(self, kind, env, slots=None, **kwargs):
+        capacity = slots if slots is not None else max(
+            1, len(self.hosts)
+        )
+        mw = Middleware(kind, SlotResource(env, capacity), **kwargs)
+        self.middlewares[kind] = mw
+        return mw
+
+    def middleware(self, kind=None):
+        if kind is None:
+            if not self.middlewares:
+                raise KeyError(f"site {self.name} has no middleware")
+            return next(iter(self.middlewares.values()))
+        return self.middlewares[kind]
+
+    @property
+    def compute_hosts(self):
+        return [
+            h for h in self.hosts.values() if h is not self.frontend
+        ] or list(self.hosts.values())
+
+    def gpu_hosts(self):
+        return [h for h in self.hosts.values() if h.has_gpu]
+
+    def __repr__(self):
+        return (
+            f"<Site {self.name} ({self.kind}) hosts={len(self.hosts)} "
+            f"middleware={sorted(self.middlewares)}>"
+        )
+
+
+class Jungle:
+    """The full Jungle Computing System: sites + WAN + DES clock."""
+
+    def __init__(self, env=None):
+        self.env = env or Environment()
+        self.network = NetworkModel()
+        self.sites = {}
+
+    def add_site(self, site):
+        site.jungle = self
+        self.sites[site.name] = site
+        self.network.add_site(site.name)
+        return site
+
+    def new_site(self, name, kind, middleware=None, **site_kwargs):
+        site = Site(name, kind, **site_kwargs)
+        self.add_site(site)
+        if middleware:
+            site.add_middleware(middleware, self.env)
+        return site
+
+    def connect(self, site_a, site_b, latency_s, bandwidth_gbps,
+                name=None):
+        self.network.connect(
+            site_a, site_b, latency_s, bandwidth_gbps * 1e9, name=name
+        )
+
+    def host(self, name):
+        for site in self.sites.values():
+            if name in site.hosts:
+                return site.hosts[name]
+        raise KeyError(f"no host named {name!r}")
+
+    def site_of(self, host):
+        return self.sites[host.site]
+
+    def all_hosts(self):
+        for site in self.sites.values():
+            yield from site.hosts.values()
+
+    def __repr__(self):
+        return f"<Jungle sites={sorted(self.sites)}>"

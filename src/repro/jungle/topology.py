@@ -1,0 +1,172 @@
+"""Jungle topologies of the paper's experiments.
+
+Three builders reproduce the machine/network configurations:
+
+* :func:`make_desktop_jungle` — Sec. 6.2 scenarios 1-2: one quad-core
+  Core2 desktop at the VU, optionally with its GeForce 9600GT.
+* :func:`make_lab_jungle` — Fig. 12: the desktop (client/coupler) plus
+  DAS-4 UvA (8 nodes, Gadget), DAS-4 "Amsterdam" VU node (SSE), DAS-4
+  TUD Delft (2 GPU nodes, Octgrav) and the LGM in Leiden (Tesla C2050,
+  PhiGRAPE), connected by 10G STARplane lightpaths and a 1G path to
+  Leiden.
+* :func:`make_sc11_jungle` — Fig. 9: the SC11 demonstration, with the
+  coupler on a laptop in Seattle behind a transatlantic 1G lightpath,
+  plus the SARA render/visualisation cluster driving the tiled display.
+
+Compute nodes inside clusters are ISOLATED (non-routed) or FIREWALLED —
+the connectivity problems SmartSockets' hubs must solve; front-ends are
+OPEN.
+"""
+
+from __future__ import annotations
+
+from .network import FirewallPolicy
+from .resources import (
+    GEFORCE_9600GT,
+    GTX580_NODE,
+    Host,
+    Jungle,
+    Site,
+    TESLA_C2050,
+)
+
+__all__ = [
+    "make_desktop_jungle",
+    "make_lab_jungle",
+    "make_sc11_jungle",
+    "DAS4_SITES",
+]
+
+# (site name, city, location lat/lon) of the DAS-4 sites used
+DAS4_SITES = {
+    "DAS-4 (VU)": (52.334, 4.865),
+    "DAS-4 (UvA)": (52.355, 4.954),
+    "DAS-4 (TUD)": (52.002, 4.373),
+    "LGM (LU)": (52.155, 4.485),
+    "SARA": (52.356, 4.954),
+}
+
+
+def _cluster(jungle, name, kind="cluster", middleware="pbs", nodes=8,
+             cores=8, cpu_rate_factor=2.0, gpu=None, location=(52.3, 4.9),
+             node_policy=FirewallPolicy.ISOLATED):
+    site = Site(name, kind, location=location)
+    jungle.add_site(site)
+    frontend = Host(
+        f"{name}-frontend", cores=cores,
+        cpu_rate_factor=cpu_rate_factor, policy=FirewallPolicy.OPEN,
+        tags=("frontend",),
+    )
+    site.add_host(frontend, frontend=True)
+    site.add_hosts(
+        f"{name}-node", nodes, cores=cores,
+        cpu_rate_factor=cpu_rate_factor, gpu=gpu, policy=node_policy,
+    )
+    site.add_middleware(middleware, jungle.env, slots=nodes)
+    return site
+
+
+def make_desktop_jungle(with_gpu=False):
+    """Scenario 1/2: a user's quad-core desktop at the VU."""
+    jungle = Jungle()
+    site = Site(
+        "VU desktop", "standalone", location=DAS4_SITES["DAS-4 (VU)"],
+    )
+    jungle.add_site(site)
+    desktop = Host(
+        "desktop", cores=4, cpu_rate_factor=1.0,
+        gpu=GEFORCE_9600GT if with_gpu else None,
+        policy=FirewallPolicy.FIREWALLED, tags=("client",),
+    )
+    site.add_host(desktop, frontend=True)
+    site.add_middleware("local", jungle.env, slots=4)
+    return jungle
+
+
+def _add_dutch_sites(jungle):
+    """The four Dutch resources of Fig. 12 (shared with Fig. 9)."""
+    uva = _cluster(
+        jungle, "DAS-4 (UvA)", nodes=8, middleware="sge",
+        location=DAS4_SITES["DAS-4 (UvA)"],
+    )
+    tud = _cluster(
+        jungle, "DAS-4 (TUD)", nodes=2, middleware="sge",
+        gpu=GTX580_NODE, location=DAS4_SITES["DAS-4 (TUD)"],
+    )
+    lgm = _cluster(
+        jungle, "LGM (LU)", nodes=1, middleware="ssh",
+        gpu=TESLA_C2050, location=DAS4_SITES["LGM (LU)"],
+        node_policy=FirewallPolicy.FIREWALLED,
+    )
+    # 10G STARplane lightpaths between the DAS-4 sites; 1G to Leiden
+    return uva, tud, lgm
+
+
+def make_lab_jungle():
+    """Fig. 12: desktop client + VU/UvA/TUD clusters + LGM.
+
+    Fig. 12 uses *five* resources: the desktop (coupler), the DAS-4 VU
+    cluster (8 nodes, Gadget), DAS-4 UvA (1 node, SSE), DAS-4 TUD
+    (2 GPU nodes, Octgrav) and the LGM (Tesla C2050, PhiGRAPE),
+    connected by 10G STARplane lightpaths + 1GbE/1G paths.
+    """
+    jungle = make_desktop_jungle(with_gpu=True)
+    vu = _cluster(
+        jungle, "DAS-4 (VU)", nodes=8, middleware="sge",
+        location=DAS4_SITES["DAS-4 (VU)"],
+    )
+    uva, tud, lgm = _add_dutch_sites(jungle)
+    jungle.connect("VU desktop", "DAS-4 (VU)", 0.0002, 1.0,
+                   name="1GbE desktop-VU")
+    jungle.connect("DAS-4 (VU)", "DAS-4 (UvA)", 0.0005, 10.0,
+                   name="STARplane VU-UvA")
+    jungle.connect("DAS-4 (VU)", "DAS-4 (TUD)", 0.0010, 10.0,
+                   name="STARplane VU-TUD")
+    jungle.connect("DAS-4 (VU)", "LGM (LU)", 0.0012, 1.0,
+                   name="1G VU-Leiden")
+    jungle.connect("DAS-4 (UvA)", "DAS-4 (TUD)", 0.0010, 10.0,
+                   name="STARplane UvA-TUD")
+    return jungle
+
+
+def make_sc11_jungle():
+    """Fig. 9: SC11 worst case — coupler in Seattle, models in NL."""
+    jungle = Jungle()
+    seattle = Site(
+        "Seattle (SC11)", "standalone", location=(47.609, -122.333),
+    )
+    jungle.add_site(seattle)
+    laptop = Host(
+        "laptop", cores=2, cpu_rate_factor=0.8,
+        policy=FirewallPolicy.FIREWALLED, tags=("client",),
+    )
+    seattle.add_host(laptop, frontend=True)
+    seattle.add_middleware("local", jungle.env, slots=1)
+
+    # Fig. 9: the 8-node Gadget run sits on the VU's Amsterdam cluster
+    vu = _cluster(
+        jungle, "DAS-4 (VU)", nodes=8, middleware="sge",
+        location=DAS4_SITES["DAS-4 (VU)"],
+    )
+    uva, tud, lgm = _add_dutch_sites(jungle)
+    sara = _cluster(
+        jungle, "SARA", nodes=24, middleware="pbs", gpu=GTX580_NODE,
+        location=DAS4_SITES["SARA"],
+    )
+
+    # transatlantic 1G lightpath: ~72 ms one way Seattle<->Amsterdam
+    jungle.connect("Seattle (SC11)", "DAS-4 (VU)", 0.072, 1.0,
+                   name="transatlantic 1G lightpath")
+    # Fig. 9: the tiled display has its own 2 x 10G transatlantic
+    # lightpaths from the SARA render/visualisation cluster
+    jungle.connect("SARA", "Seattle (SC11)", 0.072, 20.0,
+                   name="2x transatlantic 10G lightpath (display)")
+    jungle.connect("DAS-4 (VU)", "DAS-4 (UvA)", 0.0005, 10.0,
+                   name="STARplane VU-UvA")
+    jungle.connect("DAS-4 (VU)", "DAS-4 (TUD)", 0.0010, 10.0,
+                   name="STARplane VU-TUD")
+    jungle.connect("DAS-4 (VU)", "LGM (LU)", 0.0012, 1.0,
+                   name="1G VU-Leiden")
+    jungle.connect("DAS-4 (UvA)", "SARA", 0.0003, 10.0,
+                   name="SURFnet UvA-SARA")
+    return jungle

@@ -1,0 +1,19 @@
+"""In-process mpi4py-like MPI substrate (threads + mailboxes)."""
+
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Intracomm,
+    MpiError,
+    Request,
+    World,
+)
+
+__all__ = [
+    "World",
+    "Intracomm",
+    "Request",
+    "MpiError",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,424 @@
+"""In-process MPI substrate with an mpi4py-flavoured API.
+
+The paper's model codes (Gadget) and CESM's coupler are MPI programs.  We
+provide an in-process substitute: ranks are Python threads, communication
+goes through per-rank mailboxes, and the API mirrors mpi4py per the HPC
+guides — lowercase methods (``send``/``recv``/``bcast``/...) move pickled
+Python objects, uppercase methods (``Send``/``Recv``/``Bcast``/...) move
+NumPy buffers without copies beyond the wire copy.
+
+Typical use::
+
+    from repro.mpi import World
+
+    def program(comm):
+        rank, size = comm.rank, comm.size
+        data = comm.bcast({"dt": 0.1} if rank == 0 else None, root=0)
+        ...
+        return comm.allreduce(local_energy, op="sum")
+
+    results = World(4).run(program)
+
+Determinism: message order per (source, dest, tag) is FIFO; collectives
+are rendezvous-synchronised, so programs without wildcard receives are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["World", "Intracomm", "Request", "ANY_SOURCE", "ANY_TAG", "MpiError"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_REDUCERS = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+}
+
+
+class MpiError(RuntimeError):
+    """Raised for substrate-level failures (bad rank, dead world, ...)."""
+
+
+class _Mailbox:
+    """Buffered, condition-guarded message store for one rank."""
+
+    def __init__(self):
+        self._messages = deque()
+        self._cond = threading.Condition()
+
+    def put(self, source, tag, payload):
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def get(self, source, tag, timeout):
+        def _match():
+            for i, (src, tg, _) in enumerate(self._messages):
+                if source in (ANY_SOURCE, src) and tag in (ANY_TAG, tg):
+                    return i
+            return None
+
+        with self._cond:
+            idx = _match()
+            while idx is None:
+                if not self._cond.wait(timeout):
+                    raise MpiError(
+                        f"recv timed out waiting for source={source} "
+                        f"tag={tag}"
+                    )
+                idx = _match()
+            src, tg, payload = self._messages[idx]
+            del self._messages[idx]
+            return src, tg, payload
+
+    def probe(self, source, tag):
+        with self._cond:
+            for src, tg, _ in self._messages:
+                if source in (ANY_SOURCE, src) and tag in (ANY_TAG, tg):
+                    return True
+            return False
+
+
+class _Rendezvous:
+    """Reusable all-rank synchronisation point with a shared slot table."""
+
+    def __init__(self, size):
+        self.size = size
+        self._cond = threading.Condition()
+        self._slots = {}
+        self._generation = 0
+        self._arrived = 0
+
+    def exchange(self, rank, value, timeout):
+        """Deposit *value*, wait for everyone, return the full table."""
+        with self._cond:
+            gen = self._generation
+            self._slots[rank] = value
+            self._arrived += 1
+            if self._arrived == self.size:
+                self._generation += 1
+                self._arrived = 0
+                self._result = dict(self._slots)
+                self._slots.clear()
+                self._cond.notify_all()
+            else:
+                while self._generation == gen:
+                    if not self._cond.wait(timeout):
+                        raise MpiError("collective timed out")
+            return self._result
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's Request)."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error = None
+
+    def _complete(self, value=None, error=None):
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def test(self):
+        if not self._event.is_set():
+            return False, None
+        if self._error is not None:
+            raise self._error
+        return True, self._value
+
+    def wait(self, timeout=None):
+        if not self._event.wait(timeout):
+            raise MpiError("request wait timed out")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Intracomm:
+    """A communicator over a set of world ranks."""
+
+    def __init__(self, world, group_ranks, rank_in_group, timeout):
+        self._world = world
+        self._group = tuple(group_ranks)      # group index -> world rank
+        self._rank = rank_in_group
+        self._timeout = timeout
+        key = ("rdv",) + self._group
+        self._rendezvous = world._shared_structure(
+            key, lambda: _Rendezvous(len(self._group))
+        )
+        # tags are namespaced per communicator so split comms don't collide
+        self._tag_shift = hash(self._group) % 100003
+
+    # -- mpi4py-style accessors ------------------------------------------------
+
+    @property
+    def rank(self):
+        return self._rank
+
+    @property
+    def size(self):
+        return len(self._group)
+
+    def Get_rank(self):
+        return self._rank
+
+    def Get_size(self):
+        return len(self._group)
+
+    # -- point to point -----------------------------------------------------------
+
+    def _world_rank(self, group_rank):
+        try:
+            return self._group[group_rank]
+        except IndexError:
+            raise MpiError(
+                f"rank {group_rank} out of range for communicator of "
+                f"size {self.size}"
+            ) from None
+
+    def _encode_tag(self, tag):
+        return tag if tag == ANY_TAG else tag + self._tag_shift
+
+    def send(self, obj, dest, tag=0):
+        self._world._mailboxes[self._world_rank(dest)].put(
+            self._rank, self._encode_tag(tag), ("obj", obj)
+        )
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        src, tg, payload = self._world._mailboxes[
+            self._world_rank(self._rank)
+        ].get(
+            source, self._encode_tag(tag), self._timeout
+        )
+        kind, value = payload
+        return value
+
+    def isend(self, obj, dest, tag=0):
+        req = Request()
+        try:
+            self.send(obj, dest, tag)
+        except Exception as exc:  # pragma: no cover - defensive
+            req._complete(error=exc)
+        else:
+            req._complete(None)
+        return req
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        req = Request()
+
+        def _worker():
+            try:
+                req._complete(self.recv(source, tag))
+            except Exception as exc:
+                req._complete(error=exc)
+
+        thread = threading.Thread(target=_worker, daemon=True)
+        thread.start()
+        return req
+
+    def sendrecv(self, obj, dest, source=ANY_SOURCE, sendtag=0, recvtag=ANY_TAG):
+        req = self.isend(obj, dest, sendtag)
+        value = self.recv(source, recvtag)
+        req.wait()
+        return value
+
+    def probe(self, source=ANY_SOURCE, tag=ANY_TAG):
+        return self._world._mailboxes[self._world_rank(self._rank)].probe(
+            source, self._encode_tag(tag)
+        )
+
+    # Buffer-protocol variants.  The wire copy is explicit; receive fills
+    # the caller-provided array in place (mpi4py convention).
+
+    def Send(self, array, dest, tag=0):
+        arr = np.ascontiguousarray(array)
+        self._world._mailboxes[self._world_rank(dest)].put(
+            self._rank, self._encode_tag(tag), ("buf", arr.copy())
+        )
+
+    def Recv(self, array, source=ANY_SOURCE, tag=ANY_TAG):
+        _, _, payload = self._world._mailboxes[
+            self._world_rank(self._rank)
+        ].get(source, self._encode_tag(tag), self._timeout)
+        kind, value = payload
+        if kind != "buf":
+            raise MpiError("Recv matched an object-protocol message")
+        out = np.asarray(array)
+        if out.size != value.size:
+            raise MpiError(
+                f"receive buffer size {out.size} != message size "
+                f"{value.size}"
+            )
+        out.flat[:] = value.flat
+        return out
+
+    # -- collectives ----------------------------------------------------------------
+
+    def barrier(self):
+        self._rendezvous.exchange(self._rank, None, self._timeout)
+
+    Barrier = barrier
+
+    def bcast(self, obj, root=0):
+        table = self._rendezvous.exchange(
+            self._rank, obj if self._rank == root else None, self._timeout
+        )
+        return table[root]
+
+    def Bcast(self, array, root=0):
+        table = self._rendezvous.exchange(
+            self._rank,
+            np.ascontiguousarray(array).copy() if self._rank == root
+            else None,
+            self._timeout,
+        )
+        out = np.asarray(array)
+        out.flat[:] = table[root].flat
+        return out
+
+    def scatter(self, values, root=0):
+        if self._rank == root:
+            if len(values) != self.size:
+                raise MpiError(
+                    f"scatter needs {self.size} items, got {len(values)}"
+                )
+        table = self._rendezvous.exchange(
+            self._rank, values if self._rank == root else None,
+            self._timeout,
+        )
+        return table[root][self._rank]
+
+    def gather(self, value, root=0):
+        table = self._rendezvous.exchange(self._rank, value, self._timeout)
+        if self._rank != root:
+            return None
+        return [table[i] for i in range(self.size)]
+
+    def allgather(self, value):
+        table = self._rendezvous.exchange(self._rank, value, self._timeout)
+        return [table[i] for i in range(self.size)]
+
+    def alltoall(self, values):
+        if len(values) != self.size:
+            raise MpiError(
+                f"alltoall needs {self.size} items, got {len(values)}"
+            )
+        table = self._rendezvous.exchange(self._rank, values, self._timeout)
+        return [table[i][self._rank] for i in range(self.size)]
+
+    def reduce(self, value, op="sum", root=0):
+        result = self.allreduce(value, op)
+        return result if self._rank == root else None
+
+    def allreduce(self, value, op="sum"):
+        reducer = _REDUCERS[op] if isinstance(op, str) else op
+        table = self._rendezvous.exchange(self._rank, value, self._timeout)
+        acc = table[0]
+        for i in range(1, self.size):
+            acc = reducer(acc, table[i])
+        return acc
+
+    def Allreduce(self, sendbuf, recvbuf, op="sum"):
+        result = self.allreduce(np.ascontiguousarray(sendbuf), op)
+        out = np.asarray(recvbuf)
+        out.flat[:] = np.asarray(result).flat
+        return out
+
+    def allgatherv(self, array):
+        """Concatenate 1-D/2-D arrays from all ranks (by leading axis)."""
+        parts = self.allgather(np.ascontiguousarray(array))
+        return np.concatenate(parts, axis=0)
+
+    # -- topology ---------------------------------------------------------------------
+
+    def split(self, color, key=None):
+        """Partition the communicator (MPI_Comm_split)."""
+        if key is None:
+            key = self._rank
+        table = self._rendezvous.exchange(
+            self._rank, (color, key), self._timeout
+        )
+        members = sorted(
+            (table[i][1], i) for i in range(self.size)
+            if table[i][0] == color
+        )
+        group_world_ranks = [self._group[i] for _, i in members]
+        my_index = [i for _, i in members].index(self._rank)
+        if color is None:
+            return None
+        return Intracomm(
+            self._world, group_world_ranks, my_index, self._timeout
+        )
+
+    Split = split
+
+    def __repr__(self):
+        return f"<Intracomm rank={self._rank} size={self.size}>"
+
+
+class World:
+    """Launchpad for an MPI-style program over *size* thread-ranks."""
+
+    def __init__(self, size, timeout=120.0):
+        if size < 1:
+            raise MpiError("world size must be >= 1")
+        self.size = int(size)
+        self.timeout = float(timeout)
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._shared = {}
+        self._shared_lock = threading.Lock()
+
+    def _shared_structure(self, key, factory):
+        with self._shared_lock:
+            if key not in self._shared:
+                self._shared[key] = factory()
+            return self._shared[key]
+
+    def comm(self, rank):
+        """The COMM_WORLD view for *rank*."""
+        return Intracomm(self, range(self.size), rank, self.timeout)
+
+    def run(self, target, *args, **kwargs):
+        """Run ``target(comm, *args, **kwargs)`` on every rank.
+
+        Returns the list of per-rank return values.  Any rank exception is
+        re-raised in the caller (first by rank order) after all threads
+        have stopped.
+        """
+        results = [None] * self.size
+        errors = [None] * self.size
+
+        def _main(rank):
+            try:
+                results[rank] = target(self.comm(rank), *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors[rank] = exc
+                # unblock peers stuck in collectives
+                for box in self._mailboxes:
+                    box.put(rank, ANY_TAG, ("obj", None))
+
+        threads = [
+            threading.Thread(target=_main, args=(rank,), daemon=True)
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.timeout * 2)
+            if t.is_alive():
+                raise MpiError("world did not terminate within timeout")
+        for err in errors:
+            if err is not None:
+                raise err
+        return results

@@ -1,0 +1,35 @@
+"""RPC layer: wire protocol, channels and async requests."""
+
+from .channel import (
+    AsyncRequest,
+    Channel,
+    DirectChannel,
+    SocketChannel,
+    new_channel,
+    register_channel_factory,
+    wait_all,
+    worker_loop,
+)
+from .protocol import (
+    ProtocolError,
+    RemoteError,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "AsyncRequest",
+    "Channel",
+    "DirectChannel",
+    "SocketChannel",
+    "new_channel",
+    "register_channel_factory",
+    "wait_all",
+    "worker_loop",
+    "ProtocolError",
+    "RemoteError",
+    "pack_frame",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,84 @@
+"""Wire protocol for AMUSE worker channels.
+
+AMUSE communicates with workers "using a channel, in an RPC-like method"
+(paper Sec. 4.1).  Frames are length-prefixed: an 8-byte little-endian
+header (4-byte magic ``b"AMSE"`` + 4-byte payload length) followed by a
+pickle-5 payload.  Pickle 5 keeps large float64 arrays as single raw
+buffers, which is what lets the loopback link reach multi-Gbit/s rates
+(the paper quotes ">8 Gbit/s even on a modest laptop" for the
+coupler↔daemon loopback socket; ``benchmarks/bench_loopback.py``
+reproduces the measurement).
+
+Message shapes::
+
+    ("call",   call_id, method_name, args_tuple, kwargs_dict)
+    ("result", call_id, value)
+    ("error",  call_id, exception_class_name, message, traceback_text)
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+__all__ = [
+    "MAGIC",
+    "HEADER",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+    "RemoteError",
+    "ProtocolError",
+]
+
+MAGIC = b"AMSE"
+HEADER = struct.Struct("<4sI")
+MAX_FRAME = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """Raised on malformed frames or broken connections."""
+
+
+class RemoteError(RuntimeError):
+    """An exception that occurred inside a worker, re-raised locally."""
+
+    def __init__(self, exc_class, message, remote_traceback=""):
+        super().__init__(f"{exc_class}: {message}")
+        self.exc_class = exc_class
+        self.remote_message = message
+        self.remote_traceback = remote_traceback
+
+
+def pack_frame(message):
+    """Serialise *message* into header + payload bytes."""
+    payload = pickle.dumps(message, protocol=5)
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    return HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def send_frame(sock, message):
+    """Send one frame over a socket-like object (sendall interface)."""
+    sock.sendall(pack_frame(message))
+
+
+def _recv_exact(sock, n):
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+def recv_frame(sock):
+    """Receive one frame; raises ProtocolError on EOF/corruption."""
+    header = _recv_exact(sock, HEADER.size)
+    magic, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    payload = _recv_exact(sock, length)
+    return pickle.loads(payload)

@@ -1,0 +1,62 @@
+"""AMUSE-style unit system: checked quantities, SI + astro units, N-body
+generic units and the generic↔SI converter.
+
+Public surface::
+
+    from repro.units import units, constants, nbody_system
+    from repro.units import Quantity, IncompatibleUnitsError
+
+    mass = 1.0 | units.MSun
+    conv = nbody_system.nbody_to_si(1000.0 | units.MSun, 1.0 | units.parsec)
+"""
+
+from __future__ import annotations
+
+import types
+
+from .core import (
+    IncompatibleUnitsError,
+    Quantity,
+    Unit,
+    is_quantity,
+    new_quantity,
+    to_quantity,
+)
+from . import astro as _astro
+from . import nbody as nbody_system
+from . import si as _si
+
+__all__ = [
+    "units",
+    "constants",
+    "nbody_system",
+    "Quantity",
+    "Unit",
+    "IncompatibleUnitsError",
+    "is_quantity",
+    "new_quantity",
+    "to_quantity",
+]
+
+
+def _build_units_namespace():
+    ns = types.SimpleNamespace()
+    for name, unit in _si._unit_namespace().items():
+        setattr(ns, name, unit)
+    for name, unit in _astro._unit_namespace().items():
+        setattr(ns, name, unit)
+    return ns
+
+
+def _build_constants_namespace():
+    ns = types.SimpleNamespace()
+    for name in ("G", "c", "kB", "sigma_SB", "a_rad", "h_planck"):
+        setattr(ns, name, getattr(_astro, name))
+    return ns
+
+
+#: Namespace of all units: ``units.m``, ``units.MSun``, ``units.Myr``, ...
+units = _build_units_namespace()
+
+#: Namespace of physical constants as quantities: ``constants.G``, ...
+constants = _build_constants_namespace()

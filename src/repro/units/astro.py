@@ -1,0 +1,52 @@
+"""Astronomical units and physical constants.
+
+Values follow the IAU 2015 nominal conversions (same source AMUSE uses).
+Constants are exported as quantities in :data:`repro.units.constants`.
+"""
+
+from __future__ import annotations
+
+from .core import Quantity
+from . import si
+
+__all__ = [
+    "AU", "parsec", "kpc", "Mpc", "lightyear",
+    "MSun", "RSun", "LSun",
+    "yr", "Myr", "Gyr", "julianyr",
+    "G", "c", "kB", "sigma_SB", "a_rad", "h_planck",
+]
+
+# Lengths.
+AU = (1.495978707e11 * si.m).named("AU")
+parsec = (3.0856775814913673e16 * si.m).named("pc")
+kpc = (1000.0 * parsec).named("kpc")
+Mpc = (1.0e6 * parsec).named("Mpc")
+lightyear = (9.4607304725808e15 * si.m).named("ly")
+
+# Masses / radii / luminosities.
+MSun = (1.98892e30 * si.kg).named("MSun")
+RSun = (6.957e8 * si.m).named("RSun")
+LSun = (3.828e26 * si.W).named("LSun")
+
+# Times.
+julianyr = (365.25 * si.day).named("julianyr")
+yr = (3.15569252e7 * si.s).named("yr")
+Myr = (1.0e6 * yr).named("Myr")
+Gyr = (1.0e9 * yr).named("Gyr")
+
+# Physical constants, as quantities.
+G = Quantity(6.67430e-11, si.m ** 3 / (si.kg * si.s ** 2))
+c = Quantity(299792458.0, si.m / si.s)
+kB = Quantity(1.380649e-23, si.J / si.K)
+sigma_SB = Quantity(5.670374419e-8, si.W / (si.m ** 2 * si.K ** 4))
+a_rad = Quantity(7.5657e-16, si.J / (si.m ** 3 * si.K ** 4))
+h_planck = Quantity(6.62607015e-34, si.J * si.s)
+
+
+def _unit_namespace():
+    out = {}
+    for name in __all__:
+        value = globals()[name]
+        if not isinstance(value, Quantity):
+            out[name] = value
+    return out

@@ -1,0 +1,61 @@
+"""SI base and derived units.
+
+The canonical seven SI base units plus the derived units needed by the
+astrophysics (:mod:`repro.codes`) and climate (:mod:`repro.cesm`)
+substrates.  Every name here is a :class:`repro.units.core.Unit`.
+"""
+
+from __future__ import annotations
+
+from .core import NONE_UNIT, Unit, new_base_unit
+
+__all__ = [
+    "kg", "m", "s", "A", "K", "mol", "cd", "none",
+    "g", "km", "cm", "mm", "Hz", "N", "Pa", "J", "W", "C", "V",
+    "minute", "hour", "day", "ms", "us", "ns",
+    "m2", "m3", "kms", "W_per_m2", "kg_per_m3", "J_per_kg",
+]
+
+kg = new_base_unit(0, "kg")
+m = new_base_unit(1, "m")
+s = new_base_unit(2, "s")
+A = new_base_unit(3, "A")
+K = new_base_unit(4, "K")
+mol = new_base_unit(5, "mol")
+cd = new_base_unit(6, "cd")
+
+none = NONE_UNIT
+
+# Scaled base units.
+g = (0.001 * kg).named("g")
+km = (1000.0 * m).named("km")
+cm = (0.01 * m).named("cm")
+mm = (0.001 * m).named("mm")
+minute = (60.0 * s).named("min")
+hour = (3600.0 * s).named("hour")
+day = (86400.0 * s).named("day")
+ms = (0.001 * s).named("ms")
+us = (1e-6 * s).named("us")
+ns = (1e-9 * s).named("ns")
+
+# Derived units.
+Hz = (s ** -1).named("Hz")
+N = (kg * m / s ** 2).named("N")
+Pa = (N / m ** 2).named("Pa")
+J = (N * m).named("J")
+W = (J / s).named("W")
+C = (A * s).named("C")
+V = (W / A).named("V")
+
+# Convenience composites used throughout the codebase.
+m2 = (m ** 2).named("m**2")
+m3 = (m ** 3).named("m**3")
+kms = (km / s).named("km/s")
+W_per_m2 = (W / m ** 2).named("W/m**2")
+kg_per_m3 = (kg / m ** 3).named("kg/m**3")
+J_per_kg = (J / kg).named("J/kg")
+
+
+def _unit_namespace():
+    """All public units as a dict (used by the ``units`` namespace)."""
+    return {name: globals()[name] for name in __all__}

@@ -1,0 +1,32 @@
+"""Text renderings of the paper's figures (stages, GUI panes)."""
+
+from .monitor_render import (
+    render_job_table,
+    render_loads,
+    render_overlay,
+    render_resource_map,
+    render_snapshot,
+    render_traffic_matrix,
+)
+from .render_pipeline import FRAME_4K_BYTES, RenderPipeline
+from .stages import (
+    STAGES,
+    StageTracker,
+    radial_profile,
+    render_profile_ascii,
+)
+
+__all__ = [
+    "RenderPipeline",
+    "FRAME_4K_BYTES",
+    "StageTracker",
+    "STAGES",
+    "radial_profile",
+    "render_profile_ascii",
+    "render_snapshot",
+    "render_resource_map",
+    "render_job_table",
+    "render_overlay",
+    "render_traffic_matrix",
+    "render_loads",
+]

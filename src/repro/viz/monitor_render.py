@@ -1,0 +1,111 @@
+"""ASCII renderings of the IbisDeploy GUI panes (paper Figs. 10/11).
+
+The paper's monitoring figures are: a resource map, a job table, the
+SmartSockets overlay (with one-way arrows and tunnel lines), and the 3-D
+traffic view (IPL traffic blue, MPI orange, load bars per site).  These
+functions render the same data as terminal text, consuming the snapshot
+dictionaries of :class:`repro.ibis.deploy.Monitor`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "render_resource_map",
+    "render_job_table",
+    "render_overlay",
+    "render_traffic_matrix",
+    "render_loads",
+    "render_snapshot",
+]
+
+
+def render_resource_map(resources):
+    lines = ["RESOURCES (map pane)"]
+    for row in sorted(resources, key=lambda r: r["site"]):
+        lat, lon = row["location"]
+        hub = " [hub]" if row.get("hub") else ""
+        lines.append(
+            f"  {row['site']:<18} {row['kind']:<12} "
+            f"({lat:7.2f},{lon:8.2f}) hosts={row['hosts']:<3} "
+            f"mw={','.join(row['middleware']) or '-'}{hub}"
+        )
+    return "\n".join(lines)
+
+
+def render_job_table(jobs):
+    lines = ["JOBS (deployment pane)"]
+    lines.append(
+        f"  {'#':<3} {'name':<22} {'site':<18} {'adaptor':<14} "
+        f"{'nodes':<5} state"
+    )
+    for job in jobs:
+        lines.append(
+            f"  {job['id']:<3} {job['name']:<22} {job['site']:<18} "
+            f"{job['adaptor']:<14} {job['nodes']:<5} {job['state']}"
+        )
+    return "\n".join(lines)
+
+
+def render_overlay(edges):
+    """Hub overlay: '--' direct, '->' one-way (firewalled), '~~' tunnel."""
+    symbol = {"direct": "--", "one-way": "->", "tunnel": "~~"}
+    lines = ["SMARTSOCKETS OVERLAY (hub pane)"]
+    for a, b, kind in edges:
+        lines.append(f"  {a:<24}{symbol.get(kind, '??')} {b}")
+    return "\n".join(lines)
+
+
+def _human_bytes(n):
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if n < 1024 or unit == "TB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}TB"
+
+
+def render_traffic_matrix(ipl_matrix, mpi_matrix=None):
+    """Per-site-pair traffic; IPL and MPI columns like Fig. 11's
+    blue/orange split."""
+    mpi_matrix = mpi_matrix or {}
+    keys = sorted(set(ipl_matrix) | set(mpi_matrix))
+    lines = ["TRAFFIC (3-D network view)"]
+    lines.append(f"  {'src -> dst':<44} {'IPL':>10} {'MPI':>10}")
+    for key in keys:
+        src, dst = key
+        lines.append(
+            f"  {src:<20} -> {dst:<20} "
+            f"{_human_bytes(ipl_matrix.get(key, 0)):>10} "
+            f"{_human_bytes(mpi_matrix.get(key, 0)):>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_loads(loads, width=20):
+    """Per-host CPU/GPU load bars (red/blue bars of Fig. 11)."""
+    lines = ["HOST LOAD (bars: c=cpu, g=gpu)"]
+    for host in sorted(loads):
+        cpu = loads[host].get("cpu", 0.0)
+        gpu = loads[host].get("gpu", 0.0)
+        cbar = "c" * int(round(cpu * width))
+        gbar = "g" * int(round(gpu * width))
+        lines.append(
+            f"  {host:<24} cpu {cpu:5.1%} |{cbar:<{width}}| "
+            f"gpu {gpu:5.1%} |{gbar:<{width}}|"
+        )
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot):
+    """Full GUI: all panes of Figs. 10 and 11."""
+    parts = [
+        f"== IbisDeploy monitor @ t={snapshot['time_s']:.1f}s ==",
+        render_resource_map(snapshot["resources"]),
+        render_job_table(snapshot["jobs"]),
+        render_overlay(snapshot["overlay"]),
+        render_traffic_matrix(
+            snapshot["traffic_ipl"], snapshot.get("traffic_mpi")
+        ),
+        render_loads(snapshot["loads"]),
+        "CONNECTION STRATEGIES " + repr(snapshot["strategies"]),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,100 @@
+"""The SC11 visualization pipeline (paper Figs. 8/9).
+
+"We also used a tiled panel display to display a 4K resolution version
+of the 3D visualization, rendered by a 16 node cluster located in
+Amsterdam" — with dedicated "2 x transatlantic 10G lightpath" links
+carrying the video to Seattle (Fig. 9, SARA/RVS + 5x3 tiled panel
+display).
+
+:class:`RenderPipeline` models that data path on the jungle DES: render
+nodes produce 4K frames in parallel, frames stream over the display
+lightpath, and the achieved frame rate is whichever of rendering or the
+network is the bottleneck.  Video traffic is accounted separately from
+IPL/MPI so it shows up as its own flow in the traffic view.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RenderPipeline", "FRAME_4K_BYTES"]
+
+#: one 4K frame, 24-bit RGB, lightly packed (~2:1)
+FRAME_4K_BYTES = 3840 * 2160 * 3 // 2
+#: seconds one node needs to render one 4K frame of the simulation
+RENDER_S_PER_FRAME = 0.5
+
+
+class RenderPipeline:
+    """Streams rendered simulation frames to a remote tiled display."""
+
+    def __init__(self, jungle, render_site, display_site,
+                 render_nodes=16, target_fps=25.0,
+                 frame_bytes=FRAME_4K_BYTES,
+                 render_s_per_frame=RENDER_S_PER_FRAME):
+        self.jungle = jungle
+        self.render_site = jungle.sites[render_site]
+        self.display_site = jungle.sites[display_site]
+        self.render_nodes = int(render_nodes)
+        self.target_fps = float(target_fps)
+        self.frame_bytes = int(frame_bytes)
+        self.render_s_per_frame = float(render_s_per_frame)
+        self.frames_streamed = 0
+
+    # -- capacity analysis ---------------------------------------------------
+
+    def render_fps(self):
+        """Frames/s the render cluster can produce (parallel nodes)."""
+        return self.render_nodes / self.render_s_per_frame
+
+    def network_fps(self):
+        """Frames/s the display link can carry."""
+        bandwidth = self.jungle.network.bandwidth(
+            self.render_site.name, self.display_site.name
+        )
+        return bandwidth / (8.0 * self.frame_bytes)
+
+    def achievable_fps(self):
+        """min(render, network, target) — the displayed frame rate."""
+        return min(self.render_fps(), self.network_fps(),
+                   self.target_fps)
+
+    def bottleneck(self):
+        rates = {
+            "render": self.render_fps(),
+            "network": self.network_fps(),
+            "target": self.target_fps,
+        }
+        return min(rates, key=rates.get)
+
+    # -- DES streaming ------------------------------------------------------------
+
+    def stream(self, duration_s):
+        """DES process: stream at the achievable rate for *duration*.
+
+        Returns the process; traffic is recorded under the "video"
+        protocol.  Run the jungle env to completion afterwards.
+        """
+        env = self.jungle.env
+        fps = self.achievable_fps()
+        n_frames = int(duration_s * fps)
+        src = self.render_site.frontend
+        dst = self.display_site.frontend
+
+        def _process():
+            for _ in range(n_frames):
+                yield self.jungle.network.transfer(
+                    env, src, dst, self.frame_bytes, protocol="video"
+                )
+                self.frames_streamed += 1
+            return self.frames_streamed
+
+        return env.process(_process())
+
+    def report(self):
+        return {
+            "render_fps": self.render_fps(),
+            "network_fps": self.network_fps(),
+            "achievable_fps": self.achievable_fps(),
+            "bottleneck": self.bottleneck(),
+            "frame_mbytes": self.frame_bytes / 1e6,
+            "frames_streamed": self.frames_streamed,
+        }

@@ -1,0 +1,116 @@
+"""Fig. 6 reproduction: the four stages of the embedded-cluster run.
+
+The paper's Fig. 6 shows a 3-D visualization of the simulation "at four
+different times: a) The initial condition, young stars embedded in a
+sphere of gas.  b) gas is expanding.  c) only a thin shell of gas around
+the cluster remains.  d) gas completely removed from cluster (note the
+larger size of the cluster)".
+
+Without a 3-D renderer, the figure's *content* is the radial gas
+distribution relative to the cluster over time.  This module turns
+simulation snapshots into that content: stage classification, radial
+density profiles and an ASCII rendering of the profile evolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "StageTracker",
+    "radial_profile",
+    "render_profile_ascii",
+    "STAGES",
+]
+
+STAGES = ("embedded", "expanding", "shell", "expelled")
+
+
+def radial_profile(positions_pc, masses, center=None, n_bins=12,
+                   r_max=None):
+    """Gas surface-density-style radial profile (mass per shell)."""
+    pos = np.asarray(positions_pc, dtype=float)
+    masses = np.asarray(masses, dtype=float)
+    if center is None:
+        center = pos.mean(axis=0)
+    radii = np.linalg.norm(pos - center, axis=1)
+    if r_max is None:
+        r_max = max(float(np.percentile(radii, 98)), 1e-6)
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    mass_in_bin, _ = np.histogram(radii, bins=edges, weights=masses)
+    volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    return edges, mass_in_bin / volumes
+
+
+class StageTracker:
+    """Collects snapshots and reports the Fig. 6 stage sequence."""
+
+    def __init__(self):
+        self.snapshots = []
+
+    def record(self, diagnostics):
+        self.snapshots.append(dict(diagnostics))
+        return diagnostics["stage"]
+
+    @property
+    def stages_seen(self):
+        """Stages in first-seen order."""
+        seen = []
+        for snap in self.snapshots:
+            if snap["stage"] not in seen:
+                seen.append(snap["stage"])
+        return seen
+
+    def stage_table(self):
+        """One row per first occurrence of each stage (the four panels
+        of Fig. 6)."""
+        rows = []
+        seen = set()
+        for snap in self.snapshots:
+            if snap["stage"] in seen:
+                continue
+            seen.add(snap["stage"])
+            rows.append(
+                {
+                    "stage": snap["stage"],
+                    "time_myr": snap["time_myr"],
+                    "bound_gas_fraction": snap["bound_gas_fraction"],
+                    "gas_half_mass_radius_pc":
+                        snap["gas_half_mass_radius_pc"],
+                    "star_half_mass_radius_pc":
+                        snap["star_half_mass_radius_pc"],
+                }
+            )
+        return rows
+
+    def is_monotonic_expulsion(self):
+        """Bound gas fraction must trend downward (panels a->d)."""
+        fractions = [s["bound_gas_fraction"] for s in self.snapshots]
+        if len(fractions) < 2:
+            return True
+        # allow small bounces; compare smoothed endpoints
+        k = max(1, len(fractions) // 5)
+        return np.mean(fractions[-k:]) <= np.mean(fractions[:k]) + 0.05
+
+    def cluster_expanded(self):
+        """Fig. 6 panel d: 'note the larger size of the cluster'."""
+        radii = [s["star_half_mass_radius_pc"] for s in self.snapshots]
+        if len(radii) < 2:
+            return False
+        return radii[-1] > radii[0]
+
+
+def render_profile_ascii(edges, density, width=40, label=""):
+    """One radial profile as an ASCII bar chart (log scale)."""
+    lines = [f"radial gas density {label}".rstrip()]
+    floor = max(density[density > 0].min() if (density > 0).any()
+                else 1.0, 1e-12)
+    top = max(density.max(), floor * 10)
+    for lo, hi, rho in zip(edges[:-1], edges[1:], density):
+        if rho <= 0:
+            bar = ""
+        else:
+            frac = np.log(rho / floor) / np.log(top / floor)
+            bar = "#" * max(1, int(frac * width))
+        lines.append(f"  {lo:5.2f}-{hi:5.2f} pc |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""CESM-lite tests: components, coupled system, layouts."""
+
+import numpy as np
+import pytest
+
+from repro.cesm import (
+    Atmosphere,
+    EarthSystemModel,
+    Land,
+    Layout,
+    Ocean,
+    ParallelDriver,
+    SeaIce,
+    data_twin,
+    insolation,
+    land_mask,
+)
+from repro.datamodel import LatLonGrid
+
+
+class TestComponents:
+    def test_insolation_profile(self):
+        lats = np.array([-90.0, 0.0, 90.0])
+        s = insolation(lats)
+        assert s[1] > s[0]
+        assert s[0] == pytest.approx(s[2])
+        # global mean ~ S0/4
+        grid_lat = np.linspace(-89, 89, 500)
+        weights = np.cos(np.radians(grid_lat))
+        mean = (insolation(grid_lat) * weights).sum() / weights.sum()
+        assert mean == pytest.approx(1361.0 / 4.0, rel=0.02)
+
+    def test_atmosphere_relaxes_toward_balance(self):
+        atm = Atmosphere()
+        for _ in range(400):
+            atm.step(5.0)
+        t_mean = atm.grid.area_mean("t_air")
+        assert 260.0 < t_mean < 300.0
+
+    def test_atmosphere_stable_long_step(self):
+        atm = Atmosphere()
+        atm.step(30.0)                 # way beyond explicit CFL
+        assert np.isfinite(atm.grid.field_array("t_air")).all()
+
+    def test_land_fast_relaxation(self):
+        lnd = Land()
+        lnd.import_field("sw_down", np.full(lnd.grid.shape, 300.0))
+        lnd.import_field("t_air", np.full(lnd.grid.shape, 288.0))
+        lnd.step(5.0)
+        t = lnd.grid.field_array("t_land")
+        assert np.isfinite(t).all()
+        assert 250.0 < t.mean() < 320.0
+
+    def test_snow_brightens_cold_land(self):
+        lnd = Land()
+        lnd.import_field("sw_down", np.zeros(lnd.grid.shape))
+        lnd.import_field("t_air", np.full(lnd.grid.shape, 230.0))
+        lnd.step(5.0)
+        assert lnd.grid.field_array("land_albedo").max() >= 0.6
+
+    def test_ocean_flux_response(self):
+        ocn = Ocean()
+        sst0 = ocn.grid.field_array("sst").copy()
+        ocn.import_field(
+            "net_surface_flux", np.full(ocn.grid.shape, 50.0)
+        )
+        ocn.step(5.0)
+        assert ocn.grid.field_array("sst").mean() > sst0.mean()
+
+    def test_sea_ice_grows_below_freezing(self):
+        ice = SeaIce()
+        ice.import_field("sst", np.full(ice.grid.shape, 265.0))
+        for _ in range(20):
+            ice.step(5.0)
+        assert ice.grid.field_array("ice_fraction").min() > 0.5
+
+    def test_sea_ice_melts_when_warm(self):
+        ice = SeaIce()
+        ice.grid.field_array("thickness")[...] = 1.0
+        ice.import_field("sst", np.full(ice.grid.shape, 285.0))
+        for _ in range(40):
+            ice.step(5.0)
+        assert ice.grid.field_array("ice_fraction").max() < 0.05
+
+    def test_import_validation(self):
+        atm = Atmosphere()
+        with pytest.raises(KeyError):
+            atm.import_field("sst", np.zeros(atm.grid.shape))
+
+    def test_imports_are_snapshots(self):
+        atm = Atmosphere()
+        field = np.full(atm.grid.shape, 0.3)
+        atm.import_field("albedo", field)
+        field[...] = 0.9
+        assert atm._imports["albedo"].max() == pytest.approx(0.3)
+
+
+class TestDataModels:
+    def test_data_twin_replays_exports(self):
+        atm = Atmosphere()
+        atm.step(5.0)
+        datm = data_twin(atm)
+        before = {
+            k: v.copy() for k, v in datm.export_fields().items()
+        }
+        datm.step(5.0)
+        datm.step(5.0)
+        for name, values in datm.export_fields().items():
+            assert np.array_equal(values, before[name])
+
+    def test_data_twin_ignores_imports(self):
+        datm = data_twin(Atmosphere())
+        assert datm.import_field("albedo", None) is None
+
+    def test_data_twin_name(self):
+        assert data_twin(Ocean()).name == "docn"
+
+
+class TestCoupledSystem:
+    def test_mask_fraction(self):
+        grid = LatLonGrid(24, 48)
+        mask = land_mask(grid, land_fraction=0.3)
+        assert mask.mean() == pytest.approx(0.3, abs=0.05)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_mask_deterministic(self):
+        grid = LatLonGrid(24, 48)
+        assert np.array_equal(land_mask(grid), land_mask(grid))
+
+    def test_equilibrium_climate(self):
+        esm = EarthSystemModel()
+        out = esm.run(days=20 * 365, dt_days=5.0)
+        assert 260.0 < out["global_mean_t_air_k"] < 295.0
+        assert 270.0 < out["global_mean_sst_k"] < 300.0
+        assert 0.0 <= out["ice_fraction"] < 0.5
+
+    def test_ice_albedo_feedback(self):
+        warm = EarthSystemModel()
+        warm.run(days=10 * 365)
+        cold = EarthSystemModel()
+        cold.atm.solar_constant = 1250.0
+        cold.run(days=10 * 365)
+        assert cold.diagnostics()["global_mean_t_air_k"] < \
+            warm.diagnostics()["global_mean_t_air_k"] - 5.0
+        assert cold.diagnostics()["ice_fraction"] >= \
+            warm.diagnostics()["ice_fraction"]
+
+    def test_exchange_counter(self):
+        esm = EarthSystemModel()
+        esm.run(days=50, dt_days=5.0)
+        assert esm.exchange_count == 10
+
+    def test_all_fields_finite_after_century(self):
+        esm = EarthSystemModel()
+        esm.run(days=365 * 30, dt_days=10.0)
+        for comp in esm.components.values():
+            for name in comp.EXPORTS:
+                assert np.isfinite(
+                    comp.grid.field_array(name)
+                ).all(), f"{comp.name}.{name} has non-finite values"
+
+
+class TestLayouts:
+    def test_partitioned_layout_shape(self):
+        layout = Layout.partitioned()
+        assert layout.n_ranks == 4
+        assert layout.components_of(0) == ["atm"]
+
+    def test_shared_layout_shape(self):
+        layout = Layout.shared(2)
+        assert layout.n_ranks == 2
+        assert len(layout.components_of(0)) == 4
+
+    @pytest.mark.parametrize(
+        "layout_factory",
+        [Layout.partitioned, lambda: Layout.shared(4),
+         lambda: Layout.shared(1)],
+    )
+    def test_results_independent_of_layout(self, layout_factory):
+        serial = EarthSystemModel()
+        serial.run(days=50, dt_days=5.0)
+        parallel = EarthSystemModel()
+        ParallelDriver(parallel, layout_factory()).run(
+            days=50, dt_days=5.0
+        )
+        assert parallel.diagnostics()["global_mean_t_air_k"] == \
+            pytest.approx(
+                serial.diagnostics()["global_mean_t_air_k"],
+                abs=1e-12,
+            )
+
+    def test_mixed_layout(self):
+        layout = Layout(
+            {"atm": (0, 1), "ocn": (2,), "lnd": (3,), "ice": (3,)}
+        )
+        esm = EarthSystemModel()
+        ParallelDriver(esm, layout).run(days=20, dt_days=5.0)
+        assert esm.time_days == 20.0

@@ -1,0 +1,119 @@
+"""Lat-lon grid and conservative regridding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import LatLonGrid, regrid_area_weighted
+from repro.units import units
+
+
+class TestGridGeometry:
+    def test_shape(self):
+        grid = LatLonGrid(8, 16)
+        assert grid.shape == (8, 16)
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(1, 8)
+
+    def test_total_area_is_sphere(self):
+        grid = LatLonGrid(24, 48)
+        sphere = 4.0 * np.pi * grid.radius_m ** 2
+        assert grid.total_area_m2 == pytest.approx(sphere, rel=1e-12)
+
+    def test_cell_areas_largest_at_equator(self):
+        grid = LatLonGrid(16, 32)
+        areas = grid.cell_area_m2[:, 0]
+        assert areas[len(areas) // 2] > areas[0]
+
+    def test_lat_lon_centers(self):
+        grid = LatLonGrid(4, 4)
+        assert grid.lat.tolist() == [-67.5, -22.5, 22.5, 67.5]
+        assert grid.lon.tolist() == [45.0, 135.0, 225.0, 315.0]
+
+
+class TestFields:
+    def test_new_field_and_access(self):
+        grid = LatLonGrid(4, 8)
+        grid.new_field("t", fill=273.0)
+        assert grid.field_array("t").mean() == 273.0
+
+    def test_set_field_with_units(self):
+        grid = LatLonGrid(4, 8)
+        grid.set_field("flux", np.ones(grid.shape) | units.W_per_m2)
+        q = grid.field("flux")
+        assert q.value_in(units.W_per_m2).sum() == 32.0
+
+    def test_broadcast_scalar_profile(self):
+        grid = LatLonGrid(4, 8)
+        grid.set_field("zonal", np.arange(4.0)[:, None])
+        assert grid.field_array("zonal")[3, 5] == 3.0
+
+    def test_area_mean_constant(self):
+        grid = LatLonGrid(12, 24)
+        grid.new_field("x", fill=5.0)
+        assert grid.area_mean("x") == pytest.approx(5.0)
+
+    def test_zonal_mean(self):
+        grid = LatLonGrid(4, 8)
+        grid.new_field("v")
+        grid.field_array("v")[2, :] = 2.0
+        assert grid.zonal_mean("v")[2] == 2.0
+
+
+class TestRegridding:
+    def test_identity_resolution(self):
+        src = LatLonGrid(8, 16)
+        dst = LatLonGrid(8, 16)
+        values = np.random.default_rng(0).normal(size=src.shape)
+        out = regrid_area_weighted(src, values, dst)
+        assert np.allclose(out, values)
+
+    def test_conserves_area_integral_coarsening(self):
+        src = LatLonGrid(24, 48)
+        dst = LatLonGrid(8, 16)
+        values = np.random.default_rng(1).normal(
+            loc=280.0, scale=10.0, size=src.shape
+        )
+        out = regrid_area_weighted(src, values, dst)
+        src_integral = (values * src.cell_area_m2).sum()
+        dst_integral = (out * dst.cell_area_m2).sum()
+        assert dst_integral == pytest.approx(src_integral, rel=1e-10)
+
+    def test_conserves_area_integral_refining(self):
+        src = LatLonGrid(6, 12)
+        dst = LatLonGrid(30, 60)
+        values = np.random.default_rng(2).uniform(size=src.shape)
+        out = regrid_area_weighted(src, values, dst)
+        assert (out * dst.cell_area_m2).sum() == pytest.approx(
+            (values * src.cell_area_m2).sum(), rel=1e-10
+        )
+
+    def test_constant_field_stays_constant(self):
+        src = LatLonGrid(10, 20)
+        dst = LatLonGrid(17, 23)
+        out = regrid_area_weighted(src, np.full(src.shape, 3.5), dst)
+        assert np.allclose(out, 3.5)
+
+    def test_shape_mismatch_raises(self):
+        src = LatLonGrid(4, 8)
+        with pytest.raises(ValueError):
+            regrid_area_weighted(src, np.ones((5, 8)), src)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=4, max_value=24),
+        st.integers(min_value=4, max_value=24),
+    )
+    def test_conservation_property(self, nlat_s, nlat_d, nlon_s, nlon_d):
+        src = LatLonGrid(nlat_s, nlon_s)
+        dst = LatLonGrid(nlat_d, nlon_d)
+        rng = np.random.default_rng(nlat_s * 100 + nlat_d)
+        values = rng.normal(size=src.shape)
+        out = regrid_area_weighted(src, values, dst)
+        assert (out * dst.cell_area_m2).sum() == pytest.approx(
+            (values * src.cell_area_m2).sum(), rel=1e-8, abs=1e-6
+        )

@@ -1,0 +1,153 @@
+"""IbisDeploy tests: descriptions, deployment, monitoring."""
+
+import pytest
+
+from repro.ibis.deploy import (
+    ApplicationDescription,
+    ClusterDescription,
+    Deploy,
+    GridDescription,
+    parse_grid_description,
+)
+from repro.ibis.gat import JobState
+from repro.jungle import make_lab_jungle, make_sc11_jungle
+
+GRID_FILE = """
+[defaults]
+user = niels
+middleware = ssh
+
+[VU]
+nodes = 8
+cores = 8
+frontend = fs0.das4.vu.nl
+
+[LGM]
+middleware = ssh
+nodes = 1
+gpu = Tesla C2050
+
+[TUD]
+middleware = sge
+nodes = 2
+"""
+
+
+class TestDescriptions:
+    def test_parse_grid_file(self):
+        grid = parse_grid_description(GRID_FILE)
+        assert grid.names() == ["LGM", "TUD", "VU"]
+        assert grid["VU"].nodes == 8
+        assert grid["VU"].frontend == "fs0.das4.vu.nl"
+        assert grid["VU"].user == "niels"
+        assert grid["LGM"].gpu == "Tesla C2050"
+        assert grid["TUD"].middleware == "sge"
+
+    def test_defaults_apply(self):
+        grid = parse_grid_description(GRID_FILE)
+        assert grid["VU"].middleware == "ssh"
+
+    def test_grid_container(self):
+        grid = GridDescription()
+        grid.add(ClusterDescription("X", nodes=4))
+        assert len(grid) == 1
+        assert [c.name for c in grid] == ["X"]
+
+    def test_application_defaults(self):
+        app = ApplicationDescription("amuse")
+        # AMUSE is preinstalled on resources (paper Sec. 5); only a
+        # small config file is staged
+        assert app.amuse_preinstalled
+        assert sum(app.files.values()) < 1_000_000
+
+
+class TestDeployment:
+    def test_full_deploy_on_lab_jungle(self):
+        jungle = make_lab_jungle()
+        deploy = Deploy(jungle, jungle.host("desktop"))
+        app = ApplicationDescription("amuse")
+        deploy.submit(app, jungle.sites["LGM (LU)"], "gravity",
+                      needs_gpu=True)
+        deploy.submit(app, jungle.sites["DAS-4 (UvA)"], "hydro",
+                      node_count=8)
+        assert deploy.wait_until_deployed()
+        states = {j["state"] for j in deploy.job_table()}
+        assert states == {JobState.RUNNING}
+
+    def test_hub_started_per_resource(self):
+        jungle = make_lab_jungle()
+        deploy = Deploy(jungle, jungle.host("desktop"))
+        app = ApplicationDescription("amuse")
+        deploy.submit(app, jungle.sites["LGM (LU)"], "gravity",
+                      needs_gpu=True)
+        hubs = set(deploy.factory.overlay.hubs)
+        assert "desktop" in hubs                 # root hub
+        assert "LGM (LU)-frontend" in hubs       # per-resource hub
+
+    def test_client_ibis_joins_pool(self):
+        jungle = make_lab_jungle()
+        deploy = Deploy(jungle, jungle.host("desktop"))
+        deploy.initialize()
+        assert deploy.registry.size() == 1
+
+    def test_default_worker_joins_pool(self):
+        jungle = make_lab_jungle()
+        deploy = Deploy(jungle, jungle.host("desktop"))
+        app = ApplicationDescription("amuse")
+        job = deploy.submit(
+            app, jungle.sites["LGM (LU)"], "gravity", needs_gpu=True
+        )
+        deploy.wait_until_deployed()
+        assert job.ibis is not None
+        assert deploy.registry.size() == 2      # client + worker
+
+    def test_cancel_all(self):
+        jungle = make_lab_jungle()
+        deploy = Deploy(jungle, jungle.host("desktop"))
+        app = ApplicationDescription("amuse")
+        deploy.submit(app, jungle.sites["DAS-4 (TUD)"], "coupling",
+                      node_count=2, needs_gpu=True)
+        deploy.wait_until_deployed()
+        deploy.cancel_all()
+        jungle.env.run(until=jungle.env.now + 10)
+        assert deploy.job_table()[0]["state"] == JobState.STOPPED
+
+
+class TestMonitor:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        jungle = make_sc11_jungle()
+        deploy = Deploy(jungle, jungle.host("laptop"))
+        app = ApplicationDescription("amuse")
+        deploy.submit(app, jungle.sites["LGM (LU)"], "gravity",
+                      needs_gpu=True)
+        deploy.submit(app, jungle.sites["DAS-4 (VU)"], "hydro",
+                      node_count=8)
+        deploy.wait_until_deployed()
+        return deploy.monitor.snapshot()
+
+    def test_resource_map_lists_all_sites(self, snapshot):
+        sites = {r["site"] for r in snapshot["resources"]}
+        assert "Seattle (SC11)" in sites
+        assert "LGM (LU)" in sites
+
+    def test_job_table_contents(self, snapshot):
+        roles = {j["role"] for j in snapshot["jobs"]}
+        assert roles == {"gravity", "hydro"}
+
+    def test_overlay_has_one_way_laptop_links(self, snapshot):
+        kinds = {
+            kind for a, b, kind in snapshot["overlay"]
+            if "laptop" in (a, b)
+        }
+        assert kinds == {"one-way"}
+
+    def test_file_staging_visible_in_traffic(self, snapshot):
+        # deployment staged config files; ipl/mpi still empty
+        assert snapshot["traffic_ipl"] == {}
+
+    def test_renderable(self, snapshot):
+        from repro.viz import render_snapshot
+        text = render_snapshot(snapshot)
+        assert "RESOURCES" in text and "JOBS" in text
+        assert "OVERLAY" in text

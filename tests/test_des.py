@@ -1,0 +1,284 @@
+"""Discrete-event simulation kernel tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jungle.des import (
+    Environment,
+    Interrupt,
+    SlotResource,
+    Store,
+    all_of,
+    any_of,
+)
+
+
+class TestEventsAndTime:
+    def test_timeout_value_and_clock(self):
+        env = Environment()
+
+        def proc(env):
+            value = yield env.timeout(2.5, value="tick")
+            return (value, env.now)
+
+        p = env.process(proc(env))
+        assert env.run_until_complete(p) == ("tick", 2.5)
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_equal_time_fifo_order(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            env.process(proc(env, name))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_limit(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(100.0)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_event_fail_propagates(self):
+        env = Environment()
+        evt = env.event()
+
+        def proc(env):
+            yield evt
+
+        p = env.process(proc(env))
+        evt.fail(RuntimeError("nope"))
+        with pytest.raises(RuntimeError, match="nope"):
+            env.run_until_complete(p)
+
+    def test_event_double_trigger_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(1)
+        with pytest.raises(RuntimeError):
+            evt.succeed(2)
+
+    def test_process_exception_captured(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("inside")
+
+        p = env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run_until_complete(p)
+
+    def test_process_must_yield_events(self):
+        env = Environment()
+
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_nested_processes(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(3.0)
+            return "inner-done"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return result + "!"
+
+        p = env.process(outer(env))
+        assert env.run_until_complete(p) == "inner-done!"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+                return "survived"
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        v = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(4.0)
+            v.interrupt("power cut")
+
+        env.process(killer(env))
+        env.run()
+        assert v.value == ("interrupted", "power cut", 4.0)
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(quick(env))
+        env.run()
+        p.interrupt("late")
+        env.run()
+        assert p.value == "done"
+
+
+class TestStore:
+    def test_fifo(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                results.append(item)
+
+        env.process(consumer(env))
+        for i in range(3):
+            store.put(i)
+        env.run()
+        assert results == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer(env):
+            yield env.timeout(7.0)
+            store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == ("late", 7.0)
+
+
+class TestSlotResource:
+    def test_capacity_respected(self):
+        env = Environment()
+        slots = SlotResource(env, 1)
+        order = []
+
+        def job(env, name):
+            yield slots.request()
+            order.append((name, env.now))
+            yield env.timeout(10.0)
+            slots.release()
+
+        env.process(job(env, "first"))
+        env.process(job(env, "second"))
+        env.run()
+        assert order == [("first", 0.0), ("second", 10.0)]
+
+    def test_release_without_request(self):
+        env = Environment()
+        slots = SlotResource(env, 1)
+        with pytest.raises(RuntimeError):
+            slots.release()
+
+    def test_queued_count(self):
+        env = Environment()
+        slots = SlotResource(env, 1)
+
+        def holder(env):
+            yield slots.request()
+            yield env.timeout(5.0)
+            slots.release()
+
+        def waiter(env):
+            yield slots.request()
+            slots.release()
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert slots.queued == 1
+
+
+class TestComposites:
+    def test_all_of(self):
+        env = Environment()
+        events = [env.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        gate = all_of(env, events)
+
+        def proc(env):
+            values = yield gate
+            return (values, env.now)
+
+        p = env.process(proc(env))
+        assert env.run_until_complete(p) == ([3.0, 1.0, 2.0], 3.0)
+
+    def test_any_of(self):
+        env = Environment()
+        events = [env.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+
+        def proc(env):
+            value = yield any_of(env, events)
+            return (value, env.now)
+
+        p = env.process(proc(env))
+        assert env.run_until_complete(p) == (1.0, 1.0)
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_completion_times_sorted(self, delays):
+        env = Environment()
+        completions = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            completions.append(env.now)
+
+        for delay in delays:
+            env.process(proc(env, delay))
+        env.run()
+        assert completions == sorted(completions)
+        assert len(completions) == len(delays)
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_repeat_runs_identical(self, n):
+        def build():
+            env = Environment()
+            log = []
+
+            def proc(env, i):
+                yield env.timeout(i % 5)
+                log.append((env.now, i))
+
+            for i in range(n):
+                env.process(proc(env, i))
+            env.run()
+            return log
+
+        assert build() == build()

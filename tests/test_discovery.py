@@ -1,0 +1,114 @@
+"""Automatic resource discovery tests (paper Sec. 4.3 requirement 5)."""
+
+import pytest
+
+from repro.distributed.discovery import (
+    candidate_hosts,
+    discover_placement,
+)
+from repro.jungle import (
+    IterationWorkload,
+    make_desktop_jungle,
+    make_lab_jungle,
+    make_sc11_jungle,
+)
+
+
+class TestCandidates:
+    def test_gpu_roles_prefer_gpu_hosts(self):
+        jungle = make_lab_jungle()
+        candidates = candidate_hosts(jungle, "gravity")
+        gpu_sites = {
+            host.site for host, _ in candidates if host.has_gpu
+        }
+        assert "LGM (LU)" in gpu_sites
+        assert "DAS-4 (TUD)" in gpu_sites
+
+    def test_hydro_gets_multinode_option(self):
+        jungle = make_lab_jungle()
+        candidates = candidate_hosts(jungle, "hydro")
+        assert any(nodes == 8 for _, nodes in candidates)
+
+    def test_allowed_sites_filter(self):
+        jungle = make_lab_jungle()
+        candidates = candidate_hosts(
+            jungle, "se", allowed_sites={"DAS-4 (UvA)"}
+        )
+        assert {host.site for host, _ in candidates} == {"DAS-4 (UvA)"}
+
+
+class TestDiscovery:
+    def test_lab_jungle_recovers_paper_placement(self):
+        """On the Fig. 12 resources the best placement is the paper's:
+        coupling on a GPU, gravity on the Tesla, hydro multi-node."""
+        jungle = make_lab_jungle()
+        placement, predicted = discover_placement(
+            jungle, jungle.host("desktop")
+        )
+        assert placement.host("coupling").has_gpu
+        assert placement.host("gravity").has_gpu
+        # hydro moves off the desktop onto a cluster node (the poor
+        # small-N scaling makes 1 vs 8 nodes a tie in the cost model,
+        # so either node count is acceptable)
+        assert placement.host("hydro").site != "VU desktop"
+        # at least as good as the hand-built jungle scenario (~58 s)
+        assert predicted["total_s"] <= 60.0
+
+    def test_desktop_only_falls_back_to_local(self):
+        jungle = make_desktop_jungle(with_gpu=True)
+        placement, predicted = discover_placement(
+            jungle, jungle.host("desktop")
+        )
+        assert {placement.host(r).name for r in placement.roles()} \
+            == {"desktop"}
+
+    def test_discovery_beats_naive_placement(self):
+        """The discovered placement must beat running everything on
+        the client machine."""
+        from repro.jungle import CostModel, Placement
+
+        jungle = make_sc11_jungle()
+        laptop = jungle.host("laptop")
+        discovered, predicted = discover_placement(jungle, laptop)
+        naive = Placement(coupler_host=laptop)
+        for role in ("coupling", "gravity", "hydro", "se"):
+            naive.assign(role, laptop, channel="direct")
+        naive_cost = CostModel(jungle).iteration_time(
+            IterationWorkload(), naive
+        )
+        assert predicted["total_s"] < naive_cost["total_s"]
+
+    def test_respects_allowed_sites(self):
+        jungle = make_lab_jungle()
+        placement, _ = discover_placement(
+            jungle, jungle.host("desktop"),
+            allowed_sites={"DAS-4 (UvA)", "VU desktop"},
+        )
+        used = {placement.host(r).site for r in placement.roles()}
+        assert used <= {"DAS-4 (UvA)", "VU desktop"}
+
+    def test_impossible_roles_raise(self):
+        jungle = make_desktop_jungle()
+        with pytest.raises(ValueError, match="no suitable"):
+            discover_placement(
+                jungle, jungle.host("desktop"), allowed_sites=set()
+            )
+
+    def test_capacity_feasibility(self):
+        """Discovery never over-subscribes a site with multi-node
+        reservations (single-node roles may share a machine, like the
+        paper's desktop scenarios)."""
+        jungle = make_lab_jungle()
+        placement, _ = discover_placement(
+            jungle, jungle.host("desktop")
+        )
+        demand = {}
+        for role in placement.roles():
+            nodes = placement.nodes(role)
+            if nodes > 1:
+                site = placement.host(role).site
+                demand[site] = demand.get(site, 0) + nodes
+        for site_name, wanted in demand.items():
+            assert wanted <= len(
+                jungle.sites[site_name].compute_hosts
+            )

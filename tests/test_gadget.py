@@ -1,0 +1,166 @@
+"""Gadget SPH interface tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes.gadget import (
+    GadgetInterface,
+    ParallelGadget,
+    cubic_spline_gradient,
+    cubic_spline_kernel,
+)
+from repro.ic import new_plummer_gas_model
+from repro.mpi import World
+
+
+def load_gas(interface, n=200, rng=1, **kwargs):
+    gas = new_plummer_gas_model(n, rng=rng, **kwargs)
+    p, v = gas.position.number, gas.velocity.number
+    ids = interface.new_particle(
+        gas.mass.number, p[:, 0], p[:, 1], p[:, 2],
+        v[:, 0], v[:, 1], v[:, 2], gas.u.number,
+    )
+    return ids, gas
+
+
+class TestKernelFunction:
+    def test_normalisation(self):
+        """Integral of W over its support must be 1."""
+        h = 1.0
+        r = np.linspace(0, 2 * h, 2000)
+        w = cubic_spline_kernel(r, h)
+        integral = np.trapezoid(4.0 * np.pi * r ** 2 * w, r)
+        assert integral == pytest.approx(1.0, rel=1e-3)
+
+    def test_compact_support(self):
+        assert cubic_spline_kernel(2.1, 1.0) == 0.0
+        assert cubic_spline_gradient(2.1, 1.0) == 0.0
+
+    def test_gradient_negative_inside(self):
+        r = np.linspace(0.1, 1.9, 50)
+        assert np.all(cubic_spline_gradient(r, 1.0) < 0)
+
+    def test_kernel_peak_at_center(self):
+        assert cubic_spline_kernel(0.0, 1.0) > cubic_spline_kernel(
+            0.5, 1.0
+        )
+
+
+class TestDensity:
+    def test_density_positive(self):
+        g = GadgetInterface()
+        load_gas(g)
+        g.ensure_state("RUN")
+        assert np.all(g.get_density() > 0)
+
+    def test_density_higher_in_center(self):
+        g = GadgetInterface()
+        ids, gas = load_gas(g, n=500)
+        g.ensure_state("RUN")
+        r = np.linalg.norm(g.get_position(), axis=1)
+        rho = g.get_density()
+        assert rho[r < 0.3].mean() > 3.0 * rho[r > 1.5].mean()
+
+    def test_uniform_lattice_density(self):
+        """A uniform lattice should give ~the lattice density."""
+        g = GadgetInterface(self_gravity=False, n_neighbours=32)
+        side = 8
+        grid = np.stack(
+            np.meshgrid(*[np.arange(side)] * 3), axis=-1
+        ).reshape(-1, 3).astype(float)
+        n = len(grid)
+        g.new_particle(
+            np.full(n, 1.0 / n), grid[:, 0], grid[:, 1], grid[:, 2],
+            np.zeros(n), np.zeros(n), np.zeros(n), np.full(n, 1.0),
+        )
+        g.ensure_state("RUN")
+        rho = g.get_density()
+        interior = (
+            (grid > 1.5).all(axis=1) & (grid < side - 2.5).all(axis=1)
+        )
+        expected = 1.0 / n  # one particle of mass 1/n per unit volume
+        assert rho[interior].mean() == pytest.approx(expected, rel=0.2)
+
+
+class TestDynamics:
+    def test_energy_drift_bounded(self):
+        g = GadgetInterface(courant=0.2)
+        load_gas(g, n=150)
+        g.ensure_state("RUN")
+        e0 = g.get_total_energy()
+        g.evolve_model(0.1)
+        e1 = g.get_total_energy()
+        assert abs((e1 - e0) / e0) < 0.05
+
+    def test_hot_gas_expands(self):
+        g = GadgetInterface(self_gravity=False)
+        ids, gas = load_gas(g, n=150, virial_ratio=4.0)
+        r0 = np.linalg.norm(g.get_position(), axis=1).mean()
+        g.ensure_state("RUN")
+        g.evolve_model(0.2)
+        r1 = np.linalg.norm(g.get_position(), axis=1).mean()
+        assert r1 > r0 * 1.05
+
+    def test_model_time(self):
+        g = GadgetInterface()
+        load_gas(g, n=64)
+        g.ensure_state("RUN")
+        g.evolve_model(0.05)
+        assert g.get_model_time() == pytest.approx(0.05, abs=1e-9)
+
+    def test_internal_energy_floor(self):
+        g = GadgetInterface()
+        ids, gas = load_gas(g, n=64)
+        g.set_internal_energy(ids, np.full(len(ids), 1e-15))
+        g.ensure_state("RUN")
+        g.evolve_model(0.02)
+        assert np.all(g.get_internal_energy() > 0)
+
+
+class TestFeedbackSurface:
+    def test_add_internal_energy(self):
+        g = GadgetInterface()
+        ids, gas = load_gas(g, n=32)
+        before = g.get_internal_energy(ids[:3]).copy()
+        g.add_internal_energy(ids[:3], np.full(3, 10.0))
+        after = g.get_internal_energy(ids[:3])
+        assert np.allclose(after - before, 10.0)
+
+    def test_thermal_energy_accounting(self):
+        g = GadgetInterface()
+        ids, gas = load_gas(g, n=32)
+        e0 = g.get_thermal_energy()
+        g.add_internal_energy(ids, np.full(len(ids), 1.0))
+        e1 = g.get_thermal_energy()
+        total_mass = g.get_mass().sum()
+        assert e1 - e0 == pytest.approx(total_mass, rel=1e-9)
+
+
+class TestParallel:
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_parallel_matches_serial(self, ranks):
+        serial = GadgetInterface(max_dt=1.0 / 64.0)
+        load_gas(serial, n=120, rng=9)
+        serial.ensure_state("RUN")
+        serial.evolve_model(1.0 / 16.0)
+
+        par = GadgetInterface(max_dt=1.0 / 64.0)
+        load_gas(par, n=120, rng=9)
+        par.ensure_state("RUN")
+        ParallelGadget(par, World(ranks)).evolve_model(1.0 / 16.0)
+
+        assert np.allclose(
+            serial.get_position(), par.get_position(),
+            rtol=1e-9, atol=1e-12,
+        )
+        assert np.allclose(
+            serial.get_internal_energy(), par.get_internal_energy(),
+            rtol=1e-9,
+        )
+
+    def test_parallel_updates_model_time(self):
+        g = GadgetInterface()
+        load_gas(g, n=48)
+        g.ensure_state("RUN")
+        ParallelGadget(g, World(2)).evolve_model(0.03)
+        assert g.model_time == pytest.approx(0.03, abs=1e-9)

@@ -1,0 +1,227 @@
+"""PyGAT tests: adaptor selection, job lifecycle, files."""
+
+import pytest
+
+from repro.ibis.gat import (
+    GAT,
+    GATError,
+    JobDescription,
+    JobState,
+    LocalAdaptor,
+    SshAdaptor,
+)
+from repro.jungle import FirewallPolicy, Host, Jungle, Site
+
+
+@pytest.fixture
+def jungle():
+    j = Jungle()
+    client_site = j.new_site("home", "standalone", middleware="local")
+    client = Host("client", policy=FirewallPolicy.OPEN)
+    client_site.add_host(client, frontend=True)
+
+    cluster = Site("cluster", "cluster")
+    j.add_site(cluster)
+    fe = Host("fe", policy=FirewallPolicy.OPEN)
+    cluster.add_host(fe, frontend=True)
+    cluster.add_hosts("node", 4, policy=FirewallPolicy.ISOLATED)
+    cluster.add_middleware("pbs", j.env, slots=4)
+
+    gpu_site = Site("gpusite", "cluster")
+    j.add_site(gpu_site)
+    gpu_fe = Host("gpu-fe", policy=FirewallPolicy.OPEN)
+    gpu_site.add_host(gpu_fe, frontend=True)
+    from repro.jungle import TESLA_C2050
+    gpu_site.add_hosts("gnode", 2, gpu=TESLA_C2050)
+    gpu_site.add_middleware("ssh", j.env)
+
+    j.connect("home", "cluster", 0.005, 1.0)
+    j.connect("home", "gpusite", 0.002, 1.0)
+    return j
+
+
+@pytest.fixture
+def gat(jungle):
+    return GAT(jungle, jungle.host("client"))
+
+
+class TestAdaptorSelection:
+    def test_pbs_site_uses_pbs_adaptor(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0),
+            jungle.sites["cluster"],
+        )
+        assert job.adaptor_name == "PbsAdaptor"
+
+    def test_ssh_site_uses_ssh_adaptor(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0),
+            jungle.sites["gpusite"],
+        )
+        assert job.adaptor_name == "SshAdaptor"
+
+    def test_no_adaptor_raises_with_causes(self, gat, jungle):
+        empty = Site("bare", "standalone")
+        jungle.add_site(empty)
+        empty.add_host(Host("h"))
+        with pytest.raises(GATError) as err:
+            gat.submit_job(JobDescription("j"), empty)
+        assert len(err.value.causes) > 0
+
+    def test_adaptor_log(self, gat, jungle):
+        gat.submit_job(
+            JobDescription("logged", duration_s=1.0),
+            jungle.sites["cluster"],
+        )
+        assert ("logged", "cluster", "pbs") in gat.adaptor_log
+
+    def test_preferred_adaptor_ordering(self, jungle):
+        # a site speaking two middlewares honours the preference
+        site = jungle.sites["cluster"]
+        site.add_middleware("ssh", jungle.env)
+        gat = GAT(jungle, jungle.host("client"))
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0), site, preferred="ssh"
+        )
+        assert job.adaptor_name == "SshAdaptor"
+
+
+class TestJobLifecycle:
+    def test_states_progress(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=10.0),
+            jungle.sites["cluster"],
+        )
+        states = []
+        job.add_state_listener(lambda j, s: states.append(s))
+        jungle.env.run()
+        assert states == [
+            JobState.PRE_STAGING, JobState.SCHEDULED,
+            JobState.RUNNING, JobState.POST_STAGING, JobState.STOPPED,
+        ]
+
+    def test_pbs_queue_delay_charged(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        # pbs: 5 s submit + 30 s queue
+        assert job.started_at >= 35.0
+
+    def test_when_state_event(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=5.0),
+            jungle.sites["gpusite"],
+        )
+        event = job.when_state(JobState.RUNNING)
+        jungle.env.run()
+        assert event.triggered
+        assert job.state == JobState.STOPPED
+
+    def test_when_state_already_passed(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0),
+            jungle.sites["gpusite"],
+        )
+        jungle.env.run()
+        event = job.when_state(JobState.RUNNING)   # already beyond
+        assert event.triggered
+
+    def test_needs_gpu_host_selection(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0, needs_gpu=True),
+            jungle.sites["gpusite"],
+        )
+        jungle.env.run()
+        assert all(h.has_gpu for h in job.hosts)
+
+    def test_gpu_unavailable_is_submission_error(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1.0, needs_gpu=True),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert job.state == JobState.SUBMISSION_ERROR
+        assert isinstance(job.error, GATError)
+
+    def test_node_count_respected(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", node_count=3, duration_s=1.0),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert len(job.hosts) == 3
+
+    def test_slots_serialise_jobs(self, gat, jungle):
+        first = gat.submit_job(
+            JobDescription("a", node_count=4, duration_s=50.0),
+            jungle.sites["cluster"],
+        )
+        second = gat.submit_job(
+            JobDescription("b", node_count=4, duration_s=1.0),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert second.started_at >= first.stopped_at - 1e-9
+
+    def test_cancel(self, gat, jungle):
+        job = gat.submit_job(
+            JobDescription("j", duration_s=1e9),
+            jungle.sites["gpusite"],
+        )
+        jungle.env.run(until=30.0)
+        assert job.state == JobState.RUNNING
+        job.cancel()
+        jungle.env.run(until=40.0)
+        assert job.state == JobState.STOPPED
+        assert job.error is not None
+
+    def test_body_runs_with_hosts(self, gat, jungle):
+        seen = {}
+
+        def body(env, hosts):
+            seen["hosts"] = [h.name for h in hosts]
+            yield env.timeout(1.0)
+
+        job = gat.submit_job(
+            JobDescription("j", node_count=2, body=body),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert len(seen["hosts"]) == 2
+        assert job.state == JobState.STOPPED
+
+
+class TestFiles:
+    def test_stage_in_charges_transfer(self, gat, jungle):
+        gat.submit_job(
+            JobDescription(
+                "j", duration_s=1.0,
+                stage_in={"data.bin": 10_000_000},
+            ),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert jungle.network.traffic.matrix("file")[
+            ("home", "cluster")] == 10_000_000
+
+    def test_stage_out(self, gat, jungle):
+        gat.submit_job(
+            JobDescription(
+                "j", duration_s=1.0, stage_out={"result": 2048}
+            ),
+            jungle.sites["cluster"],
+        )
+        jungle.env.run()
+        assert jungle.network.traffic.matrix("file")[
+            ("cluster", "home")] == 2048
+
+    def test_job_table(self, gat, jungle):
+        gat.submit_job(
+            JobDescription("named", duration_s=1.0, role="hydro"),
+            jungle.sites["cluster"],
+        )
+        table = gat.job_table()
+        assert table[0]["name"] == "named"
+        assert table[0]["role"] == "hydro"

@@ -1,0 +1,133 @@
+"""Initial-condition generator tests (Plummer, IMFs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ic import (
+    new_kroupa_mass_distribution,
+    new_plummer_gas_model,
+    new_plummer_model,
+    new_salpeter_mass_distribution,
+)
+from repro.units import nbody_system, units
+
+
+class TestPlummer:
+    def test_standard_units(self):
+        p = new_plummer_model(300, rng=0)
+        assert p.total_mass().number == pytest.approx(1.0)
+        assert p.kinetic_energy().number == pytest.approx(0.25, rel=1e-8)
+        assert p.potential_energy(
+            G=nbody_system.G).number == pytest.approx(-0.5, rel=1e-8)
+
+    def test_virial_radius_unity(self):
+        p = new_plummer_model(300, rng=1)
+        assert p.virial_radius().number == pytest.approx(1.0, rel=1e-6)
+
+    def test_centered(self):
+        p = new_plummer_model(100, rng=2)
+        assert np.allclose(p.center_of_mass().number, 0.0, atol=1e-12)
+        assert np.allclose(
+            p.center_of_mass_velocity().number, 0.0, atol=1e-12
+        )
+
+    def test_determinism(self):
+        a = new_plummer_model(50, rng=7)
+        b = new_plummer_model(50, rng=7)
+        assert np.array_equal(a.position.number, b.position.number)
+
+    def test_different_seeds_differ(self):
+        a = new_plummer_model(50, rng=7)
+        b = new_plummer_model(50, rng=8)
+        assert not np.array_equal(a.position.number, b.position.number)
+
+    def test_converted_to_si(self):
+        conv = nbody_system.nbody_to_si(
+            500.0 | units.MSun, 2.0 | units.parsec
+        )
+        p = new_plummer_model(100, convert_nbody=conv, rng=3)
+        assert p.total_mass().value_in(units.MSun) == pytest.approx(
+            500.0
+        )
+
+    def test_half_mass_radius_matches_plummer(self):
+        # Plummer: r_h ~ 0.7686 in virial units
+        p = new_plummer_model(3000, rng=4)
+        r_h = p.lagrangian_radii(fractions=(0.5,)).number[0]
+        assert r_h == pytest.approx(0.7686, rel=0.1)
+
+    def test_unscaled_model(self):
+        p = new_plummer_model(100, rng=5, do_scale=False)
+        assert p.total_mass().number == pytest.approx(1.0)
+
+
+class TestGasPlummer:
+    def test_cold_bulk(self):
+        gas = new_plummer_gas_model(200, rng=0)
+        assert np.all(gas.velocity.number == 0.0)
+
+    def test_internal_energy_positive_and_central(self):
+        gas = new_plummer_gas_model(500, rng=1)
+        u = gas.u.number
+        assert np.all(u > 0)
+        r = np.linalg.norm(gas.position.number, axis=1)
+        # central gas is hotter than the outskirts
+        assert u[r < 0.3].mean() > u[r > 1.5].mean()
+
+    def test_gas_fraction_scales_mass(self):
+        gas = new_plummer_gas_model(100, rng=2, gas_fraction=0.5)
+        assert gas.total_mass().number == pytest.approx(0.5)
+
+    def test_si_conversion(self):
+        conv = nbody_system.nbody_to_si(
+            100.0 | units.MSun, 1.0 | units.parsec
+        )
+        gas = new_plummer_gas_model(100, convert_nbody=conv, rng=3)
+        assert gas.u.unit.powers == (
+            units.J / units.kg).base_form().powers
+
+
+class TestIMF:
+    def test_salpeter_bounds(self):
+        m = new_salpeter_mass_distribution(
+            500, mass_min=0.5, mass_max=20.0, rng=0
+        ).value_in(units.MSun)
+        assert m.min() >= 0.5
+        assert m.max() <= 20.0
+
+    def test_salpeter_slope(self):
+        m = new_salpeter_mass_distribution(
+            200000, mass_min=1.0, mass_max=100.0, rng=1
+        ).value_in(units.MSun)
+        # fraction above 10 MSun for alpha=2.35 on [1,100]:
+        # (10^-1.35 - 100^-1.35)/(1 - 100^-1.35) ~ 0.0435
+        frac = (m > 10.0).mean()
+        assert frac == pytest.approx(0.0435, rel=0.15)
+
+    def test_kroupa_bounds_and_median(self):
+        m = new_kroupa_mass_distribution(
+            20000, mass_min=0.08, mass_max=50.0, rng=2
+        ).value_in(units.MSun)
+        assert m.min() >= 0.08
+        assert m.max() <= 50.0
+        # Kroupa median is well below a solar mass
+        assert 0.1 < np.median(m) < 0.6
+
+    def test_determinism(self):
+        a = new_salpeter_mass_distribution(100, rng=5)
+        b = new_salpeter_mass_distribution(100, rng=5)
+        assert np.array_equal(a.number, b.number)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=2000),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    def test_salpeter_property_bounds(self, n, m_lo):
+        m = new_salpeter_mass_distribution(
+            n, mass_min=m_lo, mass_max=m_lo * 50.0, rng=n
+        ).value_in(units.MSun)
+        assert len(m) == n
+        assert m.min() >= m_lo * (1 - 1e-12)
+        assert m.max() <= m_lo * 50.0 * (1 + 1e-12)

@@ -1,0 +1,139 @@
+"""Dataset I/O round-trip tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import Particles
+from repro.io import read_set_from_file, write_set_to_file
+from repro.units import units
+
+
+@pytest.fixture
+def stars():
+    p = Particles(5)
+    p.mass = np.linspace(1.0, 5.0, 5) | units.MSun
+    p.position = np.arange(15.0).reshape(5, 3) | units.parsec
+    p.velocity = np.ones((5, 3)) | units.kms
+    p.stellar_type = np.array([1.0, 1, 3, 13, 14])
+    return p
+
+
+@pytest.mark.parametrize("fmt,suffix", [
+    ("amuse-txt", "snap.amuse"),
+    ("npz", "snap.npz"),
+])
+class TestRoundTrip:
+    def test_attributes_survive(self, stars, tmp_path, fmt, suffix):
+        path = tmp_path / suffix
+        write_set_to_file(stars, path, format=fmt)
+        back = read_set_from_file(path, format=fmt)
+        assert back.attribute_names() == stars.attribute_names()
+        assert np.allclose(
+            back.mass.value_in(units.MSun),
+            stars.mass.value_in(units.MSun),
+        )
+        assert np.allclose(
+            back.position.value_in(units.parsec),
+            stars.position.value_in(units.parsec),
+        )
+
+    def test_keys_preserved_for_channels(self, stars, tmp_path, fmt,
+                                         suffix):
+        path = tmp_path / suffix
+        write_set_to_file(stars, path, format=fmt)
+        back = read_set_from_file(path, format=fmt)
+        assert np.array_equal(back.key, stars.key)
+        # a channel between the restored and original set still works
+        back.mass = back.mass * 2.0
+        back.new_channel_to(stars).copy_attributes(["mass"])
+        assert stars.mass.value_in(units.MSun)[0] == pytest.approx(2.0)
+
+    def test_units_exact(self, stars, tmp_path, fmt, suffix):
+        path = tmp_path / suffix
+        write_set_to_file(stars, path, format=fmt)
+        back = read_set_from_file(path, format=fmt)
+        assert back.mass.unit.powers == stars.mass.unit.powers
+        assert back.mass.unit.factor == pytest.approx(
+            stars.mass.unit.factor
+        )
+
+    def test_unitless_attributes(self, stars, tmp_path, fmt, suffix):
+        path = tmp_path / suffix
+        write_set_to_file(stars, path, format=fmt)
+        back = read_set_from_file(path, format=fmt)
+        assert np.array_equal(back.stellar_type, stars.stellar_type)
+        assert not isinstance(
+            back.stellar_type, type(back.mass)
+        )
+
+
+class TestTextFormat:
+    def test_header_is_self_describing(self, stars, tmp_path):
+        path = tmp_path / "s.amuse"
+        write_set_to_file(stars, path, format="amuse-txt")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "#amuse-repro-1"
+        assert "mass" in lines[1]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.amuse"
+        path.write_text("not a snapshot\n")
+        with pytest.raises(ValueError):
+            read_set_from_file(path, format="amuse-txt")
+
+    def test_unknown_format(self, stars, tmp_path):
+        with pytest.raises(ValueError):
+            write_set_to_file(stars, tmp_path / "x", format="hdf9")
+        with pytest.raises(ValueError):
+            read_set_from_file(tmp_path / "x", format="hdf9")
+
+    def test_empty_set(self, tmp_path):
+        empty = Particles(0)
+        path = tmp_path / "empty.amuse"
+        write_set_to_file(empty, path, format="amuse-txt")
+        back = read_set_from_file(path, format="amuse-txt")
+        assert len(back) == 0
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e6),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_text_round_trip_precision(self, masses):
+        import tempfile
+        from pathlib import Path
+
+        p = Particles(len(masses))
+        p.mass = np.array(masses) | units.MSun
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.amuse"
+            write_set_to_file(p, path, format="amuse-txt")
+            back = read_set_from_file(path, format="amuse-txt")
+        assert np.allclose(
+            back.mass.value_in(units.MSun), masses, rtol=1e-15
+        )
+
+
+class TestSimulationSnapshot:
+    def test_snapshot_of_live_simulation(self, tmp_path):
+        """Snapshot a running coupled simulation and restore it."""
+        from repro.coupling import EmbeddedClusterSimulation
+
+        sim = EmbeddedClusterSimulation(
+            n_stars=8, n_gas=32, rng=9, bridge_timestep_myr=0.05
+        )
+        sim.evolve_one_iteration()
+        gas = sim.hydro.particles
+        path = tmp_path / "gas.npz"
+        write_set_to_file(gas, path, format="npz")
+        restored = read_set_from_file(path, format="npz")
+        assert np.array_equal(
+            restored.position.number, gas.position.number
+        )
+        assert np.array_equal(restored.u.number, gas.u.number)
+        sim.stop()

@@ -1,0 +1,235 @@
+"""IPL tests: registry, ports, messages, fault tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.ibis.ipl import (
+    DeadIbisError,
+    Ibis,
+    IplError,
+    ONE_TO_ONE_OBJECT,
+    PortType,
+    Registry,
+)
+from repro.ibis.smartsockets import VirtualSocketFactory
+from repro.jungle import FirewallPolicy, Host, Jungle
+
+
+@pytest.fixture
+def pool():
+    j = Jungle()
+    site = j.new_site("site", "cluster")
+    a = site.add_host(Host("a", policy=FirewallPolicy.OPEN),
+                      frontend=True)
+    b = site.add_host(Host("b", policy=FirewallPolicy.OPEN))
+    factory = VirtualSocketFactory(j)
+    factory.overlay.add_hub(a)
+    registry = Registry(j, pool="test")
+    ibis_a = Ibis(registry, a, "alpha", factory)
+    ibis_b = Ibis(registry, b, "beta", factory)
+    return j, registry, ibis_a, ibis_b
+
+
+def send_one(j, tx, rx_ibis, payload, port="in"):
+    def client(env):
+        if tx.connection is None:
+            yield from tx.connect(rx_ibis.identifier, port)
+        msg = tx.new_message()
+        msg.write(payload)
+        n = yield from msg.finish()
+        return n
+
+    p = j.env.process(client(j.env))
+    j.env.run()
+    if not p.ok:
+        raise p._value
+    return p.value
+
+
+class TestRegistry:
+    def test_members_after_join(self, pool):
+        _, registry, ibis_a, ibis_b = pool
+        assert registry.size() == 2
+
+    def test_double_join_rejected(self, pool):
+        j, registry, ibis_a, _ = pool
+        with pytest.raises(IplError):
+            registry.join(ibis_a)
+
+    def test_join_left_events(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        events = []
+        registry.add_listener(
+            "t", lambda ev, ident: events.append((ev, ident.name))
+        )
+        site = j.sites["site"]
+        c = site.add_host(Host("c", policy=FirewallPolicy.OPEN))
+        ibis_c = Ibis(registry, c, "gamma", ibis_a.factory)
+        ibis_c.end()
+        assert events == [("joined", "gamma"), ("left", "gamma")]
+
+    def test_elections_first_wins(self, pool):
+        _, registry, ibis_a, ibis_b = pool
+        winner = registry.elect("coordinator", ibis_a.identifier)
+        later = registry.elect("coordinator", ibis_b.identifier)
+        assert winner == later == ibis_a.identifier
+        assert registry.get_election_result("coordinator") == \
+            ibis_a.identifier
+
+    def test_signals(self, pool):
+        _, registry, ibis_a, ibis_b = pool
+        registry.signal("pause", ibis_b.identifier)
+        assert ibis_b.signals == ["pause"]
+        assert ibis_a.signals == []
+
+    def test_died_notification(self, pool):
+        _, registry, ibis_a, ibis_b = pool
+        died = []
+        registry.add_listener(
+            "mon", lambda ev, ident: died.append((ev, ident.name))
+        )
+        registry.declare_dead(ibis_b.identifier)
+        assert ("died", "beta") in died
+        assert registry.is_dead(ibis_b.identifier)
+        assert registry.size() == 1
+
+
+class TestPorts:
+    def test_message_round_trip(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        rx = ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        send_one(j, tx, ibis_b, {"cmd": "go"})
+
+        def server(env):
+            msg = yield rx.receive()
+            return msg.read()
+
+        p = j.env.process(server(j.env))
+        j.env.run()
+        assert p.value == {"cmd": "go"}
+
+    def test_array_payload_byte_accounting(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        rx = ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        n = send_one(j, tx, ibis_b, np.zeros(1000))
+        assert n >= 8000
+        assert rx.bytes_received == n
+        assert tx.bytes_sent == n
+
+    def test_fifo_order(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        rx = ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+
+        def client(env):
+            yield from tx.connect(ibis_b.identifier, "in")
+            for i in range(3):
+                msg = tx.new_message()
+                msg.write(i)
+                yield from msg.finish()
+
+        def server(env):
+            got = []
+            for _ in range(3):
+                msg = yield rx.receive()
+                got.append(msg.read())
+            return got
+
+        j.env.process(client(j.env))
+        p = j.env.process(server(j.env))
+        j.env.run()
+        assert p.value == [0, 1, 2]
+
+    def test_upcall_delivery(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        received = []
+        ibis_b.create_receive_port(
+            ONE_TO_ONE_OBJECT, "in",
+            upcall=lambda port, msg: received.append(msg.read()),
+        )
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        send_one(j, tx, ibis_b, "ding")
+        assert received == ["ding"]
+
+    def test_explicit_receive_on_upcall_port_rejected(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        port = ibis_b.create_receive_port(
+            ONE_TO_ONE_OBJECT, "in", upcall=lambda p, m: None
+        )
+        with pytest.raises(IplError):
+            port.receive()
+
+    def test_port_type_mismatch(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        other_type = PortType(PortType.CONNECTION_ONE_TO_MANY)
+        ibis_b.create_receive_port(other_type, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        with pytest.raises(IplError):
+            send_one(j, tx, ibis_b, "x")
+
+    def test_duplicate_receive_port_name(self, pool):
+        _, _, _, ibis_b = pool
+        ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        with pytest.raises(IplError):
+            ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+
+    def test_unknown_port_name(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        with pytest.raises(IplError):
+            send_one(j, tx, ibis_b, "x", port="nope")
+
+    def test_unconnected_send_rejected(self, pool):
+        j, _, ibis_a, _ = pool
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        msg = tx.new_message()
+        with pytest.raises(IplError):
+            j.env.run_until_complete(
+                j.env.process(msg.finish())
+            )
+
+    def test_message_exhaustion(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        rx = ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        send_one(j, tx, ibis_b, "only")
+
+        def server(env):
+            msg = yield rx.receive()
+            msg.read()
+            with pytest.raises(IplError):
+                msg.read()
+            return msg.remaining()
+
+        p = j.env.process(server(j.env))
+        j.env.run()
+        assert p.value == 0
+
+
+class TestFaultTolerance:
+    def test_send_to_dead_ibis_raises(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        send_one(j, tx, ibis_b, "first")
+        registry.declare_dead(ibis_b.identifier)
+        with pytest.raises(DeadIbisError):
+            send_one(j, tx, ibis_b, "second")
+
+    def test_connect_to_dead_ibis_raises(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        registry.declare_dead(ibis_b.identifier)
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        with pytest.raises(DeadIbisError):
+            send_one(j, tx, ibis_b, "x")
+
+    def test_connect_to_unknown_ibis(self, pool):
+        j, registry, ibis_a, ibis_b = pool
+        ibis_b.end()
+        ibis_b.create_receive_port(ONE_TO_ONE_OBJECT, "in")
+        tx = ibis_a.create_send_port(ONE_TO_ONE_OBJECT)
+        with pytest.raises(IplError):
+            send_one(j, tx, ibis_b, "x")

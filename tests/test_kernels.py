@@ -1,0 +1,201 @@
+"""Gravity kernel tests: direct summation and the Barnes–Hut octree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.kernels import (
+    Octree,
+    direct_acc_jerk,
+    direct_acceleration,
+    direct_potential,
+    total_energy,
+)
+
+
+@pytest.fixture
+def system():
+    rng = np.random.default_rng(3)
+    n = 300
+    return (
+        rng.normal(size=(n, 3)),
+        rng.normal(size=(n, 3)) * 0.1,
+        rng.uniform(0.5, 1.0, n) / n,
+    )
+
+
+class TestDirect:
+    def test_two_body_newton(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        mass = np.array([1.0, 2.0])
+        acc = direct_acceleration(pos, mass)
+        assert acc[0, 0] == pytest.approx(2.0)   # G m2 / r^2
+        assert acc[1, 0] == pytest.approx(-1.0)
+
+    def test_momentum_conservation(self, system):
+        pos, vel, mass = system
+        acc = direct_acceleration(pos, mass, eps2=1e-4)
+        total_force = (mass[:, None] * acc).sum(axis=0)
+        assert np.allclose(total_force, 0.0, atol=1e-10)
+
+    def test_softening_bounds_force(self):
+        pos = np.array([[0.0, 0, 0], [1e-8, 0, 0]])
+        mass = np.array([1.0, 1.0])
+        acc = direct_acceleration(pos, mass, eps2=1e-2)
+        assert np.linalg.norm(acc[0]) < 1.0
+
+    def test_external_targets(self, system):
+        pos, vel, mass = system
+        targets = np.array([[5.0, 0, 0], [0, 5.0, 0]])
+        acc = direct_acceleration(pos, mass, targets=targets)
+        # far-field ~ monopole: |a| ~ M/r^2
+        m_total = mass.sum()
+        assert np.linalg.norm(acc[0]) == pytest.approx(
+            m_total / 25.0, rel=0.1
+        )
+
+    def test_blocking_independence(self, system):
+        pos, vel, mass = system
+        a1 = direct_acceleration(pos, mass, eps2=1e-4, block=7)
+        a2 = direct_acceleration(pos, mass, eps2=1e-4, block=4096)
+        assert np.allclose(a1, a2)
+
+    def test_g_scaling(self, system):
+        pos, vel, mass = system
+        a1 = direct_acceleration(pos, mass, eps2=1e-4, G=1.0)
+        a2 = direct_acceleration(pos, mass, eps2=1e-4, G=2.0)
+        assert np.allclose(2.0 * a1, a2)
+
+    def test_jerk_matches_finite_difference(self, system):
+        pos, vel, mass = system
+        acc, jerk = direct_acc_jerk(pos, vel, mass, eps2=1e-4)
+        dt = 1e-7
+        acc2 = direct_acceleration(pos + vel * dt, mass, eps2=1e-4)
+        fd = (acc2 - acc) / dt
+        rel = np.linalg.norm(fd - jerk, axis=1) / np.linalg.norm(
+            jerk, axis=1
+        )
+        assert np.median(rel) < 1e-4
+
+    def test_acc_jerk_acc_equals_direct(self, system):
+        pos, vel, mass = system
+        acc, _ = direct_acc_jerk(pos, vel, mass, eps2=1e-4)
+        assert np.allclose(
+            acc, direct_acceleration(pos, mass, eps2=1e-4)
+        )
+
+    def test_potential_pairwise(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        mass = np.array([1.0, 3.0])
+        phi = direct_potential(pos, mass)
+        assert phi[0] == pytest.approx(-1.5)
+        assert phi[1] == pytest.approx(-0.5)
+
+    def test_potential_excludes_self_with_softening(self):
+        pos = np.zeros((1, 3))
+        mass = np.array([1.0])
+        phi = direct_potential(pos, mass, eps2=1e-4)
+        assert phi[0] == 0.0
+
+    def test_total_energy_virial_plummer(self):
+        from repro.ic import new_plummer_model
+        p = new_plummer_model(200, rng=0)
+        e = total_energy(
+            p.position.number, p.velocity.number, p.mass.number
+        )
+        assert e == pytest.approx(-0.25, rel=0.02)
+
+
+class TestOctree:
+    def test_accuracy_vs_direct(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        a_tree = tree.accelerations(theta=0.5, eps2=1e-4)
+        a_dir = direct_acceleration(pos, mass, eps2=1e-4)
+        rel = np.linalg.norm(a_tree - a_dir, axis=1) / np.linalg.norm(
+            a_dir, axis=1
+        )
+        assert np.median(rel) < 5e-3
+        assert rel.max() < 5e-2
+
+    def test_theta_zero_is_exact(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass, leaf_size=1)
+        a_tree = tree.accelerations(theta=1e-9, eps2=1e-4)
+        a_dir = direct_acceleration(pos, mass, eps2=1e-4)
+        assert np.allclose(a_tree, a_dir, rtol=1e-8, atol=1e-10)
+
+    def test_potential_accuracy(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        phi_t = tree.potentials(theta=0.5, eps2=1e-4)
+        phi_d = direct_potential(pos, mass, eps2=1e-4)
+        assert np.median(np.abs((phi_t - phi_d) / phi_d)) < 2e-3
+
+    def test_accuracy_improves_with_smaller_theta(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        a_dir = direct_acceleration(pos, mass, eps2=1e-4)
+
+        def err(theta):
+            a = tree.accelerations(theta=theta, eps2=1e-4)
+            return np.median(
+                np.linalg.norm(a - a_dir, axis=1)
+                / np.linalg.norm(a_dir, axis=1)
+            )
+
+        assert err(0.3) <= err(0.9)
+
+    def test_empty_tree(self):
+        tree = Octree(np.empty((0, 3)), np.empty(0))
+        assert tree.accelerations(
+            targets=np.zeros((2, 3))).shape == (2, 3)
+
+    def test_single_particle(self):
+        tree = Octree(np.zeros((1, 3)), np.array([2.0]))
+        acc = tree.accelerations(targets=np.array([[1.0, 0, 0]]))
+        assert acc[0, 0] == pytest.approx(-2.0)
+
+    def test_coincident_particles_no_recursion_error(self):
+        pos = np.zeros((100, 3))
+        mass = np.ones(100)
+        tree = Octree(pos, mass, leaf_size=4)
+        acc = tree.accelerations(
+            targets=np.array([[1.0, 0, 0]]), theta=0.5
+        )
+        assert acc[0, 0] == pytest.approx(-100.0, rel=1e-6)
+
+    def test_mass_conservation_in_nodes(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        assert tree.nodes[0].mass == pytest.approx(mass.sum())
+
+    def test_com_of_root(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        com = (mass[:, None] * pos).sum(axis=0) / mass.sum()
+        assert np.allclose(tree.nodes[0].com, com)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Octree(np.zeros((5, 2)), np.ones(5))
+
+    def test_external_targets(self, system):
+        pos, vel, mass = system
+        tree = Octree(pos, mass)
+        targets = np.array([[10.0, 0, 0]])
+        acc = tree.accelerations(targets=targets, theta=0.5)
+        assert acc[0, 0] == pytest.approx(-mass.sum() / 100.0, rel=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=200))
+    def test_momentum_conservation_property(self, n):
+        rng = np.random.default_rng(n)
+        pos = rng.normal(size=(n, 3))
+        mass = rng.uniform(0.1, 1.0, n)
+        tree = Octree(pos, mass)
+        # theta=0 exact -> forces antisymmetric -> total momentum 0
+        acc = tree.accelerations(theta=1e-9, eps2=1e-3)
+        assert np.allclose(
+            (mass[:, None] * acc).sum(axis=0), 0.0, atol=1e-8
+        )

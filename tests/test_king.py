@@ -1,0 +1,79 @@
+"""King-model initial condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.ic import new_king_model, new_plummer_model
+from repro.units import nbody_system, units
+
+
+class TestKingModel:
+    def test_standard_units(self):
+        p = new_king_model(300, w0=6.0, rng=0)
+        assert p.total_mass().number == pytest.approx(1.0)
+        assert p.kinetic_energy().number == pytest.approx(
+            0.25, rel=1e-8
+        )
+        assert p.potential_energy(
+            G=nbody_system.G).number == pytest.approx(-0.5, rel=1e-8)
+
+    def test_determinism(self):
+        a = new_king_model(100, rng=3)
+        b = new_king_model(100, rng=3)
+        assert np.array_equal(a.position.number, b.position.number)
+
+    def test_w0_validation(self):
+        with pytest.raises(ValueError):
+            new_king_model(10, w0=20.0)
+
+    def test_tidally_truncated(self):
+        """Unlike the Plummer sphere, a King model has a finite edge:
+        no stars far outside the tidal radius."""
+        king = new_king_model(2000, w0=3.0, rng=1)
+        plummer = new_plummer_model(2000, rng=1)
+        r_king = np.linalg.norm(king.position.number, axis=1)
+        r_plummer = np.linalg.norm(plummer.position.number, axis=1)
+        # the Plummer tail extends far beyond the King edge
+        assert r_plummer.max() > 2.0 * r_king.max()
+
+    def test_concentration_grows_with_w0(self):
+        loose = new_king_model(2000, w0=3.0, rng=2)
+        tight = new_king_model(2000, w0=9.0, rng=2)
+        c_loose = _concentration(loose)
+        c_tight = _concentration(tight)
+        assert c_tight > c_loose
+
+    def test_si_conversion(self):
+        conv = nbody_system.nbody_to_si(
+            5e4 | units.MSun, 3.0 | units.parsec
+        )
+        p = new_king_model(200, convert_nbody=conv, rng=4)
+        assert p.total_mass().value_in(units.MSun) == pytest.approx(
+            5e4
+        )
+
+    def test_usable_by_gravity_code(self):
+        from repro.codes.phigrape import PhiGRAPEInterface
+
+        p = new_king_model(64, rng=5)
+        grav = PhiGRAPEInterface(eta=0.05)
+        pos, vel = p.position.number, p.velocity.number
+        grav.new_particle(
+            p.mass.number, pos[:, 0], pos[:, 1], pos[:, 2],
+            vel[:, 0], vel[:, 1], vel[:, 2],
+        )
+        grav.ensure_state("RUN")
+        e0 = grav.get_total_energy()
+        grav.evolve_model(0.1)
+        assert abs(
+            (grav.get_total_energy() - e0) / e0
+        ) < 1e-6
+
+
+def _concentration(particles):
+    """r90/r10 ratio — smaller means more concentrated profile; use
+    the inverse so bigger = more concentrated."""
+    r = np.sort(np.linalg.norm(particles.position.number, axis=1))
+    r10 = r[int(0.1 * len(r))]
+    r90 = r[int(0.9 * len(r))]
+    return 1.0 / (r10 / r90)

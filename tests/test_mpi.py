@@ -1,0 +1,264 @@
+"""In-process MPI substrate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError, World
+
+
+def run(size, fn, *args):
+    return World(size, timeout=30.0).run(fn, *args)
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1, tag=5)
+                return None
+            return comm.recv(source=0, tag=5)
+
+        assert run(2, program)[1] == {"x": 1}
+
+    def test_ring(self):
+        def program(comm):
+            comm.send(comm.rank, (comm.rank + 1) % comm.size, tag=1)
+            return comm.recv(source=(comm.rank - 1) % comm.size, tag=1)
+
+        assert run(4, program) == [3, 0, 1, 2]
+
+    def test_tag_matching(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("b", dest=1, tag=2)
+                comm.send("a", dest=1, tag=1)
+                return None
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return (first, second)
+
+        assert run(2, program)[1] == ("a", "b")
+
+    def test_any_source(self):
+        def program(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, dest=0)
+                return None
+            got = sorted(
+                comm.recv(source=ANY_SOURCE) for _ in range(2)
+            )
+            return got
+
+        assert run(3, program)[0] == [1, 2]
+
+    def test_isend_irecv(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait(timeout=10)
+
+        assert run(2, program)[1] == [1, 2, 3]
+
+    def test_probe(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1, tag=9)
+                return None
+            while not comm.probe(source=0, tag=9):
+                pass
+            return comm.recv(source=0, tag=9)
+
+        assert run(2, program)[1] == "hello"
+
+    def test_buffer_send_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8.0), dest=1, tag=3)
+                return None
+            buf = np.zeros(8)
+            comm.Recv(buf, source=0, tag=3)
+            return buf.sum()
+
+        assert run(2, program)[1] == 28.0
+
+    def test_buffer_size_mismatch(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8.0), dest=1, tag=3)
+                return None
+            buf = np.zeros(4)
+            with pytest.raises(MpiError):
+                comm.Recv(buf, source=0, tag=3)
+            return True
+
+        assert run(2, program)[1] is True
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def program(comm):
+            return comm.bcast(
+                "payload" if comm.rank == 0 else None, root=0
+            )
+
+        assert run(3, program) == ["payload"] * 3
+
+    def test_bcast_nonzero_root(self):
+        def program(comm):
+            return comm.bcast(
+                comm.rank if comm.rank == 2 else None, root=2
+            )
+
+        assert run(3, program) == [2, 2, 2]
+
+    def test_Bcast_buffer(self):
+        def program(comm):
+            data = (
+                np.arange(4.0) if comm.rank == 0 else np.zeros(4)
+            )
+            comm.Bcast(data, root=0)
+            return data.tolist()
+
+        assert run(3, program) == [[0, 1, 2, 3]] * 3
+
+    def test_scatter_gather(self):
+        def program(comm):
+            part = comm.scatter(
+                [i * i for i in range(comm.size)]
+                if comm.rank == 0 else None,
+                root=0,
+            )
+            return comm.gather(part + 1, root=0)
+
+        results = run(4, program)
+        assert results[0] == [1, 2, 5, 10]
+        assert results[1] is None
+
+    def test_scatter_wrong_length(self):
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(MpiError):
+                    comm.scatter([1], root=0)
+                # unblock peers
+                comm.bcast("done", root=0)
+            else:
+                comm.bcast(None, root=0)
+            return True
+
+        assert all(run(3, program))
+
+    def test_allgather(self):
+        def program(comm):
+            return comm.allgather(comm.rank * 10)
+
+        assert run(3, program) == [[0, 10, 20]] * 3
+
+    def test_alltoall(self):
+        def program(comm):
+            return comm.alltoall(
+                [f"{comm.rank}->{j}" for j in range(comm.size)]
+            )
+
+        out = run(3, program)
+        assert out[1] == ["0->1", "1->1", "2->1"]
+
+    def test_allreduce_ops(self):
+        def program(comm):
+            return (
+                comm.allreduce(comm.rank + 1, "sum"),
+                comm.allreduce(comm.rank + 1, "prod"),
+                comm.allreduce(comm.rank + 1, "max"),
+                comm.allreduce(comm.rank + 1, "min"),
+            )
+
+        assert run(3, program)[0] == (6, 6, 3, 1)
+
+    def test_allreduce_arrays(self):
+        def program(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), "sum")
+
+        assert run(4, program)[0].tolist() == [6.0, 6.0, 6.0]
+
+    def test_reduce_root_only(self):
+        def program(comm):
+            return comm.reduce(comm.rank, "sum", root=1)
+
+        out = run(3, program)
+        assert out[1] == 3 and out[0] is None
+
+    def test_allgatherv(self):
+        def program(comm):
+            local = np.full((comm.rank + 1, 2), float(comm.rank))
+            return comm.allgatherv(local).shape
+
+        assert run(3, program)[0] == (6, 2)
+
+    def test_barrier_syncs(self):
+        def program(comm):
+            comm.barrier()
+            return True
+
+        assert all(run(4, program))
+
+
+class TestSplit:
+    def test_split_into_halves(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.size, sub.allreduce(1, "sum"))
+
+        assert run(4, program) == [(2, 2)] * 4
+
+    def test_split_subcomm_isolated_tags(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank // 2)
+            if sub.rank == 0:
+                sub.send(comm.rank, dest=1, tag=0)
+                return None
+            return sub.recv(source=0, tag=0)
+
+        out = run(4, program)
+        assert out[1] == 0 and out[3] == 2
+
+
+class TestErrors:
+    def test_world_size_validation(self):
+        with pytest.raises(MpiError):
+            World(0)
+
+    def test_rank_out_of_range(self):
+        def program(comm):
+            with pytest.raises(MpiError):
+                comm.send(1, dest=5)
+            return True
+
+        assert all(run(2, program))
+
+    def test_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return True
+
+        with pytest.raises(ValueError, match="boom"):
+            run(2, program)
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=2, max_size=6,
+        )
+    )
+    def test_allreduce_matches_python_sum(self, values):
+        def program(comm):
+            return comm.allreduce(values[comm.rank], "sum")
+
+        results = run(len(values), program)
+        assert all(r == sum(values) for r in results)

@@ -1,0 +1,149 @@
+"""Network model tests: firewalls, latency, traffic accounting."""
+
+import pytest
+
+from repro.jungle import FirewallPolicy, Host, Jungle, Site
+from repro.jungle.network import (
+    LAN_LATENCY_S,
+    NetworkModel,
+    TrafficRecorder,
+)
+
+
+@pytest.fixture
+def jungle():
+    j = Jungle()
+    for name in ("A", "B", "C"):
+        j.new_site(name, "cluster")
+    j.connect("A", "B", 0.010, 1.0, name="link-ab")
+    j.connect("B", "C", 0.020, 10.0, name="link-bc")
+    return j
+
+
+def host(site, policy):
+    h = Host(f"h-{site}-{policy.value}", policy=policy)
+    h.site = site
+    return h
+
+
+class TestConnectivityPolicies:
+    def test_open_accepts(self, jungle):
+        src = host("A", FirewallPolicy.OPEN)
+        dst = host("B", FirewallPolicy.OPEN)
+        assert jungle.network.can_accept(src, dst)
+
+    def test_firewalled_refuses_inbound(self, jungle):
+        src = host("A", FirewallPolicy.OPEN)
+        dst = host("B", FirewallPolicy.FIREWALLED)
+        assert not jungle.network.can_accept(src, dst)
+
+    def test_firewalled_can_originate(self, jungle):
+        src = host("A", FirewallPolicy.FIREWALLED)
+        dst = host("B", FirewallPolicy.OPEN)
+        assert jungle.network.can_accept(src, dst)
+        assert jungle.network.can_originate(src, "B")
+
+    def test_nat_refuses_inbound(self, jungle):
+        src = host("A", FirewallPolicy.OPEN)
+        dst = host("B", FirewallPolicy.NAT)
+        assert not jungle.network.can_accept(src, dst)
+
+    def test_isolated_no_offsite_either_way(self, jungle):
+        iso = host("A", FirewallPolicy.ISOLATED)
+        remote = host("B", FirewallPolicy.OPEN)
+        assert not jungle.network.can_accept(iso, remote)
+        assert not jungle.network.can_accept(remote, iso)
+        assert not jungle.network.can_originate(iso, "B")
+
+    def test_same_site_always_connects(self, jungle):
+        a = host("A", FirewallPolicy.ISOLATED)
+        b = host("A", FirewallPolicy.FIREWALLED)
+        assert jungle.network.can_accept(a, b)
+        assert jungle.network.can_accept(b, a)
+
+    def test_unconnected_site_unreachable(self, jungle):
+        jungle.new_site("island", "standalone")
+        src = host("A", FirewallPolicy.OPEN)
+        dst = host("island", FirewallPolicy.OPEN)
+        assert not jungle.network.can_accept(src, dst)
+
+
+class TestTiming:
+    def test_direct_link_latency(self, jungle):
+        assert jungle.network.latency("A", "B") == pytest.approx(0.010)
+
+    def test_multihop_latency_adds(self, jungle):
+        assert jungle.network.latency("A", "C") == pytest.approx(0.030)
+
+    def test_intra_site_latency(self, jungle):
+        assert jungle.network.latency("A", "A") == LAN_LATENCY_S
+
+    def test_bottleneck_bandwidth(self, jungle):
+        assert jungle.network.bandwidth("A", "C") == pytest.approx(1e9)
+
+    def test_transfer_time_formula(self, jungle):
+        t = jungle.network.transfer_time("A", "B", 1_000_000)
+        assert t == pytest.approx(0.010 + 8e6 / 1e9)
+
+    def test_transfer_records_traffic(self, jungle):
+        src = host("A", FirewallPolicy.OPEN)
+        dst = host("B", FirewallPolicy.OPEN)
+        event = jungle.network.transfer(
+            jungle.env, src, dst, 5000, protocol="ipl"
+        )
+        assert jungle.network.traffic.matrix("ipl")[("A", "B")] == 5000
+        jungle.env.run()
+        assert event.triggered
+
+    def test_link_names(self, jungle):
+        assert jungle.network.link_names() == ["link-ab", "link-bc"]
+
+
+class TestTrafficRecorder:
+    def test_accumulates_by_protocol(self):
+        rec = TrafficRecorder()
+        rec.record("A", "B", 100, "ipl")
+        rec.record("A", "B", 50, "ipl")
+        rec.record("A", "B", 10, "mpi")
+        assert rec.matrix("ipl")[("A", "B")] == 150
+        assert rec.matrix("mpi")[("A", "B")] == 10
+        assert rec.matrix()[("A", "B")] == 160
+        assert rec.total_bytes("ipl") == 150
+
+    def test_message_counts(self):
+        rec = TrafficRecorder()
+        rec.record("A", "B", 100, "ipl")
+        rec.record("A", "B", 100, "ipl")
+        assert rec.messages[("A", "B", "ipl")] == 2
+
+    def test_load_accounting(self):
+        rec = TrafficRecorder()
+        rec.record_busy("host1", 30.0, "cpu")
+        rec.record_busy("host1", 30.0, "cpu")
+        assert rec.load("host1", 100.0, "cpu") == pytest.approx(0.6)
+        assert rec.load("host1", 10.0, "cpu") == 1.0   # clamped
+        assert rec.load("other", 10.0, "cpu") == 0.0
+
+    def test_zero_elapsed(self):
+        rec = TrafficRecorder()
+        assert rec.load("h", 0.0) == 0.0
+
+
+class TestJungleContainer:
+    def test_host_lookup(self, jungle):
+        site = jungle.sites["A"]
+        h = Host("node-1")
+        site.add_host(h)
+        assert jungle.host("node-1") is h
+        with pytest.raises(KeyError):
+            jungle.host("nope")
+
+    def test_site_kind_validation(self):
+        with pytest.raises(ValueError):
+            Site("x", "spaceship")
+
+    def test_frontend_defaults_to_first_host(self):
+        site = Site("s", "cluster")
+        first = site.add_host(Host("a"))
+        site.add_host(Host("b"))
+        assert site.frontend is first

@@ -1,0 +1,149 @@
+"""Cost model tests — the Sec. 6.2 calibration (E1 shape assertions)."""
+
+import pytest
+
+from repro.jungle import (
+    CostModel,
+    IterationWorkload,
+    Placement,
+    make_desktop_jungle,
+    make_lab_jungle,
+)
+
+PAPER = {"cpu": 353.0, "local-gpu": 89.0, "remote-gpu": 84.0,
+         "jungle": 62.4}
+
+
+def scenario_times(workload=None):
+    w = workload or IterationWorkload(n_stars=1000, n_gas=10000)
+    out = {}
+
+    j1 = make_desktop_jungle(with_gpu=False)
+    p1 = Placement(coupler_host=j1.host("desktop"))
+    for role in ("coupling", "gravity", "hydro", "se"):
+        p1.assign(role, j1.host("desktop"), channel="direct")
+    out["cpu"] = CostModel(j1).iteration_time(w, p1)
+
+    j2 = make_desktop_jungle(with_gpu=True)
+    p2 = Placement(coupler_host=j2.host("desktop"))
+    for role in ("coupling", "gravity", "hydro", "se"):
+        p2.assign(role, j2.host("desktop"), channel="direct")
+    out["local-gpu"] = CostModel(j2).iteration_time(w, p2)
+
+    j3 = make_lab_jungle()
+    p3 = Placement(coupler_host=j3.host("desktop"))
+    p3.assign("coupling", j3.host("LGM (LU)-node00"), channel="ibis")
+    for role in ("gravity", "hydro", "se"):
+        p3.assign(role, j3.host("desktop"), channel="direct")
+    out["remote-gpu"] = CostModel(j3).iteration_time(w, p3)
+
+    j4 = make_lab_jungle()
+    p4 = Placement(coupler_host=j4.host("desktop"))
+    p4.assign("coupling", j4.host("DAS-4 (TUD)-node00"), nodes=2,
+              channel="ibis")
+    p4.assign("gravity", j4.host("LGM (LU)-node00"), channel="ibis")
+    p4.assign("hydro", j4.host("DAS-4 (UvA)-node00"), nodes=8,
+              channel="ibis")
+    p4.assign("se", j4.host("DAS-4 (UvA)-node01"), channel="ibis")
+    out["jungle"] = CostModel(j4).iteration_time(w, p4)
+    return out
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {k: v["total_s"] for k, v in scenario_times().items()}
+
+
+class TestPaperCalibration:
+    def test_ordering_matches_paper(self, scenarios):
+        assert scenarios["cpu"] > scenarios["local-gpu"] \
+            > scenarios["remote-gpu"] > scenarios["jungle"]
+
+    @pytest.mark.parametrize("name", sorted(PAPER))
+    def test_absolute_within_band(self, scenarios, name):
+        """Modeled value within 15% of the paper's measurement."""
+        assert scenarios[name] == pytest.approx(PAPER[name], rel=0.15)
+
+    def test_gpu_speedup_factor(self, scenarios):
+        # paper: 353/89 = 3.97
+        assert scenarios["cpu"] / scenarios["local-gpu"] == \
+            pytest.approx(3.97, rel=0.15)
+
+    def test_remote_gpu_small_gain(self, scenarios):
+        # paper: remote Tesla beats the local GeForce by ~6%
+        gain = 1.0 - scenarios["remote-gpu"] / scenarios["local-gpu"]
+        assert 0.0 < gain < 0.25
+
+    def test_jungle_best_but_not_magic(self, scenarios):
+        ratio = scenarios["jungle"] / scenarios["local-gpu"]
+        # paper: 62.4/89 = 0.70
+        assert ratio == pytest.approx(0.70, rel=0.2)
+
+
+class TestModelInternals:
+    def test_coupling_dominates_cpu_scenario(self):
+        times = scenario_times()
+        br = times["cpu"]["breakdown"]
+        assert br["coupling"]["compute_s"] > br["hydro"]["compute_s"]
+        assert br["coupling"]["compute_s"] > br["gravity"]["compute_s"]
+
+    def test_hydro_dominates_gpu_scenario(self):
+        times = scenario_times()
+        br = times["local-gpu"]["breakdown"]
+        assert br["hydro"]["compute_s"] > br["coupling"]["compute_s"]
+
+    def test_overlap_drift_faster(self):
+        w = IterationWorkload()
+        j = make_desktop_jungle(with_gpu=True)
+        p = Placement(coupler_host=j.host("desktop"))
+        for role in ("coupling", "gravity", "hydro", "se"):
+            p.assign(role, j.host("desktop"), channel="direct")
+        model = CostModel(j)
+        seq = model.iteration_time(w, p, overlap_drift=False)
+        par = model.iteration_time(w, p, overlap_drift=True)
+        assert par["total_s"] < seq["total_s"]
+
+    def test_workload_scales_with_n(self):
+        small = IterationWorkload(n_stars=100, n_gas=1000)
+        big = IterationWorkload(n_stars=1000, n_gas=10000)
+        _, w_small = small.work_units("gravity")
+        _, w_big = big.work_units("gravity")
+        assert w_big == pytest.approx(100.0 * w_small)  # N^2
+
+    def test_parallel_efficiency_decreasing(self):
+        j = make_desktop_jungle()
+        model = CostModel(j)
+        effs = [model.parallel_efficiency(n) for n in (1, 2, 4, 8)]
+        assert effs[0] == 1.0
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+
+    def test_gpu_preferred_when_available(self):
+        j = make_desktop_jungle(with_gpu=True)
+        model = CostModel(j)
+        rate, device = model.device_rate(
+            j.host("desktop"), "tree", prefer_gpu=True
+        )
+        assert device == "gpu"
+
+    def test_busy_time_recorded(self):
+        j = make_desktop_jungle(with_gpu=True)
+        model = CostModel(j)
+        w = IterationWorkload()
+        model.compute_time(w, "coupling", j.host("desktop"))
+        busy = j.network.traffic.host_busy_s
+        assert busy[("desktop", "gpu")] > 0
+
+    def test_comm_time_includes_latency_and_volume(self):
+        j = make_lab_jungle()
+        model = CostModel(j)
+        w = IterationWorkload()
+        t = model.comm_time(
+            w, "coupling", j.host("LGM (LU)-node00"),
+            j.host("desktop"), "ibis",
+        )
+        latency = j.network.latency("VU desktop", "LGM (LU)")
+        assert t > w.round_trips("coupling") * 2 * latency
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(KeyError):
+            IterationWorkload().work_units("renderer")

@@ -1,0 +1,174 @@
+"""PhiGRAPE (Hermite direct N-body) interface tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeStateError
+from repro.codes.phigrape import PhiGRAPEInterface
+from repro.ic import new_plummer_model
+
+
+def load_plummer(interface, n=64, rng=0):
+    p = new_plummer_model(n, rng=rng)
+    pos, vel, mass = p.position.number, p.velocity.number, p.mass.number
+    ids = interface.new_particle(
+        mass, pos[:, 0], pos[:, 1], pos[:, 2],
+        vel[:, 0], vel[:, 1], vel[:, 2],
+    )
+    return ids
+
+
+class TestParticleManagement:
+    def test_add_and_count(self):
+        grav = PhiGRAPEInterface()
+        ids = load_plummer(grav, 10)
+        assert len(ids) == 10
+        assert grav.get_number_of_particles() == 10
+
+    def test_get_state_round_trip(self):
+        grav = PhiGRAPEInterface()
+        ids = grav.new_particle(
+            [1.0], [0.1], [0.2], [0.3], [1.0], [2.0], [3.0]
+        )
+        m, x, y, z, vx, vy, vz = grav.get_state(ids)
+        assert (x[0], y[0], z[0]) == (0.1, 0.2, 0.3)
+        assert (vx[0], vy[0], vz[0]) == (1.0, 2.0, 3.0)
+
+    def test_delete(self):
+        grav = PhiGRAPEInterface()
+        ids = load_plummer(grav, 5)
+        grav.delete_particle(ids[:2])
+        assert grav.get_number_of_particles() == 3
+
+    def test_set_mass_does_not_invalidate(self):
+        grav = PhiGRAPEInterface()
+        ids = load_plummer(grav)
+        grav.ensure_state("RUN")
+        grav.set_mass(ids[:1], [0.5])
+        assert grav.state == "RUN"
+
+    def test_position_edit_invalidates(self):
+        grav = PhiGRAPEInterface()
+        ids = load_plummer(grav)
+        grav.ensure_state("RUN")
+        grav.set_position(ids[:1], np.zeros((1, 3)))
+        assert grav.state == "EDIT"
+
+
+class TestDynamics:
+    def test_energy_conservation(self):
+        grav = PhiGRAPEInterface(eps2=1e-3, eta=0.02)
+        load_plummer(grav, 64)
+        grav.ensure_state("RUN")
+        e0 = grav.get_total_energy()
+        grav.evolve_model(0.25)
+        e1 = grav.get_total_energy()
+        assert abs((e1 - e0) / e0) < 1e-8
+
+    def test_two_body_circular_orbit_period(self):
+        """Equal-mass binary, total mass 1, separation 1: T = 2*pi/
+        sqrt(2) in G=1 units (relative orbit a=1 around M=1)."""
+        grav = PhiGRAPEInterface(eps2=0.0, eta=0.005)
+        v = 0.5  # each body: v = sqrt(G M / (4 a)) with M=1, a=0.5
+        grav.new_particle(
+            [0.5, 0.5], [0.5, -0.5], [0.0, 0.0], [0.0, 0.0],
+            [0.0, 0.0], [v, -v], [0.0, 0.0],
+        )
+        grav.ensure_state("RUN")
+        period = 2.0 * np.pi
+        grav.evolve_model(period)
+        pos = grav.get_position()
+        assert pos[0, 0] == pytest.approx(0.5, abs=0.01)
+        assert pos[0, 1] == pytest.approx(0.0, abs=0.01)
+
+    def test_model_time_advances(self):
+        grav = PhiGRAPEInterface(eta=0.05)
+        load_plummer(grav)
+        grav.ensure_state("RUN")
+        grav.evolve_model(0.125)
+        assert grav.get_model_time() == pytest.approx(0.125, rel=1e-9)
+
+    def test_kernel_variants_identical(self):
+        results = []
+        for kernel in ("cpu", "gpu"):
+            grav = PhiGRAPEInterface(kernel=kernel, eta=0.05)
+            load_plummer(grav, 32, rng=5)
+            grav.ensure_state("RUN")
+            grav.evolve_model(0.1)
+            results.append(grav.get_position().copy())
+        assert np.array_equal(results[0], results[1])
+
+    def test_kernel_device_tag(self):
+        assert PhiGRAPEInterface(kernel="gpu").KERNEL_DEVICE == "gpu"
+        assert PhiGRAPEInterface().KERNEL_DEVICE == "cpu"
+
+    def test_invalid_kernel_rejected(self):
+        grav = PhiGRAPEInterface(kernel="tpu")
+        with pytest.raises(ValueError):
+            grav.ensure_state("RUN")
+
+    def test_empty_system_evolves(self):
+        grav = PhiGRAPEInterface()
+        grav.ensure_state("RUN")
+        grav.evolve_model(1.0)
+        assert grav.get_model_time() == 1.0
+
+    def test_interaction_counter_grows(self):
+        grav = PhiGRAPEInterface(eta=0.05)
+        load_plummer(grav, 32)
+        grav.ensure_state("RUN")
+        before = grav.interaction_count
+        grav.evolve_model(0.05)
+        assert grav.interaction_count > before
+
+
+class TestBridgeSurface:
+    def test_gravity_at_point_far_field(self):
+        grav = PhiGRAPEInterface()
+        load_plummer(grav, 128, rng=1)
+        acc = grav.get_gravity_at_point(1e-4, np.array([[10.0, 0, 0]]))
+        assert acc[0, 0] == pytest.approx(-1.0 / 100.0, rel=0.05)
+
+    def test_potential_at_point(self):
+        grav = PhiGRAPEInterface()
+        load_plummer(grav, 128, rng=1)
+        phi = grav.get_potential_at_point(
+            1e-4, np.array([[10.0, 0, 0]])
+        )
+        assert phi[0] == pytest.approx(-0.1, rel=0.05)
+
+    def test_center_of_mass(self):
+        grav = PhiGRAPEInterface()
+        load_plummer(grav, 64, rng=2)
+        assert np.allclose(grav.get_center_of_mass(), 0.0, atol=1e-10)
+
+
+class TestStateModel:
+    def test_state_chain(self):
+        grav = PhiGRAPEInterface()
+        assert grav.state == "UNINITIALIZED"
+        grav.ensure_state("RUN")
+        assert grav.state == "RUN"
+
+    def test_stopped_is_terminal(self):
+        grav = PhiGRAPEInterface()
+        grav.stop()
+        with pytest.raises(CodeStateError):
+            grav.ensure_state("RUN")
+
+    def test_parameter_set_after_commit_rejected(self):
+        grav = PhiGRAPEInterface()
+        grav.ensure_state("RUN")
+        with pytest.raises(CodeStateError):
+            grav.set_parameter("eta", 0.1)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(TypeError):
+            PhiGRAPEInterface(bogus=1)
+        grav = PhiGRAPEInterface()
+        with pytest.raises(KeyError):
+            grav.get_parameter("bogus")
+
+    def test_parameter_names(self):
+        grav = PhiGRAPEInterface()
+        assert "eps2" in grav.parameter_names()

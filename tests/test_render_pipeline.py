@@ -1,0 +1,81 @@
+"""SC11 visualization pipeline tests (paper Figs. 8/9)."""
+
+import pytest
+
+from repro.jungle import make_sc11_jungle
+from repro.viz import RenderPipeline
+
+
+@pytest.fixture
+def pipeline():
+    jungle = make_sc11_jungle()
+    return jungle, RenderPipeline(
+        jungle, "SARA", "Seattle (SC11)", render_nodes=16
+    )
+
+
+class TestCapacity:
+    def test_display_lightpath_exists(self, pipeline):
+        jungle, pipe = pipeline
+        assert (
+            "2x transatlantic 10G lightpath (display)"
+            in jungle.network.link_names()
+        )
+
+    def test_render_cluster_sustains_target_fps(self, pipeline):
+        jungle, pipe = pipeline
+        assert pipe.render_fps() >= pipe.target_fps
+
+    def test_display_link_sustains_4k(self, pipeline):
+        """The demo's whole point of the 2x10G paths: raw-ish 4K video
+        fits, which the shared 1G AMUSE path could never carry."""
+        jungle, pipe = pipeline
+        assert pipe.network_fps() >= pipe.target_fps
+        assert pipe.achievable_fps() == pipe.target_fps
+        assert pipe.bottleneck() == "target"
+
+    def test_1g_path_would_bottleneck(self):
+        """Re-run the demo without the display lightpaths: the video
+        would have to share the 1G AMUSE path and the frame rate
+        collapses — the reason the lightpaths were provisioned."""
+        jungle = make_sc11_jungle()
+        jungle.network.graph.remove_edge("SARA", "Seattle (SC11)")
+        pipe = RenderPipeline(
+            jungle, "SARA", "Seattle (SC11)", render_nodes=16
+        )
+        assert pipe.network_fps() < pipe.target_fps
+        assert pipe.bottleneck() == "network"
+
+    def test_fewer_render_nodes_bottleneck(self, pipeline):
+        jungle, _ = pipeline
+        weak = RenderPipeline(
+            jungle, "SARA", "Seattle (SC11)", render_nodes=2
+        )
+        assert weak.bottleneck() == "render"
+        assert weak.achievable_fps() == pytest.approx(
+            weak.render_fps()
+        )
+
+
+class TestStreaming:
+    def test_stream_records_video_traffic(self, pipeline):
+        jungle, pipe = pipeline
+        process = pipe.stream(duration_s=2.0)
+        jungle.env.run()
+        assert process.value == pipe.frames_streamed
+        assert pipe.frames_streamed == int(2.0 * pipe.target_fps)
+        video = jungle.network.traffic.matrix("video")
+        assert video[("SARA", "Seattle (SC11)")] == \
+            pipe.frames_streamed * pipe.frame_bytes
+
+    def test_video_does_not_pollute_ipl_view(self, pipeline):
+        jungle, pipe = pipeline
+        pipe.stream(duration_s=1.0)
+        jungle.env.run()
+        assert jungle.network.traffic.matrix("ipl") == {}
+
+    def test_report(self, pipeline):
+        jungle, pipe = pipeline
+        report = pipe.report()
+        assert report["bottleneck"] == "target"
+        assert report["frame_mbytes"] == pytest.approx(12.44, rel=0.01)

@@ -1,0 +1,211 @@
+"""SmartSockets tests: strategies, overlay, routing under firewalls."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ibis.smartsockets import (
+    NoRouteError,
+    VirtualAddress,
+    VirtualSocketFactory,
+)
+from repro.jungle import (
+    FirewallPolicy,
+    Host,
+    Jungle,
+    make_sc11_jungle,
+)
+
+
+def simple_jungle():
+    """Two sites, one open frontend + one firewalled node each."""
+    j = Jungle()
+    for name in ("left", "right"):
+        site = j.new_site(name, "cluster")
+        fe = Host(f"{name}-fe", policy=FirewallPolicy.OPEN)
+        site.add_host(fe, frontend=True)
+        site.add_host(
+            Host(f"{name}-node", policy=FirewallPolicy.FIREWALLED)
+        )
+    j.connect("left", "right", 0.005, 1.0)
+    return j
+
+
+@pytest.fixture
+def factory():
+    j = simple_jungle()
+    f = VirtualSocketFactory(j)
+    f.overlay.add_hub(j.host("left-fe"))
+    f.overlay.add_hub(j.host("right-fe"))
+    return f
+
+
+class TestStrategySelection:
+    def test_direct_to_open_host(self, factory):
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-fe"))
+        conn = factory.connect_untimed(
+            j.host("left-fe"), server.address
+        )
+        assert conn.strategy == "direct"
+        assert conn.hops == 1
+
+    def test_reverse_through_firewall(self, factory):
+        """Open src -> firewalled dst: dst dials back (reverse)."""
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-node"))
+        conn = factory.connect_untimed(
+            j.host("left-fe"), server.address
+        )
+        assert conn.strategy == "reverse"
+        # payload flows on the direct (reversed) link
+        assert [h.name for h in conn.route] == \
+            ["left-fe", "right-node"]
+
+    def test_routed_when_both_blocked(self, factory):
+        """Firewalled src -> firewalled dst: relay via hubs."""
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-node"))
+        conn = factory.connect_untimed(
+            j.host("left-node"), server.address
+        )
+        assert conn.strategy == "routed"
+        names = [h.name for h in conn.route]
+        assert names[0] == "left-node" and names[-1] == "right-node"
+        assert any("fe" in n for n in names[1:-1])
+
+    def test_same_site_is_direct(self, factory):
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("left-node"))
+        conn = factory.connect_untimed(
+            j.host("left-fe"), server.address
+        )
+        assert conn.strategy == "direct"
+
+    def test_no_route_raises(self):
+        j = simple_jungle()
+        f = VirtualSocketFactory(j)     # NO hubs at all
+        server = f.create_server_socket(j.host("right-node"))
+        with pytest.raises(NoRouteError):
+            f.connect_untimed(j.host("left-node"), server.address)
+
+    def test_unknown_address(self, factory):
+        with pytest.raises(NoRouteError):
+            factory.connect_untimed(
+                factory.jungle.host("left-fe"),
+                VirtualAddress("nowhere", 1),
+            )
+
+    def test_strategy_counters(self, factory):
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-fe"))
+        factory.connect_untimed(j.host("left-fe"), server.address)
+        assert factory.strategy_counts["direct"] == 1
+
+
+class TestConnectionTiming:
+    def test_connect_charges_setup_time(self, factory):
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-node"))
+
+        def proc(env):
+            conn = yield from factory.connect(
+                j.host("left-node"), server.address
+            )
+            return conn
+
+        p = j.env.process(proc(j.env))
+        j.env.run()
+        assert p.value.strategy == "routed"
+        assert j.env.now > 0.005     # at least one WAN latency
+
+    def test_send_transfers_and_accounts(self, factory):
+        j = factory.jungle
+        server = factory.create_server_socket(j.host("right-fe"))
+        conn = factory.connect_untimed(
+            j.host("left-fe"), server.address
+        )
+
+        def proc(env):
+            yield from conn.send(1_000_000)
+
+        j.env.process(proc(j.env))
+        j.env.run()
+        assert conn.bytes_sent == 1_000_000
+        assert j.network.traffic.matrix("ipl")[
+            ("left", "right")] >= 1_000_000
+
+    def test_routed_transfer_slower_than_direct(self, factory):
+        j = factory.jungle
+        direct_srv = factory.create_server_socket(j.host("right-fe"))
+        direct = factory.connect_untimed(
+            j.host("left-fe"), direct_srv.address
+        )
+        routed_srv = factory.create_server_socket(
+            j.host("right-node")
+        )
+        routed = factory.connect_untimed(
+            j.host("left-node"), routed_srv.address
+        )
+        assert routed.transfer_time(10000) > direct.transfer_time(10000)
+
+
+class TestOverlay:
+    def test_sc11_overlay_edge_kinds(self):
+        j = make_sc11_jungle()
+        f = VirtualSocketFactory(j)
+        for site in j.sites.values():
+            f.overlay.add_hub(site.frontend)
+        kinds = {kind for _, _, kind in f.overlay.edges()}
+        # frontends interconnect directly; the firewalled laptop's
+        # links are one-way (the arrows of paper Fig. 10)
+        assert kinds == {"direct", "one-way"}
+
+    def test_hub_for_prefers_same_site(self, factory):
+        j = factory.jungle
+        hub = factory.overlay.hub_for(j.host("left-node"))
+        assert hub.host.name == "left-fe"
+
+    def test_hub_route_same_hub(self, factory):
+        j = factory.jungle
+        route = factory.overlay.hub_route(
+            j.host("left-node"), j.host("left-fe")
+        )
+        assert route == ["left-fe"]
+
+    def test_no_hub_returns_none(self):
+        j = simple_jungle()
+        f = VirtualSocketFactory(j)
+        assert f.overlay.hub_for(j.host("left-node")) is None
+
+
+class TestRoutingProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [FirewallPolicy.OPEN, FirewallPolicy.FIREWALLED,
+                 FirewallPolicy.NAT]
+            ),
+            min_size=2, max_size=5,
+        )
+    )
+    def test_delivery_whenever_hubs_exist(self, policies):
+        """With open hubs on every site, any two non-isolated hosts
+        can always be connected by SOME strategy."""
+        j = Jungle()
+        hosts = []
+        for i, policy in enumerate(policies):
+            site = j.new_site(f"s{i}", "cluster")
+            fe = Host(f"fe{i}", policy=FirewallPolicy.OPEN)
+            site.add_host(fe, frontend=True)
+            node = Host(f"n{i}", policy=policy)
+            site.add_host(node)
+            hosts.append(node)
+            if i:
+                j.connect(f"s{i - 1}", f"s{i}", 0.001, 1.0)
+        f = VirtualSocketFactory(j)
+        for site in j.sites.values():
+            f.overlay.add_hub(site.frontend)
+        server = f.create_server_socket(hosts[-1])
+        conn = f.connect_untimed(hosts[0], server.address)
+        assert conn.strategy in ("direct", "reverse", "routed")

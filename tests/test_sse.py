@@ -1,0 +1,190 @@
+"""SSE stellar evolution tests (Hurley/Tout fits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.sse import (
+    SSEInterface,
+    main_sequence_lifetime,
+    remnant_mass,
+    zams_luminosity,
+    zams_radius,
+)
+
+
+class TestZamsFits:
+    def test_solar_luminosity(self):
+        # Tout et al. 1996: L(1 MSun) ~ 0.7 LSun at ZAMS
+        assert zams_luminosity(1.0) == pytest.approx(0.70, rel=0.02)
+
+    def test_solar_radius(self):
+        assert zams_radius(1.0) == pytest.approx(0.89, rel=0.02)
+
+    def test_luminosity_monotonic_in_mass(self):
+        masses = np.linspace(0.2, 80.0, 200)
+        lum = zams_luminosity(masses)
+        assert np.all(np.diff(lum) > 0)
+
+    def test_radius_increases_with_mass(self):
+        assert zams_radius(10.0) > zams_radius(1.0) > zams_radius(0.3)
+
+    def test_mass_luminosity_slope(self):
+        # L ~ M^4 around a solar mass
+        slope = np.log(zams_luminosity(2.0) / zams_luminosity(1.0)) \
+            / np.log(2.0)
+        assert 3.0 < slope < 5.0
+
+
+class TestLifetimes:
+    def test_solar_lifetime(self):
+        # Hurley t_BGB(1 MSun) ~ 11.6 Gyr
+        assert main_sequence_lifetime(1.0) == pytest.approx(
+            11600.0, rel=0.05
+        )
+
+    def test_massive_star_short_lived(self):
+        assert main_sequence_lifetime(25.0) < 10.0  # Myr
+
+    @given(st.floats(min_value=0.1, max_value=90.0))
+    def test_lifetime_decreases_with_mass(self, mass):
+        assert main_sequence_lifetime(mass * 1.1) < \
+            main_sequence_lifetime(mass)
+
+
+class TestRemnants:
+    def test_white_dwarf_below_8(self):
+        assert remnant_mass(1.0) == pytest.approx(0.503, rel=0.01)
+
+    def test_neutron_star(self):
+        assert remnant_mass(15.0) == 1.4
+
+    def test_black_hole(self):
+        assert remnant_mass(40.0) == pytest.approx(10.0)
+
+    @given(st.floats(min_value=0.3, max_value=100.0))
+    def test_remnant_lighter_than_zams(self, mass):
+        assert remnant_mass(mass) < mass
+
+
+class TestSSEInterface:
+    def test_new_particles_start_on_ms(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0, 5.0])
+        assert sse.get_stellar_type().tolist() == [1, 1]
+
+    def test_rejects_nonpositive_mass(self):
+        sse = SSEInterface()
+        with pytest.raises(ValueError):
+            sse.new_particle([-1.0])
+
+    def test_evolution_stages(self):
+        sse = SSEInterface()
+        sse.new_particle([5.0])
+        t_ms = main_sequence_lifetime(5.0)
+        sse.evolve_model(0.5 * t_ms)
+        assert sse.get_stellar_type()[0] == 1
+        sse2 = SSEInterface()
+        sse2.new_particle([5.0])
+        sse2.evolve_model(1.05 * t_ms)
+        assert sse2.get_stellar_type()[0] in (3, 4)
+        sse3 = SSEInterface()
+        sse3.new_particle([5.0])
+        sse3.evolve_model(2.0 * t_ms)
+        assert sse3.get_stellar_type()[0] == 11   # CO white dwarf
+
+    def test_massive_star_becomes_neutron_star(self):
+        sse = SSEInterface()
+        sse.new_particle([12.0])
+        sse.evolve_model(50.0)
+        assert sse.get_stellar_type()[0] == 13
+        assert sse.get_mass()[0] == pytest.approx(1.4)
+
+    def test_very_massive_becomes_black_hole(self):
+        sse = SSEInterface()
+        sse.new_particle([40.0])
+        sse.evolve_model(20.0)
+        assert sse.get_stellar_type()[0] == 14
+
+    def test_giant_loses_mass(self):
+        sse = SSEInterface()
+        sse.new_particle([5.0])
+        t_ms = main_sequence_lifetime(5.0)
+        sse.evolve_model(t_ms * 1.10)
+        mass = sse.get_mass()[0]
+        assert mass < 5.0
+        assert mass > remnant_mass(5.0)
+
+    def test_luminosity_rises_on_giant_branch(self):
+        sse = SSEInterface()
+        sse.new_particle([3.0])
+        t_ms = main_sequence_lifetime(3.0)
+        sse.evolve_model(t_ms * 0.9)
+        l_ms = sse.get_luminosity()[0]
+        sse.evolve_model(t_ms * 1.1)
+        assert sse.get_luminosity()[0] > 10.0 * l_ms
+
+    def test_cannot_evolve_backwards(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0])
+        sse.evolve_model(10.0)
+        with pytest.raises(ValueError):
+            sse.evolve_model(5.0)
+
+    def test_get_state_tuple(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0, 2.0])
+        sse.evolve_model(1.0)
+        mass, radius, lum, teff, stype = sse.get_state()
+        assert len(mass) == 2
+        assert np.all(teff > 3000)
+
+    def test_temperature_solar(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0])
+        sse.evolve_model(0.1)
+        # ZAMS sun: T_eff ~ 5600 K
+        assert sse.get_temperature()[0] == pytest.approx(5600, rel=0.1)
+
+    def test_time_of_next_supernova(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0, 20.0])
+        t_sn = sse.time_of_next_supernova()
+        assert t_sn == pytest.approx(
+            main_sequence_lifetime(20.0) * 1.15, rel=1e-6
+        )
+
+    def test_no_supernova_when_low_mass(self):
+        sse = SSEInterface()
+        sse.new_particle([1.0, 2.0])
+        assert sse.time_of_next_supernova() == np.inf
+
+    def test_delete_particle(self):
+        sse = SSEInterface()
+        ids = sse.new_particle([1.0, 2.0, 3.0])
+        sse.delete_particle(ids[1])
+        assert sse.get_number_of_particles() == 2
+
+    def test_lookup_is_stateless_in_age(self):
+        """SSE is a lookup: evolving to t directly or in steps agrees."""
+        direct = SSEInterface()
+        direct.new_particle([4.0])
+        direct.evolve_model(120.0)
+        stepped = SSEInterface()
+        stepped.new_particle([4.0])
+        for t in (30.0, 60.0, 90.0, 120.0):
+            stepped.evolve_model(t)
+        assert direct.get_mass()[0] == stepped.get_mass()[0]
+        assert direct.get_luminosity()[0] == \
+            stepped.get_luminosity()[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.3, max_value=80.0),
+        st.floats(min_value=0.1, max_value=15000.0),
+    )
+    def test_mass_never_increases(self, zams, age):
+        sse = SSEInterface()
+        sse.new_particle([zams])
+        sse.evolve_model(age)
+        assert sse.get_mass()[0] <= zams * (1 + 1e-12)

@@ -1,0 +1,119 @@
+"""Topology builder tests (the paper's machine configurations)."""
+
+import pytest
+
+from repro.jungle import (
+    FirewallPolicy,
+    make_desktop_jungle,
+    make_lab_jungle,
+    make_sc11_jungle,
+)
+
+
+class TestDesktop:
+    def test_no_gpu_by_default(self):
+        j = make_desktop_jungle()
+        assert not j.host("desktop").has_gpu
+
+    def test_geforce_when_requested(self):
+        j = make_desktop_jungle(with_gpu=True)
+        assert j.host("desktop").gpu.name == "GeForce 9600GT"
+
+    def test_quad_core(self):
+        j = make_desktop_jungle()
+        assert j.host("desktop").cores == 4
+
+    def test_local_middleware(self):
+        j = make_desktop_jungle()
+        assert "local" in j.sites["VU desktop"].middlewares
+
+
+class TestLabJungle:
+    """Fig. 12: the four-site Dutch lab setup."""
+
+    @pytest.fixture(scope="class")
+    def jungle(self):
+        return make_lab_jungle()
+
+    def test_sites_of_figure_12(self, jungle):
+        assert set(jungle.sites) == {
+            "VU desktop", "DAS-4 (VU)", "DAS-4 (UvA)",
+            "DAS-4 (TUD)", "LGM (LU)",
+        }
+
+    def test_vu_cluster_runs_gadget_8_nodes(self, jungle):
+        assert len(jungle.sites["DAS-4 (VU)"].compute_hosts) == 8
+
+    def test_uva_has_8_nodes_for_gadget(self, jungle):
+        assert len(jungle.sites["DAS-4 (UvA)"].compute_hosts) == 8
+
+    def test_tud_has_2_gpu_nodes_for_octgrav(self, jungle):
+        gpus = jungle.sites["DAS-4 (TUD)"].gpu_hosts()
+        assert len(gpus) == 2
+
+    def test_lgm_has_tesla(self, jungle):
+        gpus = jungle.sites["LGM (LU)"].gpu_hosts()
+        assert gpus[0].gpu.name == "Tesla C2050"
+
+    def test_leiden_on_1g_link(self, jungle):
+        assert jungle.network.bandwidth(
+            "VU desktop", "LGM (LU)") == pytest.approx(1e9)
+
+    def test_starplane_10g(self, jungle):
+        # lightpaths between the clusters are 10G; the desktop hangs
+        # off a 1GbE drop
+        assert jungle.network.bandwidth(
+            "DAS-4 (VU)", "DAS-4 (UvA)") == pytest.approx(10e9)
+        assert jungle.network.bandwidth(
+            "VU desktop", "DAS-4 (VU)") == pytest.approx(1e9)
+
+    def test_compute_nodes_isolated(self, jungle):
+        node = jungle.host("DAS-4 (UvA)-node00")
+        assert node.policy is FirewallPolicy.ISOLATED
+
+    def test_frontends_open(self, jungle):
+        assert jungle.sites["DAS-4 (UvA)"].frontend.policy is \
+            FirewallPolicy.OPEN
+
+
+class TestSC11Jungle:
+    """Fig. 9: the transatlantic demonstration setup."""
+
+    @pytest.fixture(scope="class")
+    def jungle(self):
+        return make_sc11_jungle()
+
+    def test_all_sites_present(self, jungle):
+        assert set(jungle.sites) == {
+            "Seattle (SC11)", "DAS-4 (VU)", "DAS-4 (UvA)",
+            "DAS-4 (TUD)", "LGM (LU)", "SARA",
+        }
+
+    def test_transatlantic_latency(self, jungle):
+        # one-way Seattle <-> Amsterdam over the 1G lightpath
+        latency = jungle.network.latency(
+            "Seattle (SC11)", "DAS-4 (VU)"
+        )
+        assert 0.05 < latency < 0.1
+
+    def test_laptop_behind_firewall(self, jungle):
+        assert jungle.host("laptop").policy is \
+            FirewallPolicy.FIREWALLED
+
+    def test_vu_cluster_8_nodes(self, jungle):
+        assert len(jungle.sites["DAS-4 (VU)"].compute_hosts) == 8
+
+    def test_sara_render_capacity(self, jungle):
+        # 16 render + 8 visualization nodes
+        assert len(jungle.sites["SARA"].compute_hosts) == 24
+
+    def test_every_dutch_site_routed_from_seattle(self, jungle):
+        for name in ("DAS-4 (VU)", "DAS-4 (UvA)", "DAS-4 (TUD)",
+                     "LGM (LU)", "SARA"):
+            assert jungle.network.has_route("Seattle (SC11)", name)
+
+    def test_middleware_diversity(self, jungle):
+        kinds = set()
+        for site in jungle.sites.values():
+            kinds |= set(site.middlewares)
+        assert {"local", "ssh", "sge", "pbs"} <= kinds

@@ -1,0 +1,103 @@
+"""Tree gravity codes (Octgrav / Fi) tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes.kernels import direct_acceleration
+from repro.codes.treecode import FiInterface, OctgravInterface
+from repro.ic import new_plummer_model
+
+
+def load(interface, n=64, rng=0):
+    p = new_plummer_model(n, rng=rng)
+    pos, vel, mass = p.position.number, p.velocity.number, p.mass.number
+    return interface.new_particle(
+        mass, pos[:, 0], pos[:, 1], pos[:, 2],
+        vel[:, 0], vel[:, 1], vel[:, 2],
+    ), pos, mass
+
+
+class TestTreeCodes:
+    def test_devices(self):
+        assert OctgravInterface.KERNEL_DEVICE == "gpu"
+        assert FiInterface.KERNEL_DEVICE == "cpu"
+
+    def test_default_opening_angles_differ(self):
+        assert OctgravInterface().theta > FiInterface().theta
+
+    def test_field_matches_direct(self):
+        oct_ = OctgravInterface(eps2=1e-3, theta=0.4)
+        _, pos, mass = load(oct_, 200, rng=3)
+        targets = np.array([[2.0, 0, 0], [0, 3.0, 0]])
+        acc = oct_.get_gravity_at_point(1e-3, targets)
+        ref = direct_acceleration(pos, mass, 1e-3, targets)
+        rel = np.linalg.norm(acc - ref, axis=1) / np.linalg.norm(
+            ref, axis=1
+        )
+        assert rel.max() < 0.02
+
+    def test_energy_conservation_leapfrog(self):
+        fi = FiInterface(eps2=1e-3, timestep=1.0 / 128.0)
+        load(fi, 64, rng=4)
+        e0 = fi.get_total_energy()
+        fi.ensure_state("RUN")
+        fi.evolve_model(0.25)
+        e1 = fi.get_total_energy()
+        assert abs((e1 - e0) / e0) < 5e-3
+
+    def test_load_field_particles(self):
+        oct_ = OctgravInterface()
+        oct_.load_field_particles(
+            np.array([1.0]), np.array([[0.0, 0.0, 0.0]])
+        )
+        assert oct_.get_number_of_particles() == 1
+        acc = oct_.get_gravity_at_point(0.0, np.array([[2.0, 0, 0]]))
+        # the code's own eps2 (1e-4) still softens slightly
+        assert acc[0, 0] == pytest.approx(-0.25, rel=1e-4)
+
+    def test_load_field_particles_replaces(self):
+        fi = FiInterface()
+        load(fi, 10)
+        fi.load_field_particles(np.ones(3), np.zeros((3, 3)))
+        assert fi.get_number_of_particles() == 3
+
+    def test_evolve_respects_end_time(self):
+        fi = FiInterface(timestep=1.0 / 32.0)
+        load(fi, 16, rng=5)
+        fi.ensure_state("RUN")
+        fi.evolve_model(0.1)
+        assert fi.get_model_time() == pytest.approx(0.1, abs=1e-9)
+
+    def test_tree_rebuilt_after_position_edit(self):
+        fi = FiInterface()
+        ids, pos, mass = load(fi, 16, rng=6)
+        before = fi.get_gravity_at_point(
+            1e-3, np.array([[5.0, 0, 0]])
+        )[0, 0]
+        fi.set_position(ids, pos + np.array([2.0, 0.0, 0.0]))
+        after = fi.get_gravity_at_point(
+            1e-3, np.array([[5.0, 0, 0]])
+        )[0, 0]
+        assert after != before
+
+    def test_mass_update_refreshes_field(self):
+        fi = FiInterface()
+        ids, pos, mass = load(fi, 16, rng=7)
+        g1 = fi.get_gravity_at_point(1e-3, np.array([[5.0, 0, 0]]))
+        fi.set_mass(ids, mass * 2.0)
+        g2 = fi.get_gravity_at_point(1e-3, np.array([[5.0, 0, 0]]))
+        assert g2[0, 0] == pytest.approx(2.0 * g1[0, 0], rel=1e-9)
+
+    def test_octgrav_and_fi_agree(self):
+        """Multi-kernel claim: same model, interchangeable kernels."""
+        results = {}
+        for cls in (OctgravInterface, FiInterface):
+            code = cls(eps2=1e-3, theta=0.5)
+            load(code, 128, rng=8)
+            results[cls.__name__] = code.get_gravity_at_point(
+                1e-3, np.array([[1.0, 1.0, 0.0]])
+            )
+        assert np.allclose(
+            results["OctgravInterface"], results["FiInterface"],
+            rtol=1e-9,
+        )

@@ -1,0 +1,128 @@
+"""Visualization / monitoring renderer tests."""
+
+import numpy as np
+
+from repro.viz import (
+    StageTracker,
+    radial_profile,
+    render_job_table,
+    render_loads,
+    render_overlay,
+    render_profile_ascii,
+    render_resource_map,
+    render_snapshot,
+    render_traffic_matrix,
+)
+
+
+def snap(stage, t, bound, gas_r, star_r):
+    return {
+        "stage": stage,
+        "time_myr": t,
+        "bound_gas_fraction": bound,
+        "gas_half_mass_radius_pc": gas_r,
+        "star_half_mass_radius_pc": star_r,
+    }
+
+
+class TestStageTracker:
+    def test_stage_sequence(self):
+        tracker = StageTracker()
+        for s in [
+            snap("embedded", 0.0, 1.0, 0.5, 0.3),
+            snap("embedded", 1.0, 0.9, 0.6, 0.3),
+            snap("expanding", 2.0, 0.6, 0.9, 0.4),
+            snap("shell", 3.0, 0.3, 1.5, 0.5),
+            snap("expelled", 4.0, 0.02, 3.0, 0.8),
+        ]:
+            tracker.record(s)
+        assert tracker.stages_seen == [
+            "embedded", "expanding", "shell", "expelled"
+        ]
+        assert len(tracker.stage_table()) == 4
+        assert tracker.is_monotonic_expulsion()
+        assert tracker.cluster_expanded()
+
+    def test_non_expanding_cluster(self):
+        tracker = StageTracker()
+        tracker.record(snap("embedded", 0.0, 1.0, 0.5, 0.5))
+        tracker.record(snap("embedded", 1.0, 1.0, 0.5, 0.4))
+        assert not tracker.cluster_expanded()
+
+    def test_single_snapshot_edge_cases(self):
+        tracker = StageTracker()
+        tracker.record(snap("embedded", 0.0, 1.0, 0.5, 0.3))
+        assert tracker.is_monotonic_expulsion()
+        assert not tracker.cluster_expanded()
+
+
+class TestRadialProfile:
+    def test_uniform_shell_peak(self):
+        rng = np.random.default_rng(0)
+        # particles on a shell of radius 2
+        directions = rng.normal(size=(500, 3))
+        directions /= np.linalg.norm(directions, axis=1)[:, None]
+        pos = 2.25 * directions
+        edges, rho = radial_profile(
+            pos, np.ones(500), center=np.zeros(3), n_bins=8, r_max=4.0
+        )
+        assert np.argmax(rho) == 4     # bin [2.0, 2.5) holds r=2.25
+
+    def test_total_mass_recovered(self):
+        rng = np.random.default_rng(1)
+        pos = rng.normal(size=(200, 3)) * 0.3
+        masses = rng.uniform(0.5, 1.0, 200)
+        edges, rho = radial_profile(
+            pos, masses, center=np.zeros(3), n_bins=10, r_max=5.0
+        )
+        volumes = 4.0 / 3.0 * np.pi * (
+            edges[1:] ** 3 - edges[:-1] ** 3
+        )
+        assert (rho * volumes).sum() <= masses.sum() + 1e-9
+
+    def test_ascii_render(self):
+        edges = np.linspace(0, 2, 5)
+        rho = np.array([4.0, 2.0, 1.0, 0.0])
+        text = render_profile_ascii(edges, rho, label="test")
+        assert "test" in text
+        assert text.count("|") == 4
+
+
+class TestMonitorRenderers:
+    def test_all_panes(self):
+        snapshot = {
+            "time_s": 12.5,
+            "resources": [
+                {"site": "A", "kind": "cluster",
+                 "location": (52.0, 4.0), "hosts": 9,
+                 "middleware": ["sge"], "hub": True},
+            ],
+            "jobs": [
+                {"id": 1, "name": "amuse-hydro", "site": "A",
+                 "adaptor": "SgeAdaptor", "nodes": 8,
+                 "state": "RUNNING", "role": "hydro"},
+            ],
+            "overlay": [("hubA", "hubB", "direct"),
+                        ("laptop", "hubA", "one-way")],
+            "traffic_ipl": {("A", "B"): 1024 ** 2},
+            "traffic_mpi": {("A", "A"): 10 * 1024 ** 2},
+            "loads": {"node0": {"cpu": 0.8, "gpu": 0.1}},
+            "strategies": {"direct": 1, "reverse": 0, "routed": 2},
+        }
+        text = render_snapshot(snapshot)
+        assert "RESOURCES" in text
+        assert "amuse-hydro" in text
+        assert "->" in render_overlay(snapshot["overlay"])
+        assert "1.0MB" in render_traffic_matrix(
+            snapshot["traffic_ipl"]
+        )
+        assert "cpu" in render_loads(snapshot["loads"])
+        assert "routed" in text
+
+    def test_traffic_human_bytes(self):
+        text = render_traffic_matrix({("x", "y"): 5})
+        assert "5B" in text
+
+    def test_empty_tables(self):
+        assert "JOBS" in render_job_table([])
+        assert "RESOURCES" in render_resource_map([])

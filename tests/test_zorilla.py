@@ -1,0 +1,149 @@
+"""Zorilla P2P middleware tests."""
+
+import pytest
+
+from repro.ibis.zorilla import ZorillaError, ZorillaOverlay
+from repro.jungle import FirewallPolicy, Host, Jungle
+
+
+def loose_machines(n=6, connect_all=True):
+    j = Jungle()
+    hosts = []
+    for i in range(n):
+        site = j.new_site(f"place{i}", "standalone")
+        h = Host(f"pc{i}", cores=2, policy=FirewallPolicy.OPEN)
+        site.add_host(h, frontend=True)
+        hosts.append(h)
+        if connect_all and i:
+            j.connect(f"place{i - 1}", f"place{i}", 0.001, 1.0)
+    return j, hosts
+
+
+class TestMembership:
+    def test_bootstrap_chain(self):
+        j, hosts = loose_machines(4)
+        overlay = ZorillaOverlay(j, rng=0)
+        nodes = [overlay.add_node(h) for h in hosts]
+        # before gossip every newcomer knows only the bootstrap
+        assert all(
+            len(n.known) <= 2 for n in nodes[1:]
+        )
+
+    def test_gossip_converges(self):
+        j, hosts = loose_machines(6)
+        overlay = ZorillaOverlay(j, rng=1)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.run_gossip()
+        j.env.run()
+        assert overlay.converged()
+
+    def test_gossip_deterministic_with_seed(self):
+        def run(seed):
+            j, hosts = loose_machines(5)
+            overlay = ZorillaOverlay(j, rng=seed)
+            for h in hosts:
+                overlay.add_node(h)
+            for _ in range(3):
+                overlay.gossip_round()
+            return sorted(
+                (name, tuple(sorted(n.known)))
+                for name, n in overlay.nodes.items()
+            )
+
+        assert run(7) == run(7)
+
+    def test_gossip_traffic_recorded(self):
+        j, hosts = loose_machines(4)
+        overlay = ZorillaOverlay(j, rng=2)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.gossip_round()
+        assert j.network.traffic.total_bytes("gossip") > 0
+
+
+class TestFloodScheduling:
+    def test_claims_requested_nodes(self):
+        j, hosts = loose_machines(5)
+        overlay = ZorillaOverlay(j, rng=3)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.run_gossip()
+        j.env.run()
+        claimed = overlay.flood_schedule(hosts[0], 3)
+        assert len(claimed) == 3
+        assert all(n.slots.in_use == 1 for n in claimed)
+        overlay.release(claimed)
+        assert all(n.free_slots == n.slots.capacity
+                   for n in overlay.nodes.values())
+
+    def test_insufficient_capacity_raises_and_rolls_back(self):
+        j, hosts = loose_machines(2)
+        overlay = ZorillaOverlay(j, rng=4)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.run_gossip()
+        j.env.run()
+        with pytest.raises(ZorillaError):
+            overlay.flood_schedule(hosts[0], 100)
+        assert all(
+            n.free_slots == n.slots.capacity
+            for n in overlay.nodes.values()
+        )
+
+    def test_ttl_bounds_flood(self):
+        j, hosts = loose_machines(6)
+        overlay = ZorillaOverlay(j, rng=5)
+        nodes = [overlay.add_node(h) for h in hosts]
+        # line topology in knowledge: node i knows only i-1, i+1
+        for i, node in enumerate(nodes):
+            node.known = {nodes[i].name}
+            if i > 0:
+                node.known.add(nodes[i - 1].name)
+            if i < len(nodes) - 1:
+                node.known.add(nodes[i + 1].name)
+        # need 6 nodes but only ttl=1 hop from node 0 -> too few
+        with pytest.raises(ZorillaError):
+            overlay.flood_schedule(hosts[0], 6, ttl=1)
+
+    def test_gpu_filter(self):
+        from repro.jungle import TESLA_C2050
+        j, hosts = loose_machines(3)
+        hosts[2].gpu = TESLA_C2050
+        overlay = ZorillaOverlay(j, rng=6)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.run_gossip()
+        j.env.run()
+        claimed = overlay.flood_schedule(
+            hosts[0], 1, needs_gpu=True
+        )
+        assert claimed[0].host.name == "pc2"
+        overlay.release(claimed)
+
+    def test_unknown_origin(self):
+        j, hosts = loose_machines(2)
+        overlay = ZorillaOverlay(j, rng=7)
+        overlay.add_node(hosts[0])
+        with pytest.raises(ZorillaError):
+            overlay.flood_schedule(hosts[1], 1)
+
+
+class TestGATIntegration:
+    def test_as_site_and_submit(self):
+        from repro.ibis.gat import GAT, JobDescription
+
+        j, hosts = loose_machines(4)
+        overlay = ZorillaOverlay(j, rng=8)
+        for h in hosts:
+            overlay.add_node(h)
+        overlay.run_gossip()
+        j.env.run()
+        site = overlay.as_site("adhoc")
+        gat = GAT(j, hosts[0])
+        job = gat.submit_job(
+            JobDescription("w", node_count=2, duration_s=5.0), site
+        )
+        j.env.run()
+        assert job.state == "STOPPED"
+        assert job.adaptor_name == "ZorillaAdaptor"
