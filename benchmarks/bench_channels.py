@@ -6,12 +6,19 @@ each, quantifying what the extra daemon hop of the ibis channel costs —
 the paper's claim is that it is small enough for remote GPUs to win.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.codes.phigrape import PhiGRAPEInterface
 from repro.distributed import DistributedChannel, IbisDaemon
 from repro.rpc import new_channel
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+LATENCY_ROUNDS = 25 if QUICK else 100
+BULK_ROUNDS = 2 if QUICK else 5
+OVERHEAD_ROUNDS = 50 if QUICK else 200
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +43,7 @@ def test_a1_call_latency(channels, kind, benchmark):
     ch = channels[kind]
     benchmark.pedantic(
         ch.call, args=("get_model_time",),
-        rounds=100, iterations=1, warmup_rounds=10,
+        rounds=LATENCY_ROUNDS, iterations=1, warmup_rounds=10,
     )
     assert benchmark.stats.stats.median < 5e-3
 
@@ -53,7 +60,7 @@ def test_a1_bulk_add_particles(channels, kind, benchmark):
         ch.call,
         args=("new_particle", mass, pos[:, 0], pos[:, 1], pos[:, 2],
               vel[:, 0], vel[:, 1], vel[:, 2]),
-        rounds=5, iterations=1,
+        rounds=BULK_ROUNDS, iterations=1,
     )
     assert benchmark.stats.stats.median < 1.0
 
@@ -66,7 +73,7 @@ def test_a1_channel_overhead_ordering(channels, report):
     medians = {}
     for kind, ch in channels.items():
         times = []
-        for _ in range(200):
+        for _ in range(OVERHEAD_ROUNDS):
             t0 = time.perf_counter()
             ch.call("get_model_time")
             times.append(time.perf_counter() - t0)

@@ -10,8 +10,14 @@ socket into the daemon and back.  Absolute numbers depend on the host
 this runs on; the assertions check the paper's qualitative claims
 (multi-Gbit/s throughput, sub-millisecond latency, overhead small
 relative to a model call).
+
+Wire protocol v2 moves NumPy payloads as out-of-band buffers
+(scatter-gather send, ``recv_into`` receive), so the large-array echo
+is the headline number.  Set ``BENCH_QUICK=1`` for the CI smoke run
+(fewer rounds, same assertions).
 """
 
+import os
 import time
 
 import numpy as np
@@ -21,6 +27,9 @@ from repro.codes.phigrape import PhiGRAPEInterface
 from repro.distributed import DistributedChannel, IbisDaemon
 
 PAYLOAD_BYTES = 4 * 1024 * 1024
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ROUNDS = 3 if QUICK else 10
+LATENCY_ROUNDS = 50 if QUICK else 200
 
 
 @pytest.fixture(scope="module")
@@ -39,7 +48,7 @@ def test_e2_throughput(channel, report, benchmark):
     payload = b"\x00" * PAYLOAD_BYTES
 
     result = benchmark.pedantic(
-        channel.echo, args=(payload,), rounds=10, iterations=1,
+        channel.echo, args=(payload,), rounds=ROUNDS, iterations=1,
         warmup_rounds=2,
     )
     assert result == payload
@@ -49,14 +58,36 @@ def test_e2_throughput(channel, report, benchmark):
     report(
         "E2: daemon loopback throughput (paper: >8 Gbit/s)",
         [f"measured {gbit_per_s:.2f} Gbit/s "
-         f"({PAYLOAD_BYTES // 2 ** 20} MiB echo, median of 10)"],
+         f"({PAYLOAD_BYTES // 2 ** 20} MiB echo, median of {ROUNDS})"],
     )
+    assert gbit_per_s > 1.0, "loopback far below the paper's class"
+
+
+def test_e2_large_array_throughput(channel, report, benchmark):
+    """The zero-copy path: a float64 array crosses as one out-of-band
+    buffer per direction (protocol v2)."""
+    payload = np.zeros(PAYLOAD_BYTES // 8, dtype=np.float64)
+
+    result = benchmark.pedantic(
+        channel.echo, args=(payload,), rounds=ROUNDS, iterations=1,
+        warmup_rounds=2,
+    )
+    assert np.array_equal(result, payload)
+    seconds = benchmark.stats.stats.median
+    gbit_per_s = 2 * payload.nbytes * 8 / seconds / 1e9
+    report(
+        "E2: daemon loopback large-array throughput (wire v2)",
+        [f"measured {gbit_per_s:.2f} Gbit/s "
+         f"({payload.nbytes // 2 ** 20} MiB float64 echo, "
+         f"median of {ROUNDS}, wire v{channel.wire_version})"],
+    )
+    assert channel.wire_version >= 2
     assert gbit_per_s > 1.0, "loopback far below the paper's class"
 
 
 def test_e2_latency(channel, report, benchmark):
     benchmark.pedantic(
-        channel.echo, args=(b"x",), rounds=200, iterations=1,
+        channel.echo, args=(b"x",), rounds=LATENCY_ROUNDS, iterations=1,
         warmup_rounds=20,
     )
     rtt = benchmark.stats.stats.median
@@ -65,6 +96,44 @@ def test_e2_latency(channel, report, benchmark):
         [f"measured {rtt * 1e6:.1f} us (paper: 'extremely small')"],
     )
     assert rtt < 5e-3
+
+
+def test_e2_batched_calls_beat_sequential(channel, report):
+    """Request pipelining: one multi-call frame per sync beats one
+    frame per attribute (the coupler's per-sync exchange pattern)."""
+    n_calls = 6
+    rounds = 20 if QUICK else 100
+
+    def sequential():
+        for _ in range(n_calls):
+            channel.call("get_model_time")
+
+    def batched():
+        with channel.batch():
+            reqs = [
+                channel.async_call("get_model_time")
+                for _ in range(n_calls)
+            ]
+        for req in reqs:
+            req.result()
+
+    for fn in (sequential, batched):  # warmup
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        sequential()
+    seq = (time.perf_counter() - t0) / rounds
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        batched()
+    bat = (time.perf_counter() - t0) / rounds
+    report(
+        "E2: batched vs sequential sync (6 attribute calls)",
+        [f"sequential {seq * 1e6:8.1f} us",
+         f"batched    {bat * 1e6:8.1f} us "
+         f"({seq / bat:.1f}x fewer round trips)"],
+    )
+    assert bat < seq
 
 
 def test_e2_overhead_vs_model_call(channel, report):

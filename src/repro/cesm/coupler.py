@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..datamodel import LatLonGrid, regrid_area_weighted
+from ..datamodel import regrid_area_weighted
 from ..mpi import World
 from .components import Atmosphere, Land, Ocean, SeaIce
 

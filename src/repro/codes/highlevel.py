@@ -27,7 +27,7 @@ import functools
 import numpy as np
 
 from ..datamodel import Particles
-from ..rpc import new_channel
+from ..rpc import new_channel, wait_all
 from ..units import nbody as nbody_system
 from ..units import units as u
 from ..units.core import Quantity
@@ -189,16 +189,32 @@ class GravitationalDynamicsCode(CommunityCode):
         self.pull_state()
         return result
 
+    #: worker getter -> (mirror attribute, unit factory) for pull_state;
+    #: subclasses extend this to sync extra attributes in the same frame
+    _PULL_ATTRS = (
+        ("get_mass", "mass", lambda self: self._MASS_UNIT),
+        ("get_position", "position", lambda self: self._LENGTH_UNIT),
+        ("get_velocity", "velocity", lambda self: self._SPEED_UNIT),
+    )
+
     def pull_state(self):
-        """Refresh the local mirror from the worker."""
+        """Refresh the local mirror from the worker.
+
+        One batched frame fetches every attribute in ``_PULL_ATTRS``
+        per sync instead of one frame per attribute.
+        """
         if not len(self._ids):
             return
-        mass = self.channel.call("get_mass", self._ids)
-        pos = self.channel.call("get_position", self._ids)
-        vel = self.channel.call("get_velocity", self._ids)
-        self.particles.mass = self._from_code(mass, self._MASS_UNIT)
-        self.particles.position = self._from_code(pos, self._LENGTH_UNIT)
-        self.particles.velocity = self._from_code(vel, self._SPEED_UNIT)
+        with self.channel.batch():
+            requests = [
+                (attr, unit_of, self.channel.async_call(getter, self._ids))
+                for getter, attr, unit_of in self._PULL_ATTRS
+            ]
+        for attr, unit_of, request in requests:
+            setattr(
+                self.particles, attr,
+                self._from_code(request.result(), unit_of(self)),
+            )
 
     def push_masses(self):
         """Send mirror masses to the worker (stellar-evolution coupling)."""
@@ -209,14 +225,20 @@ class GravitationalDynamicsCode(CommunityCode):
             )
 
     def push_state(self):
-        """Send mirror positions/velocities/masses to the worker."""
+        """Send mirror positions/velocities/masses to the worker in one
+        batched frame."""
         if not len(self._ids):
             return
         pos = self._to_code(self.particles.position, self._LENGTH_UNIT)
         vel = self._to_code(self.particles.velocity, self._SPEED_UNIT)
-        self.channel.call("set_position", self._ids, pos)
-        self.channel.call("set_velocity", self._ids, vel)
-        self.push_masses()
+        mass = self._to_code(self.particles.mass, self._MASS_UNIT)
+        with self.channel.batch():
+            requests = [
+                self.channel.async_call("set_position", self._ids, pos),
+                self.channel.async_call("set_velocity", self._ids, vel),
+                self.channel.async_call("set_mass", self._ids, mass),
+            ]
+        wait_all(requests)
 
     def kick(self, velocity_delta):
         """Apply a velocity increment to all particles (bridge kicks)."""
@@ -247,17 +269,36 @@ class GravitationalDynamicsCode(CommunityCode):
 
     # -- bridge field surface ------------------------------------------------------
 
-    def get_gravity_at_point(self, eps, points):
+    def _field_query(self, method, unit, eps, points, sources):
+        """Evaluate a field method, optionally uploading source
+        particles first — upload and query travel in ONE batched frame
+        (the coupling model's per-kick exchange)."""
         eps2 = float(self._to_code(eps, self._LENGTH_UNIT)) ** 2
         pts = self._to_code(points, self._LENGTH_UNIT)
-        acc = self.channel.call("get_gravity_at_point", eps2, pts)
-        return self._from_code(acc, nbody_system.acceleration)
+        upload = None
+        with self.channel.batch():
+            if sources is not None:
+                mass, pos = sources
+                upload = self.channel.async_call(
+                    "load_field_particles", mass, pos
+                )
+            request = self.channel.async_call(method, eps2, pts)
+        if upload is not None:
+            upload.result()   # a failed upload must raise, not let the
+                              # query run against stale field particles
+        return self._from_code(request.result(), unit)
 
-    def get_potential_at_point(self, eps, points):
-        eps2 = float(self._to_code(eps, self._LENGTH_UNIT)) ** 2
-        pts = self._to_code(points, self._LENGTH_UNIT)
-        phi = self.channel.call("get_potential_at_point", eps2, pts)
-        return self._from_code(phi, nbody_system.speed ** 2)
+    def get_gravity_at_point(self, eps, points, sources=None):
+        return self._field_query(
+            "get_gravity_at_point", nbody_system.acceleration,
+            eps, points, sources,
+        )
+
+    def get_potential_at_point(self, eps, points, sources=None):
+        return self._field_query(
+            "get_potential_at_point", nbody_system.speed ** 2,
+            eps, points, sources,
+        )
 
 
 class PhiGRAPE(GravitationalDynamicsCode):
@@ -298,13 +339,9 @@ class Gadget(GravitationalDynamicsCode):
         self.particles.u = self._from_code(uu, self._SPEED_UNIT ** 2)
         return self.particles
 
-    def pull_state(self):
-        super().pull_state()
-        if len(self._ids):
-            uu = self.channel.call("get_internal_energy", self._ids)
-            self.particles.u = self._from_code(
-                uu, self._SPEED_UNIT ** 2
-            )
+    _PULL_ATTRS = GravitationalDynamicsCode._PULL_ATTRS + (
+        ("get_internal_energy", "u", lambda self: self._SPEED_UNIT ** 2),
+    )
 
     def inject_energy(self, subset_indices, du):
         """Add specific internal energy *du* to the given particles —

@@ -30,7 +30,13 @@ __all__ = ["Bridge", "CouplingField"]
 
 
 class CouplingField:
-    """A tree code acting as gravity-field solver for bridge kicks."""
+    """A tree code acting as gravity-field solver for bridge kicks.
+
+    Each field evaluation issues ONE batched frame over the channel:
+    the source-particle upload and the field query travel together and
+    the worker executes them in order — halving the round trips per
+    kick compared to one frame per call.
+    """
 
     def __init__(self, field_code, source_systems, eps=None):
         """*field_code* is a high-level tree code (Octgrav/Fi); *source
@@ -39,7 +45,7 @@ class CouplingField:
         self.sources = list(source_systems)
         self.eps = eps
 
-    def _upload_sources(self):
+    def _gather_sources(self):
         masses = []
         positions = []
         for system in self.sources:
@@ -48,17 +54,17 @@ class CouplingField:
             positions.append(
                 self.code._to_code(p.position, self.code._LENGTH_UNIT)
             )
-        mass = np.concatenate(masses)
-        pos = np.concatenate(positions)
-        self.code.channel.call("load_field_particles", mass, pos)
+        return np.concatenate(masses), np.concatenate(positions)
 
     def get_gravity_at_point(self, eps, points):
-        self._upload_sources()
-        return self.code.get_gravity_at_point(self.eps or eps, points)
+        return self.code.get_gravity_at_point(
+            self.eps or eps, points, sources=self._gather_sources()
+        )
 
     def get_potential_at_point(self, eps, points):
-        self._upload_sources()
-        return self.code.get_potential_at_point(self.eps or eps, points)
+        return self.code.get_potential_at_point(
+            self.eps or eps, points, sources=self._gather_sources()
+        )
 
 
 class Bridge:
@@ -155,7 +161,6 @@ class Bridge:
         """Advance the coupled system to *t_end* (script-side units)."""
         if self.time is None:
             raise RuntimeError("no systems registered")
-        unit_time = self.time
         while self.time < t_end - 1e-12 * self.timestep:
             dt = self.timestep
             remaining = t_end - self.time

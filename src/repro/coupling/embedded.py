@@ -26,7 +26,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..codes import Fi, Gadget, Octgrav, PhiGRAPE, SSE
-from ..datamodel import Particles
 from ..ic import (
     new_plummer_gas_model,
     new_plummer_model,

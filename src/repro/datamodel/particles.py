@@ -23,7 +23,7 @@ import itertools
 
 import numpy as np
 
-from ..units.core import Quantity, new_quantity
+from ..units.core import Quantity
 from ..units import astro
 
 __all__ = ["Particles", "Particle", "AttributeChannel", "ParticlesSubset"]

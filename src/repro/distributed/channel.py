@@ -14,34 +14,45 @@ single-line change the paper advertises::
     gravity = PhiGRAPE(conv, channel_type="ibis", channel_options={
         "daemon": daemon, "resource": "LGM (LU)", "node_count": 1})
 
-Requests can be pipelined like the sockets channel (async calls).
+Requests can be pipelined like the sockets channel (async calls), and
+batched (``with channel.batch(): ...`` coalesces queued async calls
+into one multi-call frame through the daemon).  The wire version is
+negotiated on connect: v2 moves array payloads as out-of-band buffers
+(zero-copy scatter-gather send, ``recv_into`` receive) and the daemon
+forwards result buffers without re-pickling; a v1 daemon answers the
+hello with an error and the channel transparently stays on v1 framing.
 """
 
 from __future__ import annotations
 
-import itertools
 import pickle
 import socket
 import threading
 
-from ..rpc.channel import AsyncRequest, Channel, register_channel_factory
+from ..rpc.channel import (
+    AsyncRequest,
+    StreamChannel,
+    register_channel_factory,
+)
 from ..rpc.protocol import (
+    PROTOCOL_VERSION,
     ProtocolError,
     RemoteError,
-    pack_frame,
-    recv_frame,
 )
 
 __all__ = ["DistributedChannel"]
 
 
-class DistributedChannel(Channel):
+class DistributedChannel(StreamChannel):
     """Channel from the coupler to a daemon-managed (remote) worker."""
 
     kind = "ibis"
+    _lost_message = "daemon connection lost"
 
     def __init__(self, interface_factory, daemon=None, address=None,
-                 resource="local", node_count=1):
+                 resource="local", node_count=1,
+                 max_version=PROTOCOL_VERSION):
+        super().__init__()
         if daemon is not None:
             address = daemon.address
         if address is None:
@@ -51,13 +62,6 @@ class DistributedChannel(Channel):
             )
         self.resource = resource
         self.node_count = int(node_count)
-        self._ids = itertools.count(1)
-        self._pending = {}
-        self._pending_lock = threading.Lock()
-        self._send_lock = threading.Lock()
-        self._stopped = False
-        self.bytes_sent = 0
-        self.bytes_received = 0
 
         self._sock = socket.create_connection(address)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -66,6 +70,8 @@ class DistributedChannel(Channel):
         )
         self._reader.start()
 
+        self.wire_version = self._negotiate(max_version)
+
         factory_bytes = pickle.dumps(interface_factory, protocol=5)
         self.worker_id = self._request(
             ("start_worker", factory_bytes, resource, node_count)
@@ -73,71 +79,45 @@ class DistributedChannel(Channel):
 
     # -- plumbing ---------------------------------------------------------------
 
-    def _read_responses(self):
+    def _negotiate(self, max_version):
+        """Hello handshake; a v1 daemon answers with an error frame,
+        which is the downgrade signal."""
+        if max_version < 2:
+            return 1
         try:
-            while True:
-                message = recv_frame(self._sock)
-                kind, req_id, *rest = message
-                with self._pending_lock:
-                    request = self._pending.pop(req_id, None)
-                if request is None:
-                    continue
-                if kind == "result":
-                    request._resolve(rest[0])
-                else:
-                    exc_class, msg, tb = rest
-                    request._resolve(
-                        error=RemoteError(exc_class, msg, tb)
-                    )
-        except (ProtocolError, OSError):
-            failure = ProtocolError("daemon connection lost")
-            with self._pending_lock:
-                pending = list(self._pending.values())
-                self._pending.clear()
-            for request in pending:
-                request._resolve(error=failure)
+            ack = self._request(("hello", max_version)).result(timeout=10)
+        except RemoteError:
+            return 1
+        return min(max_version, ack["version"])
 
     def _request(self, body):
-        req_id = next(self._ids)
+        """Send a daemon-surface request (echo/start_worker/...)."""
         request = AsyncRequest()
-        with self._pending_lock:
-            self._pending[req_id] = request
-        frame = pack_frame((body[0], req_id) + tuple(body[1:]))
-        with self._send_lock:
-            self._sock.sendall(frame)
-            self.bytes_sent += len(frame)
+        req_id = self._register_pending(request)
+        self._send_frame_locked((body[0], req_id) + tuple(body[1:]))
         return request
 
-    # -- Channel API ---------------------------------------------------------------
+    def _call_message(self, call_id, method, args, kwargs):
+        return ("call", call_id, self.worker_id, method, args, kwargs)
 
-    def call(self, method, *args, **kwargs):
-        if self._stopped:
-            raise ProtocolError("channel is stopped")
-        return self._request(
-            ("call", self.worker_id, method, args, kwargs)
-        ).result()
-
-    def async_call(self, method, *args, **kwargs):
-        if self._stopped:
-            raise ProtocolError("channel is stopped")
-        return self._request(
-            ("call", self.worker_id, method, args, kwargs)
-        )
+    def _mcall_message(self, call_id, calls):
+        return ("mcall", call_id, self.worker_id, calls)
 
     def echo(self, payload):
         """Round-trip *payload* through the daemon (bench surface)."""
         return self._request(("echo", payload)).result()
 
     def stop(self):
-        if self._stopped:
-            return
-        try:
-            self._request(("stop_worker", self.worker_id)).result(
-                timeout=10
-            )
-        except (ProtocolError, RemoteError, TimeoutError):
-            pass
-        self._stopped = True
+        # _stopped may already be set by the reader's loss cleanup;
+        # the socket still needs releasing in that case
+        if not self._stopped:
+            try:
+                self._request(("stop_worker", self.worker_id)).result(
+                    timeout=10
+                )
+            except (ProtocolError, RemoteError, TimeoutError):
+                pass
+            self._stopped = True
         try:
             self._sock.close()
         except OSError:

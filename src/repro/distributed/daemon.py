@@ -19,11 +19,20 @@ remote proxy+worker pair (the *modeled* wide-area side lives in
 
 Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
 
+* ``("hello", req_id, max_version)`` — wire-version negotiation
 * ``("start_worker", req_id, factory_bytes, resource, node_count)``
 * ``("call", req_id, worker_id, method, args, kwargs)``
+* ``("mcall", req_id, worker_id, [(method, args, kwargs), ...])`` —
+  pipelined batch, executed in order, answered with one mresult frame
 * ``("echo", req_id, payload)`` — the loopback benchmark message
 * ``("stop_worker", req_id, worker_id)`` / ``("list_workers", req_id)``
 * ``("shutdown", req_id)``
+
+Connections start on v1 framing; a hello upgrades the connection to the
+zero-copy v2 framing (out-of-band buffers, scatter-gather send) when
+both sides support it.  Result arrays are handed to the send path as
+buffers of the worker's own output — the daemon hop forwards them
+without re-pickling their contents into an intermediate payload.
 """
 
 from __future__ import annotations
@@ -33,7 +42,14 @@ import socket
 import threading
 import traceback
 
-from ..rpc.protocol import ProtocolError, recv_frame, send_frame
+from ..rpc.channel import call_entry
+from ..rpc.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    send_frame_v2,
+)
 
 __all__ = ["IbisDaemon"]
 
@@ -49,8 +65,9 @@ class IbisDaemon:
         daemon.shutdown()
     """
 
-    def __init__(self, host="127.0.0.1"):
+    def __init__(self, host="127.0.0.1", max_version=PROTOCOL_VERSION):
         self._host = host
+        self._max_version = max_version
         self._listener = None
         self._accept_thread = None
         self._workers = {}
@@ -108,6 +125,14 @@ class IbisDaemon:
             handler.start()
 
     def _serve(self, conn):
+        version = 1
+
+        def reply_frame(message):
+            if version >= 2:
+                send_frame_v2(conn, message)
+            else:
+                send_frame(conn, message)
+
         try:
             while True:
                 try:
@@ -115,16 +140,24 @@ class IbisDaemon:
                 except ProtocolError:
                     return
                 kind, req_id, *rest = message
+                if kind == "hello" and self._max_version >= 2:
+                    version = min(int(rest[0]), self._max_version)
+                    reply_frame(("result", req_id, {"version": version}))
+                    continue
+                # a max_version=1 daemon behaves exactly like a pre-v2
+                # one: hello falls through to the unknown-kind error
                 try:
                     reply = self._dispatch(kind, rest)
                 except BaseException as exc:  # noqa: BLE001 - to peer
-                    send_frame(
-                        conn,
+                    reply_frame(
                         ("error", req_id, type(exc).__name__,
                          str(exc), traceback.format_exc()),
                     )
                     continue
-                send_frame(conn, ("result", req_id, reply))
+                if kind == "mcall":
+                    reply_frame(("mresult", req_id, reply))
+                else:
+                    reply_frame(("result", req_id, reply))
                 if kind == "shutdown":
                     self.shutdown()
                     return
@@ -133,6 +166,13 @@ class IbisDaemon:
                 conn.close()
             except OSError:
                 pass
+
+    def _run_worker_call(self, worker_id, method, args, kwargs):
+        with self._lock:
+            interface = self._workers.get(worker_id)
+        if interface is None:
+            raise KeyError(f"unknown worker {worker_id}")
+        return getattr(interface, method)(*args, **kwargs)
 
     def _dispatch(self, kind, rest):
         if kind == "echo":
@@ -153,11 +193,16 @@ class IbisDaemon:
             return worker_id
         if kind == "call":
             worker_id, method, args, kwargs = rest
-            with self._lock:
-                interface = self._workers.get(worker_id)
-            if interface is None:
-                raise KeyError(f"unknown worker {worker_id}")
-            return getattr(interface, method)(*args, **kwargs)
+            return self._run_worker_call(worker_id, method, args, kwargs)
+        if kind == "mcall":
+            worker_id, calls = rest
+            return [
+                call_entry(
+                    lambda m=method, a=args, k=kwargs:
+                    self._run_worker_call(worker_id, m, a, k)
+                )
+                for method, args, kwargs in calls
+            ]
         if kind == "stop_worker":
             (worker_id,) = rest
             with self._lock:

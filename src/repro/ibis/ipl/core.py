@@ -28,7 +28,7 @@ reverse/routed connectivity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...jungle.des import Store
 from ..smartsockets import NoRouteError, VirtualSocketFactory

@@ -111,7 +111,7 @@ def make_lab_jungle():
     connected by 10G STARplane lightpaths + 1GbE/1G paths.
     """
     jungle = make_desktop_jungle(with_gpu=True)
-    vu = _cluster(
+    _cluster(
         jungle, "DAS-4 (VU)", nodes=8, middleware="sge",
         location=DAS4_SITES["DAS-4 (VU)"],
     )
@@ -144,12 +144,12 @@ def make_sc11_jungle():
     seattle.add_middleware("local", jungle.env, slots=1)
 
     # Fig. 9: the 8-node Gadget run sits on the VU's Amsterdam cluster
-    vu = _cluster(
+    _cluster(
         jungle, "DAS-4 (VU)", nodes=8, middleware="sge",
         location=DAS4_SITES["DAS-4 (VU)"],
     )
     uva, tud, lgm = _add_dutch_sites(jungle)
-    sara = _cluster(
+    _cluster(
         jungle, "SARA", nodes=24, middleware="pbs", gpu=GTX580_NODE,
         location=DAS4_SITES["SARA"],
     )

@@ -5,7 +5,11 @@ provide an in-process substitute: ranks are Python threads, communication
 goes through per-rank mailboxes, and the API mirrors mpi4py per the HPC
 guides — lowercase methods (``send``/``recv``/``bcast``/...) move pickled
 Python objects, uppercase methods (``Send``/``Recv``/``Bcast``/...) move
-NumPy buffers without copies beyond the wire copy.
+NumPy buffers without copies beyond the wire copy.  Point-to-point object
+messages really cross a modeled wire: they are serialised through the
+RPC layer's pickle-5 out-of-band encoding (see
+:mod:`repro.rpc.protocol`), so large arrays travel as raw buffers with
+one isolating copy and ranks get true value semantics.
 
 Typical use::
 
@@ -26,10 +30,13 @@ deterministic.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import deque
 
 import numpy as np
+
+from ..rpc.protocol import decode_payload, encode_payload
 
 __all__ = ["World", "Intracomm", "Request", "ANY_SOURCE", "ANY_TAG", "MpiError"]
 
@@ -46,6 +53,32 @@ _REDUCERS = {
 
 class MpiError(RuntimeError):
     """Raised for substrate-level failures (bad rank, dead world, ...)."""
+
+
+def _pack_obj(obj):
+    """Serialise an object-protocol message through the wire layer.
+
+    Uses the RPC protocol's pickle-5 out-of-band encoding
+    (:func:`repro.rpc.protocol.encode_payload`): metadata plus raw array
+    buffers, copied once into the mailbox.  That single copy gives real
+    MPI value semantics — the sender can mutate the object after
+    ``send`` returns without corrupting the receiver.  Unpicklable
+    objects fall back to by-reference transfer (in-process substrate
+    escape hatch).
+    """
+    try:
+        meta, buffers = encode_payload(obj)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return ("ref", obj)
+    return ("obj", meta, [bytearray(b) for b in buffers])
+
+
+def _unpack_obj(payload):
+    kind = payload[0]
+    if kind == "obj":
+        return decode_payload(payload[1], payload[2])
+    # "ref" (unpicklable fallback / internal unblock) and "buf"
+    return payload[1]
 
 
 class _Mailbox:
@@ -192,7 +225,7 @@ class Intracomm:
 
     def send(self, obj, dest, tag=0):
         self._world._mailboxes[self._world_rank(dest)].put(
-            self._rank, self._encode_tag(tag), ("obj", obj)
+            self._rank, self._encode_tag(tag), _pack_obj(obj)
         )
 
     def recv(self, source=ANY_SOURCE, tag=ANY_TAG):
@@ -201,8 +234,7 @@ class Intracomm:
         ].get(
             source, self._encode_tag(tag), self._timeout
         )
-        kind, value = payload
-        return value
+        return _unpack_obj(payload)
 
     def isend(self, obj, dest, tag=0):
         req = Request()
@@ -251,7 +283,7 @@ class Intracomm:
         _, _, payload = self._world._mailboxes[
             self._world_rank(self._rank)
         ].get(source, self._encode_tag(tag), self._timeout)
-        kind, value = payload
+        kind, value = payload[0], payload[1]
         if kind != "buf":
             raise MpiError("Recv matched an object-protocol message")
         out = np.asarray(array)
@@ -406,7 +438,7 @@ class World:
                 errors[rank] = exc
                 # unblock peers stuck in collectives
                 for box in self._mailboxes:
-                    box.put(rank, ANY_TAG, ("obj", None))
+                    box.put(rank, ANY_TAG, ("ref", None))
 
         threads = [
             threading.Thread(target=_main, args=(rank,), daemon=True)

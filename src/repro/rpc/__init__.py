@@ -11,11 +11,14 @@ from .channel import (
     worker_loop,
 )
 from .protocol import (
+    PROTOCOL_VERSION,
     ProtocolError,
     RemoteError,
+    encode_frame_v2,
     pack_frame,
     recv_frame,
     send_frame,
+    send_frame_v2,
 )
 
 __all__ = [
@@ -27,9 +30,12 @@ __all__ = [
     "register_channel_factory",
     "wait_all",
     "worker_loop",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "RemoteError",
+    "encode_frame_v2",
     "pack_frame",
     "recv_frame",
     "send_frame",
+    "send_frame_v2",
 ]

@@ -16,7 +16,13 @@ keeps the same shape:
   "distributed" via :func:`register_channel_factory`.
 
 Every channel implements ``call`` (synchronous), ``async_call``
-(returns an :class:`AsyncRequest`) and ``stop``.
+(returns an :class:`AsyncRequest`), ``batch`` (coalesce queued async
+calls into one multi-call frame) and ``stop``.
+
+Wire-version negotiation: socket-backed channels open with a v1-encoded
+hello frame.  A v2-capable peer acknowledges and both sides switch to
+the zero-copy v2 framing (and multi-call frames); a v1 peer answers the
+hello with an error frame and the channel transparently stays on v1.
 """
 
 from __future__ import annotations
@@ -26,7 +32,14 @@ import socket
 import threading
 import traceback
 
-from .protocol import RemoteError, ProtocolError, recv_frame, send_frame
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+    recv_frame,
+    send_frame,
+    send_frame_v2,
+)
 
 __all__ = [
     "AsyncRequest",
@@ -90,11 +103,90 @@ def wait_all(requests, timeout=None):
     return [req.result() for req in requests]
 
 
+def resolve_multi(requests, results):
+    """Resolve batched *requests* from an mresult entry list."""
+    for req, res in zip(requests, results):
+        if res[0] == "ok":
+            req._resolve(res[1])
+        else:
+            req._resolve(error=RemoteError(res[1], res[2], res[3]))
+
+
+class _BatchedRequest(AsyncRequest):
+    """A request queued inside an open ``batch()`` block.
+
+    Waiting on it first flushes the owning channel's queue, so
+    ``result()`` called before the block exits sends the frame instead
+    of deadlocking on a response that was never requested.
+    (``is_result_available()`` stays a pure poll.)
+    """
+
+    def __init__(self, channel):
+        super().__init__()
+        self._channel = channel
+
+    def wait(self, timeout=None):
+        if not self._event.is_set() and self._channel._batch_entries:
+            self._channel._drain_batch()
+        super().wait(timeout)
+
+
+def fail_all(requests, error):
+    """Fail a pending entry — a single request or a batched list."""
+    if isinstance(requests, list):
+        for req in requests:
+            req._resolve(error=error)
+    else:
+        requests._resolve(error=error)
+
+
+class _BatchContext:
+    """Context manager queueing async calls for one multi-call frame.
+
+    Entered via :meth:`Channel.batch`.  Nesting is allowed: every exit
+    flushes *all* queued entries (so results become available in
+    program order); the common case is one frame per ``with`` block.
+    """
+
+    def __init__(self, channel):
+        self._channel = channel
+        self._start = 0
+
+    def __enter__(self):
+        self._channel._batch_depth += 1
+        self._start = len(self._channel._batch_entries)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        channel = self._channel
+        channel._batch_depth -= 1
+        if exc_type is None:
+            channel._drain_batch()
+        else:
+            # fail only the entries THIS block queued — an aborted
+            # nested batch must not take the outer block's requests
+            # down with it — but don't leave any waiter hanging
+            aborted = channel._batch_entries[self._start:]
+            del channel._batch_entries[self._start:]
+            for _method, _args, _kwargs, req in aborted:
+                req._resolve(error=ProtocolError(
+                    f"batch aborted by {exc_type.__name__}"
+                ))
+        return False
+
+
 class Channel:
     """Abstract worker channel."""
 
     #: label used by monitoring and the jungle cost model
     kind = "abstract"
+
+    #: wire protocol version in use (socket channels negotiate this)
+    wire_version = 1
+
+    def __init__(self):
+        self._batch_depth = 0
+        self._batch_entries = []
 
     def call(self, method, *args, **kwargs):
         raise NotImplementedError
@@ -104,6 +196,58 @@ class Channel:
 
     def stop(self):
         raise NotImplementedError
+
+    # -- request batching --------------------------------------------------
+
+    def batch(self):
+        """Coalesce ``async_call``s inside the block into one frame::
+
+            with channel.batch():
+                m = channel.async_call("get_mass", ids)
+                p = channel.async_call("get_position", ids)
+            masses, positions = m.result(), p.result()
+
+        One multi-call frame crosses the wire per batch; the worker
+        executes the calls in order and answers with one multi-result
+        frame.  A ``call()`` inside the block first drains the queue so
+        program order is preserved.
+        """
+        return _BatchContext(self)
+
+    def _queue_batched(self, method, args, kwargs):
+        """If batching is active, queue the call; else return None."""
+        if self._batch_depth:
+            req = _BatchedRequest(self)
+            self._batch_entries.append((method, args, kwargs, req))
+            return req
+        return None
+
+    def _drain_batch(self):
+        entries = self._batch_entries
+        if not entries:
+            return
+        self._batch_entries = []
+        try:
+            self._send_batch(entries)
+        except BaseException as exc:
+            # never strand waiters: a failed flush (connection loss
+            # between queueing and exit) must fail every queued request
+            failure = exc if isinstance(exc, Exception) else \
+                ProtocolError(f"batch flush failed: {exc!r}")
+            for _method, _args, _kwargs, req in entries:
+                if not req.is_result_available():
+                    req._resolve(error=failure)
+            raise
+
+    def _send_batch(self, entries):
+        """Dispatch queued batch entries.  Base implementation executes
+        them one by one (channels with a wire override this to send a
+        single mcall frame)."""
+        for method, args, kwargs, req in entries:
+            try:
+                req._resolve(self.call(method, *args, **kwargs))
+            except Exception as exc:  # noqa: BLE001 - forwarded to waiter
+                req._resolve(error=exc)
 
     # context-manager convenience
     def __enter__(self):
@@ -125,6 +269,7 @@ class DirectChannel(Channel):
     kind = "direct"
 
     def __init__(self, interface_factory):
+        super().__init__()
         self.interface = interface_factory()
         self._stopped = False
         #: bytes counters kept for parity with the socket channel
@@ -134,9 +279,14 @@ class DirectChannel(Channel):
     def call(self, method, *args, **kwargs):
         if self._stopped:
             raise ProtocolError("channel is stopped")
+        if self._batch_depth:
+            self._drain_batch()
         return getattr(self.interface, method)(*args, **kwargs)
 
     def async_call(self, method, *args, **kwargs):
+        queued = self._queue_batched(method, args, kwargs)
+        if queued is not None:
+            return queued
         try:
             return AsyncRequest.completed(
                 self.call(method, *args, **kwargs)
@@ -150,39 +300,206 @@ class DirectChannel(Channel):
         self._stopped = True
 
 
-def worker_loop(interface, conn):
+class StreamChannel(Channel):
+    """Shared machinery for channels speaking frames over a stream
+    socket: pending-request table matched by call id in a reader
+    thread, negotiated wire version, locked frame sends, and mcall
+    batch dispatch.  Subclasses provide the socket, the negotiation,
+    and the frame shapes (:meth:`_call_message` /
+    :meth:`_mcall_message`).
+    """
+
+    #: reported when the peer vanishes (subclasses override the wording)
+    _lost_message = "connection lost"
+
+    def __init__(self):
+        super().__init__()
+        self._ids = itertools.count(1)
+        self._pending = {}
+        self._pending_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._stopped = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._sock = None          # set by the subclass __init__
+
+    # -- frame shapes (subclass hooks) -------------------------------------
+
+    def _call_message(self, call_id, method, args, kwargs):
+        raise NotImplementedError
+
+    def _mcall_message(self, call_id, calls):
+        raise NotImplementedError
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _register_pending(self, entry):
+        """Allocate a call id and insert *entry* under the lock.
+
+        The stopped flag is re-checked inside the lock: the reader
+        thread's loss cleanup also runs under it, so a request can
+        never slip into the table after the cleanup drained it (which
+        would strand the caller forever).
+        """
+        call_id = next(self._ids)
+        with self._pending_lock:
+            if self._stopped:
+                raise ProtocolError("channel is stopped")
+            self._pending[call_id] = entry
+        return call_id
+
+    def _send_frame_locked(self, message):
+        with self._send_lock:
+            if self.wire_version >= 2:
+                self.bytes_sent += send_frame_v2(self._sock, message)
+            else:
+                self.bytes_sent += send_frame(self._sock, message)
+
+    def _dispatch_call(self, method, args, kwargs):
+        request = AsyncRequest()
+        call_id = self._register_pending(request)
+        self._send_frame_locked(
+            self._call_message(call_id, method, args, kwargs)
+        )
+        return request
+
+    def _read_responses(self):
+        try:
+            while True:
+                message = recv_frame(self._sock)
+                kind, call_id, *rest = message
+                with self._pending_lock:
+                    request = self._pending.pop(call_id, None)
+                if request is None:
+                    continue
+                if kind == "mresult":
+                    resolve_multi(request, rest[0])
+                elif kind == "result":
+                    request._resolve(rest[0])
+                else:
+                    exc_class, msg, tb = rest
+                    fail_all(request, RemoteError(exc_class, msg, tb))
+        except (ProtocolError, OSError):
+            failure = ProtocolError(self._lost_message)
+            with self._pending_lock:
+                pending = list(self._pending.values())
+                self._pending.clear()
+                # calls issued after connection loss must raise, not hang
+                self._stopped = True
+            for request in pending:
+                fail_all(request, failure)
+
+    def _send_batch(self, entries):
+        if self.wire_version < 2:
+            # v1 peers predate mcall frames: pipeline individual calls
+            requests = [
+                self._dispatch_call(method, args, kwargs)
+                for method, args, kwargs, _req in entries
+            ]
+            for (_m, _a, _k, req), sent in zip(entries, requests):
+                try:
+                    req._resolve(sent.result())
+                except Exception as exc:  # noqa: BLE001 - to waiter
+                    req._resolve(error=exc)
+            return
+        requests = [req for _m, _a, _k, req in entries]
+        call_id = self._register_pending(requests)
+        self._send_frame_locked(
+            self._mcall_message(
+                call_id, [(m, a, k) for m, a, k, _req in entries]
+            )
+        )
+
+    # -- Channel API -------------------------------------------------------
+
+    def call(self, method, *args, **kwargs):
+        if self._stopped:
+            raise ProtocolError("channel is stopped")
+        if self._batch_depth:
+            self._drain_batch()
+        return self._dispatch_call(method, args, kwargs).result()
+
+    def async_call(self, method, *args, **kwargs):
+        if self._stopped:
+            raise ProtocolError("channel is stopped")
+        queued = self._queue_batched(method, args, kwargs)
+        if queued is not None:
+            return queued
+        return self._dispatch_call(method, args, kwargs)
+
+
+def call_entry(fn):
+    """Run the thunk *fn* and shape the outcome as an mresult entry —
+    ``("ok", value)`` or ``("error", cls, msg, tb)`` — the wire shape
+    consumed by :func:`resolve_multi`.  Shared by :func:`worker_loop`
+    and the daemon so the entry format is defined once.
+    """
+    try:
+        return ("ok", fn())
+    except BaseException as exc:  # noqa: BLE001 - sent to peer
+        return ("error", type(exc).__name__, str(exc),
+                traceback.format_exc())
+
+
+def _run_one(interface, method, args, kwargs):
+    """Execute one interface call; returns an mresult entry tuple."""
+    return call_entry(lambda: getattr(interface, method)(*args, **kwargs))
+
+
+def worker_loop(interface, conn, max_version=PROTOCOL_VERSION):
     """Serve RPC requests for *interface* until "stop" or disconnect.
 
     This is the AMUSE worker main loop: the remote side of every
     channel.  Runs in a worker thread (SocketChannel) or inside a proxy
-    process model (distributed AMUSE).
+    process model (distributed AMUSE).  Understands plain calls,
+    multi-call batches and the version-negotiation hello; replies use
+    the negotiated wire version (*max_version* caps it, which lets
+    tests exercise a genuine v1 peer).
     """
+    version = 1
+
+    def reply(message):
+        if version >= 2:
+            send_frame_v2(conn, message)
+        else:
+            send_frame(conn, message)
+
     try:
         while True:
             try:
                 message = recv_frame(conn)
             except ProtocolError:
                 break
-            kind, call_id, method, args, kwargs = message
+            kind, call_id, *rest = message
+            if kind == "hello" and max_version >= 2:
+                peer_version = rest[0] if rest else 1
+                version = min(int(peer_version), max_version)
+                reply(("result", call_id, {"version": version}))
+                continue
+            # a max_version=1 worker behaves exactly like a pre-v2 one:
+            # hello falls through to the unexpected-kind error reply
+            if kind == "mcall":
+                calls = rest[0]
+                results = [
+                    _run_one(interface, method, args, kwargs)
+                    for method, args, kwargs in calls
+                ]
+                reply(("mresult", call_id, results))
+                if any(method == "stop" for method, _a, _k in calls):
+                    break
+                continue
             if kind != "call":
-                send_frame(
-                    conn,
+                reply(
                     ("error", call_id, "ProtocolError",
                      f"unexpected message kind {kind!r}", ""),
                 )
                 continue
-            try:
-                value = getattr(interface, method)(*args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 - sent to peer
-                send_frame(
-                    conn,
-                    ("error", call_id, type(exc).__name__, str(exc),
-                     traceback.format_exc()),
-                )
-                if method == "stop":
-                    break
-                continue
-            send_frame(conn, ("result", call_id, value))
+            method, args, kwargs = rest
+            status = _run_one(interface, method, args, kwargs)
+            if status[0] == "ok":
+                reply(("result", call_id, status[1]))
+            else:
+                reply(("error", call_id) + status[1:])
             if method == "stop":
                 break
     finally:
@@ -192,26 +509,25 @@ def worker_loop(interface, conn):
             pass
 
 
-class SocketChannel(Channel):
+class SocketChannel(StreamChannel):
     """Channel over a real loopback TCP socket to a worker thread.
 
     A listening socket is bound on 127.0.0.1, the worker thread connects
     back, and frames flow through the genuine kernel TCP stack — the
     loopback path whose throughput the paper quotes.  Requests may be
     pipelined: responses are matched to requests by call id in a reader
-    thread.
+    thread.  On connect the channel negotiates the wire version (v2 =
+    zero-copy out-of-band buffers + multi-call batching, transparent
+    fallback to v1 peers).
     """
 
     kind = "sockets"
+    _lost_message = "worker connection lost"
 
-    def __init__(self, interface_factory, host="127.0.0.1"):
-        self._ids = itertools.count(1)
-        self._pending = {}
-        self._pending_lock = threading.Lock()
-        self._send_lock = threading.Lock()
-        self._stopped = False
-        self.bytes_sent = 0
-        self.bytes_received = 0
+    def __init__(self, interface_factory, host="127.0.0.1",
+                 max_version=PROTOCOL_VERSION,
+                 worker_max_version=PROTOCOL_VERSION):
+        super().__init__()
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind((host, 0))
@@ -225,13 +541,15 @@ class SocketChannel(Channel):
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
             interface = interface_factory()
-            worker_loop(interface, worker_side)
+            worker_loop(interface, worker_side,
+                        max_version=worker_max_version)
 
         self._worker_thread = threading.Thread(target=_serve, daemon=True)
         self._worker_thread.start()
 
         self._sock = socket.create_connection(self.address)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.wire_version = self._negotiate(max_version)
 
         self._reader_thread = threading.Thread(
             target=self._read_responses, daemon=True
@@ -240,62 +558,38 @@ class SocketChannel(Channel):
 
     # -- internals ---------------------------------------------------------
 
-    def _read_responses(self):
-        try:
-            while True:
-                message = recv_frame(self._sock)
-                kind, call_id, *rest = message
-                with self._pending_lock:
-                    request = self._pending.pop(call_id, None)
-                if request is None:
-                    continue
-                if kind == "result":
-                    request._resolve(rest[0])
-                else:
-                    exc_class, msg, tb = rest
-                    request._resolve(
-                        error=RemoteError(exc_class, msg, tb)
-                    )
-        except (ProtocolError, OSError):
-            failure = ProtocolError("worker connection lost")
-            with self._pending_lock:
-                pending = list(self._pending.values())
-                self._pending.clear()
-            for request in pending:
-                request._resolve(error=failure)
+    def _negotiate(self, max_version):
+        """Hello handshake, run before the reader thread starts.
 
-    def _send_call(self, method, args, kwargs):
-        call_id = next(self._ids)
-        request = AsyncRequest()
-        with self._pending_lock:
-            self._pending[call_id] = request
-        from .protocol import pack_frame
-        data = pack_frame(("call", call_id, method, args, kwargs))
-        with self._send_lock:
-            self._sock.sendall(data)
-            self.bytes_sent += len(data)
-        return request
+        The hello is a well-formed v1 call frame, so a v1 worker answers
+        it with an "unexpected message kind" error — which is exactly
+        the downgrade signal.
+        """
+        if max_version < 2:
+            return 1
+        self.bytes_sent += send_frame(
+            self._sock, ("hello", 0, max_version, (), {})
+        )
+        reply = recv_frame(self._sock)
+        if reply[0] == "result":
+            return min(max_version, reply[2]["version"])
+        return 1
 
-    # -- Channel API ----------------------------------------------------------
+    def _call_message(self, call_id, method, args, kwargs):
+        return ("call", call_id, method, args, kwargs)
 
-    def call(self, method, *args, **kwargs):
-        if self._stopped:
-            raise ProtocolError("channel is stopped")
-        return self._send_call(method, args, kwargs).result()
-
-    def async_call(self, method, *args, **kwargs):
-        if self._stopped:
-            raise ProtocolError("channel is stopped")
-        return self._send_call(method, args, kwargs)
+    def _mcall_message(self, call_id, calls):
+        return ("mcall", call_id, calls)
 
     def stop(self):
-        if self._stopped:
-            return
-        try:
-            self._send_call("stop", (), {}).result(timeout=10)
-        except (ProtocolError, RemoteError, TimeoutError):
-            pass
-        self._stopped = True
+        # _stopped may already be set by the reader's loss cleanup;
+        # the socket/thread still need releasing in that case
+        if not self._stopped:
+            try:
+                self._dispatch_call("stop", (), {}).result(timeout=10)
+            except (ProtocolError, RemoteError, TimeoutError):
+                pass
+            self._stopped = True
         try:
             self._sock.close()
         except OSError:

@@ -1,39 +1,92 @@
-"""Wire protocol for AMUSE worker channels.
+"""Wire protocol for AMUSE worker channels (v1 + zero-copy v2).
 
 AMUSE communicates with workers "using a channel, in an RPC-like method"
-(paper Sec. 4.1).  Frames are length-prefixed: an 8-byte little-endian
-header (4-byte magic ``b"AMSE"`` + 4-byte payload length) followed by a
-pickle-5 payload.  Pickle 5 keeps large float64 arrays as single raw
-buffers, which is what lets the loopback link reach multi-Gbit/s rates
-(the paper quotes ">8 Gbit/s even on a modest laptop" for the
-coupler↔daemon loopback socket; ``benchmarks/bench_loopback.py``
-reproduces the measurement).
+(paper Sec. 4.1).  The loopback link between coupler and daemon is the
+path the paper quotes ">8 Gbit/s even on a modest laptop" for
+(``benchmarks/bench_loopback.py`` reproduces the measurement), so the
+framing is built to move large float64 arrays with as few copies as the
+socket API allows.
+
+Two frame layouts share one receive path (the magic distinguishes them
+per frame):
+
+**v1** — ``b"AMSE"`` + 4-byte payload length + one contiguous pickle-5
+payload.  Simple, but the payload is materialised twice on send (pickle
+buffer + header concatenation) and twice on receive (chunk join +
+unpickle copy).
+
+**v2** — ``b"AMS2"`` + 4-byte descriptor-block length, then one
+descriptor block holding the buffer table and the pickle-5 *metadata*
+(the message with large buffers extracted out-of-band via
+``buffer_callback``), then the raw buffers back to back::
+
+    <4s magic "AMS2"> <u32 block_len>
+    block: <u32 nbuffers> <u64 buffer_len x nbuffers> <metadata bytes>
+    <buffer bytes ...>
+
+Grouping the buffer table with the metadata keeps a small frame at two
+reads — the same syscall count as v1 — while large frames add exactly
+one ``recv_into`` per out-of-band buffer.
+
+On send the parts are handed to ``socket.sendmsg`` as a scatter-gather
+iovec — header, metadata and every array buffer go to the kernel without
+being concatenated.  On receive each buffer is read with ``recv_into``
+into one pre-allocated ``bytearray`` and the arrays are reconstructed
+*in place* over those bytearrays (``pickle.loads(..., buffers=...)``),
+so a NumPy array crosses the wire with exactly one copy per direction.
+
+Peers negotiate the version at the channel layer (see
+``repro.rpc.channel``): a v2-capable client opens with a v1-encoded
+``("hello", 0, max_version, (), {})`` frame; a v2 peer acknowledges and
+both sides switch, a v1 peer answers with an error frame and the client
+transparently stays on v1 framing.
 
 Message shapes::
 
-    ("call",   call_id, method_name, args_tuple, kwargs_dict)
-    ("result", call_id, value)
-    ("error",  call_id, exception_class_name, message, traceback_text)
+    ("call",    call_id, method_name, args_tuple, kwargs_dict)
+    ("mcall",   call_id, [(method, args, kwargs), ...])   # pipelined batch
+    ("result",  call_id, value)
+    ("mresult", call_id, [("ok", value) | ("error", cls, msg, tb), ...])
+    ("error",   call_id, exception_class_name, message, traceback_text)
 """
 
 from __future__ import annotations
 
+import functools
 import pickle
 import struct
 
 __all__ = [
     "MAGIC",
+    "MAGIC2",
     "HEADER",
+    "PROTOCOL_VERSION",
     "pack_frame",
+    "encode_frame_v2",
     "send_frame",
+    "send_frame_v2",
     "recv_frame",
+    "encode_payload",
+    "decode_payload",
     "RemoteError",
     "ProtocolError",
 ]
 
-MAGIC = b"AMSE"
-HEADER = struct.Struct("<4sI")
+MAGIC = b"AMSE"                       # v1 frames
+MAGIC2 = b"AMS2"                      # v2 frames (out-of-band buffers)
+HEADER = struct.Struct("<4sI")        # magic + payload/block length
+BLOCK_COUNT = struct.Struct("<I")     # buffer count (start of v2 block)
+BUFFER_LEN = struct.Struct("<Q")      # per-buffer length (v2 table)
 MAX_FRAME = 1 << 31
+MAX_BUFFERS = 1 << 16
+PROTOCOL_VERSION = 2
+
+#: iovec batch size for sendmsg (Linux IOV_MAX is 1024)
+_IOV_LIMIT = 1024
+
+#: below this, a bufferless frame is concatenated and sent with one
+#: sendall — cheaper than iovec bookkeeping for latency-bound calls
+_SMALL_FRAME = 1 << 16
 
 
 class ProtocolError(RuntimeError):
@@ -50,8 +103,33 @@ class RemoteError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
+# -- out-of-band payload helpers (also used by repro.mpi.comm) -------------
+
+
+def encode_payload(obj):
+    """Pickle *obj*, extracting large buffers out-of-band.
+
+    Returns ``(meta, buffers)`` where *meta* is the pickle-5 metadata and
+    *buffers* is a list of contiguous memoryviews over the original
+    arrays — no data copies are made.
+    """
+    pickle_buffers = []
+    meta = pickle.dumps(obj, protocol=5,
+                        buffer_callback=pickle_buffers.append)
+    return meta, [pb.raw() for pb in pickle_buffers]
+
+
+def decode_payload(meta, buffers=()):
+    """Inverse of :func:`encode_payload`; arrays are reconstructed over
+    the provided buffers without copying."""
+    return pickle.loads(meta, buffers=buffers)
+
+
+# -- v1 framing -------------------------------------------------------------
+
+
 def pack_frame(message):
-    """Serialise *message* into header + payload bytes."""
+    """Serialise *message* into v1 header + payload bytes."""
     payload = pickle.dumps(message, protocol=5)
     if len(payload) > MAX_FRAME:
         raise ProtocolError(f"frame too large: {len(payload)} bytes")
@@ -59,8 +137,89 @@ def pack_frame(message):
 
 
 def send_frame(sock, message):
-    """Send one frame over a socket-like object (sendall interface)."""
-    sock.sendall(pack_frame(message))
+    """Send one v1 frame; returns the byte count."""
+    data = pack_frame(message)
+    sock.sendall(data)
+    return len(data)
+
+
+# -- v2 framing -------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=64)
+def _head_struct(nbuf):
+    return struct.Struct(f"<4sII{nbuf}Q")
+
+
+def encode_frame_v2(message):
+    """Serialise *message* into a list of v2 frame parts (no copies).
+
+    The parts are ready for scatter-gather send: header + buffer table,
+    metadata, then one raw memoryview per out-of-band buffer.
+    """
+    meta, buffers = encode_payload(message)
+    return _build_parts_v2(meta, buffers)
+
+
+def _build_parts_v2(meta, buffers):
+    nbuf = len(buffers)
+    if nbuf > MAX_BUFFERS:
+        raise ProtocolError(f"too many buffers: {nbuf}")
+    block_len = BLOCK_COUNT.size + BUFFER_LEN.size * nbuf + len(meta)
+    total = block_len + sum(len(b) for b in buffers)
+    if total > MAX_FRAME or block_len > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {total} bytes")
+    head = _head_struct(nbuf).pack(
+        MAGIC2, block_len, nbuf, *(len(b) for b in buffers)
+    )
+    return [head, meta, *buffers]
+
+
+def _sendmsg_all(sock, parts):
+    """Send every part via scatter-gather; returns total bytes sent."""
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:
+        # fallback for socket-likes without sendmsg (tests, non-POSIX)
+        data = b"".join(bytes(p) for p in parts)
+        sock.sendall(data)
+        return len(data)
+    total = sum(len(p) for p in parts)
+    while parts:
+        sent = sendmsg(parts[:_IOV_LIMIT])
+        # advance past whatever the kernel accepted
+        i = 0
+        while i < len(parts) and sent >= len(parts[i]):
+            sent -= len(parts[i])
+            i += 1
+        parts = parts[i:]
+        if sent:
+            parts[0] = memoryview(parts[0])[sent:]
+    return total
+
+
+def send_frame_v2(sock, message):
+    """Send one frame on a v2 connection; returns the byte count.
+
+    A message with no out-of-band buffers pickles to a single
+    self-contained payload, so it is emitted in v1 framing (cheapest
+    codec path; the receiver detects the version per frame) — small
+    latency-bound calls cost the same as on a v1 connection.  Messages
+    carrying buffers use the v2 layout with scatter-gather send.
+    """
+    meta, buffers = encode_payload(message)
+    if not buffers:
+        if len(meta) > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {len(meta)} bytes")
+        head = HEADER.pack(MAGIC, len(meta))
+        if len(meta) <= _SMALL_FRAME:
+            data = head + meta
+            sock.sendall(data)
+            return len(data)
+        return _sendmsg_all(sock, [head, meta])
+    return _sendmsg_all(sock, _build_parts_v2(meta, buffers))
+
+
+# -- receive (auto-detects v1/v2 per frame) ---------------------------------
 
 
 def _recv_exact(sock, n):
@@ -74,11 +233,54 @@ def _recv_exact(sock, n):
         remaining -= len(chunk)
     return b"".join(chunks) if len(chunks) != 1 else chunks[0]
 
+
+def _recv_exact_into(sock, buf):
+    """Fill the writable buffer *buf* completely via ``recv_into``."""
+    view = memoryview(buf)
+    offset = 0
+    recv_into = getattr(sock, "recv_into", None)
+    if recv_into is None:
+        view[:] = _recv_exact(sock, len(view))
+        return
+    while offset < len(view):
+        n = recv_into(view[offset:])
+        if not n:
+            raise ProtocolError("connection closed mid-frame")
+        offset += n
+
+
 def recv_frame(sock):
-    """Receive one frame; raises ProtocolError on EOF/corruption."""
+    """Receive one frame (either version); raises ProtocolError on
+    EOF/corruption/oversize."""
     header = _recv_exact(sock, HEADER.size)
-    magic, length = HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    payload = _recv_exact(sock, length)
-    return pickle.loads(payload)
+    magic = header[:4]
+    if magic == MAGIC:
+        (length,) = struct.unpack("<I", header[4:])
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {length} bytes")
+        payload = bytearray(length)
+        _recv_exact_into(sock, payload)
+        return pickle.loads(payload)
+    if magic == MAGIC2:
+        (block_len,) = struct.unpack("<I", header[4:])
+        if block_len > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {block_len} bytes")
+        block = bytearray(block_len)
+        _recv_exact_into(sock, block)
+        (nbuffers,) = BLOCK_COUNT.unpack_from(block)
+        table_end = BLOCK_COUNT.size + BUFFER_LEN.size * nbuffers
+        if nbuffers > MAX_BUFFERS or table_end > block_len:
+            raise ProtocolError(f"bad buffer table ({nbuffers} buffers)")
+        lengths = struct.unpack_from(f"<{nbuffers}Q", block,
+                                     BLOCK_COUNT.size)
+        total = block_len + sum(lengths)
+        if total > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {total} bytes")
+        buffers = []
+        for length in lengths:
+            buf = bytearray(length)
+            _recv_exact_into(sock, buf)
+            buffers.append(buf)
+        meta = memoryview(block)[table_end:]
+        return pickle.loads(meta, buffers=buffers)
+    raise ProtocolError(f"bad frame magic {magic!r}")

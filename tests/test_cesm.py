@@ -116,6 +116,7 @@ class TestDataModels:
         assert data_twin(Ocean()).name == "docn"
 
 
+@pytest.mark.slow
 class TestCoupledSystem:
     def test_mask_fraction(self):
         grid = LatLonGrid(24, 48)

@@ -1,6 +1,5 @@
 """Distributed AMUSE tests: daemon, ibis channel, pilots, faults."""
 
-import numpy as np
 import pytest
 
 from repro.codes import PhiGRAPE
@@ -18,6 +17,8 @@ from repro.ic import new_plummer_model
 from repro.jungle import make_sc11_jungle
 from repro.rpc import RemoteError
 from repro.units import nbody_system, units
+
+pytestmark = pytest.mark.network
 
 
 @pytest.fixture(scope="module")

@@ -65,6 +65,7 @@ class TestEvolution:
         after = sim.se.model_time.value_in(units.Myr)
         assert after > before
 
+    @pytest.mark.slow
     def test_mass_loss_propagates_to_gravity(self):
         s = EmbeddedClusterSimulation(
             n_stars=8, n_gas=48, rng=3, mass_min=15.0, mass_max=25.0,
@@ -95,6 +96,7 @@ class TestEvolution:
         assert np.all(u1 >= u0 - 1e-12)
         s.stop()
 
+    @pytest.mark.slow
     def test_supernova_counted(self):
         s = EmbeddedClusterSimulation(
             n_stars=6, n_gas=32, rng=5, mass_min=20.0, mass_max=30.0,

@@ -7,7 +7,6 @@ from repro.ibis.gat import (
     GATError,
     JobDescription,
     JobState,
-    LocalAdaptor,
     SshAdaptor,
 )
 from repro.jungle import FirewallPolicy, Host, Jungle, Site

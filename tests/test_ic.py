@@ -51,6 +51,7 @@ class TestPlummer:
             500.0
         )
 
+    @pytest.mark.slow
     def test_half_mass_radius_matches_plummer(self):
         # Plummer: r_h ~ 0.7686 in virial units
         p = new_plummer_model(3000, rng=4)

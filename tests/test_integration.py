@@ -24,7 +24,7 @@ class TestCoupledSimulationOverSockets:
             n_stars=12, n_gas=64, rng=2, channel_type="sockets",
             bridge_timestep_myr=0.1,
         )
-        d0 = sim.diagnostics()
+        sim.diagnostics()
         for _ in range(3):
             sim.evolve_one_iteration()
         d1 = sim.diagnostics()
@@ -52,6 +52,7 @@ class TestCoupledSimulationOverSockets:
 class TestStageProgression:
     """E3 mini-version: the Fig. 6 sequence appears in a short run."""
 
+    @pytest.mark.slow
     def test_gas_expulsion_sequence(self):
         sim = EmbeddedClusterSimulation(
             n_stars=16, n_gas=128, rng=4, mass_min=5.0, mass_max=30.0,

@@ -26,6 +26,7 @@ class TestKingModel:
         with pytest.raises(ValueError):
             new_king_model(10, w0=20.0)
 
+    @pytest.mark.slow
     def test_tidally_truncated(self):
         """Unlike the Plummer sphere, a King model has a finite edge:
         no stars far outside the tidal radius."""
@@ -36,6 +37,7 @@ class TestKingModel:
         # the Plummer tail extends far beyond the King edge
         assert r_plummer.max() > 2.0 * r_king.max()
 
+    @pytest.mark.slow
     def test_concentration_grows_with_w0(self):
         loose = new_king_model(2000, w0=3.0, rng=2)
         tight = new_king_model(2000, w0=9.0, rng=2)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError, World
+from repro.mpi import ANY_SOURCE, MpiError, World
 
 
 def run(size, fn, *args):

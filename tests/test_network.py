@@ -5,7 +5,6 @@ import pytest
 from repro.jungle import FirewallPolicy, Host, Jungle, Site
 from repro.jungle.network import (
     LAN_LATENCY_S,
-    NetworkModel,
     TrafficRecorder,
 )
 

@@ -7,7 +7,6 @@ actually provides it (including the two the paper's prototype did NOT
 fulfil, which this reproduction implements as extensions).
 """
 
-import numpy as np
 import pytest
 
 from repro.distributed import (

@@ -1,7 +1,6 @@
 """RPC layer tests: protocol framing, channels, async requests."""
 
 import io
-import pickle
 
 import numpy as np
 import pytest
@@ -143,6 +142,7 @@ class TestDirectChannel:
             assert ch.call("echo", 5) == 5
 
 
+@pytest.mark.network
 class TestSocketChannel:
     def test_call_over_tcp(self):
         with SocketChannel(_EchoInterface) as ch:
