@@ -43,6 +43,17 @@ def main():
             f"   |dE/E| = {drift:.2e}"
         )
 
+    # the same call surface is async-capable: the worker advances in
+    # the background and the future joins (converting units and
+    # refreshing the mirror) at the next coupling point
+    future = gravity.evolve_model.async_(2.5 | units.Myr)
+    print(f"async evolve launched: {future!r}")
+    future.result()
+    print(
+        "joined at t = "
+        f"{gravity.model_time.value_in(units.Myr):.1f} Myr"
+    )
+
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)
     channel.copy_attributes(["position", "velocity"])

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..codes.group import EvolveGroup
 from ..datamodel import regrid_area_weighted
 from ..mpi import World
 from .components import Atmosphere, Land, Ocean, SeaIce
@@ -55,7 +56,8 @@ class EarthSystemModel:
     """The coupled system: four active (or data) components + CPL."""
 
     def __init__(self, atmosphere=None, ocean=None, land=None,
-                 sea_ice=None, land_fraction=0.3):
+                 sea_ice=None, land_fraction=0.3,
+                 overlap_components=False):
         self.atm = atmosphere or Atmosphere()
         self.ocn = ocean or Ocean()
         self.lnd = land or Land()
@@ -63,6 +65,14 @@ class EarthSystemModel:
         self.components = {
             c.name: c for c in (self.atm, self.ocn, self.lnd, self.ice)
         }
+        #: opt-in: step the four components concurrently between
+        #: exchanges through an EvolveGroup (each owns its grid, so the
+        #: overlap is value-deterministic).  Off by default: in-process
+        #: numpy components are GIL-bound, so the default keeps the
+        #: sequential loop's speed and exception contract; turn it on
+        #: for partitioned layouts / components that release the GIL.
+        self.overlap_components = bool(overlap_components)
+        self._evolve_group = EvolveGroup()
         # masks live on the atmosphere grid; regridded as needed
         self.mask_atm = land_mask(self.atm.grid, land_fraction)
         self.mask_ocn = np.clip(
@@ -73,6 +83,15 @@ class EarthSystemModel:
         )
         self.time_days = 0.0
         self.exchange_count = 0
+
+    @property
+    def _group(self):
+        """Live view of the components as an EvolveGroup: membership
+        is refreshed on every access (so swapped-in components are
+        never silently skipped) while the group instance — and with it
+        the per-member in-flight guards — persists."""
+        self._evolve_group.members = list(self.components.values())
+        return self._evolve_group
 
     # -- the coupler's field exchange (CPL's job) ---------------------------
 
@@ -138,10 +157,20 @@ class EarthSystemModel:
     # -- serial stepping --------------------------------------------------------
 
     def step(self, dt_days=5.0):
-        """One coupled step: exchange, then step every component."""
+        """One coupled step: exchange, then step every component.
+
+        The exchange is the coupling point; between exchanges the
+        components are independent, so ``overlap_components=True``
+        steps all four concurrently through an :class:`EvolveGroup`
+        (the async-API overlap), mirroring a partitioned CESM layout
+        where each model advances on its own processor set.
+        """
         self.exchange()
-        for component in self.components.values():
-            component.step(dt_days)
+        if self.overlap_components:
+            self._group.each(lambda c: c.step(dt_days))
+        else:
+            for component in self.components.values():
+                component.step(dt_days)
         self.time_days += dt_days
 
     def run(self, days, dt_days=5.0):

@@ -9,8 +9,14 @@ High level (units + channels): :class:`PhiGRAPE`, :class:`SSE`,
 :class:`Gadget`, :class:`Octgrav`, :class:`Fi`.
 """
 
-from .base import CodeInterface, CodeStateError, InCodeParticleStorage
+from .base import (
+    CodeInterface,
+    CodeStateError,
+    InCodeParticleStorage,
+    InflightTracker,
+)
 from .gadget import GadgetInterface, ParallelGadget
+from .group import EvolveGroup
 from .highlevel import (
     CommunityCode,
     Fi,
@@ -34,7 +40,9 @@ from .treecode import FiInterface, OctgravInterface, TreeGravityInterface
 __all__ = [
     "CodeInterface",
     "CodeStateError",
+    "EvolveGroup",
     "InCodeParticleStorage",
+    "InflightTracker",
     "PhiGRAPEInterface",
     "SSEInterface",
     "GadgetInterface",

@@ -16,12 +16,15 @@ RUN code back to EDIT; ``stop`` ends in STOPPED.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = [
     "CodeInterface",
     "InCodeParticleStorage",
     "CodeStateError",
+    "InflightTracker",
     "STATES",
 ]
 
@@ -30,6 +33,59 @@ STATES = ("UNINITIALIZED", "INITIALIZED", "EDIT", "RUN", "STOPPED")
 
 class CodeStateError(RuntimeError):
     """Raised on illegal state transitions (e.g. evolving a stopped code)."""
+
+
+class InflightTracker:
+    """Script-side tracking of in-flight asynchronous state transitions.
+
+    With the async API a transition like ``evolve_model`` is *in
+    flight* between the moment the call is issued and the moment its
+    future is joined.  During that window the worker is advancing its
+    model, so operations that would race with it — a second evolve,
+    particle edits, ``stop`` — are illegal and must raise
+    :class:`CodeStateError` *eagerly*, in the caller, rather than be
+    pipelined behind the evolve and silently act on a different model
+    state than the script sees.
+
+    The high-level wrappers hold one tracker per code: ``begin`` marks
+    a transition in flight (rejecting overlaps), ``finish`` retires it
+    (wired to the future's cleanup hook so it runs exactly once,
+    whatever the outcome), and ``require_idle`` guards mutating
+    operations.
+    """
+
+    def __init__(self, owner=""):
+        self.owner = owner
+        self._inflight = None
+        self._lock = threading.Lock()
+
+    @property
+    def inflight(self):
+        """Name of the in-flight transition, or None when idle."""
+        return self._inflight
+
+    def begin(self, transition):
+        with self._lock:
+            if self._inflight is not None:
+                raise CodeStateError(
+                    f"cannot start {transition} on {self.owner or 'code'}"
+                    f" while async {self._inflight} is in flight; join "
+                    "its future first"
+                )
+            self._inflight = transition
+        return transition
+
+    def finish(self, transition):
+        with self._lock:
+            if self._inflight == transition:
+                self._inflight = None
+
+    def require_idle(self, action):
+        if self._inflight is not None:
+            raise CodeStateError(
+                f"cannot {action} on {self.owner or 'code'} while async "
+                f"{self._inflight} is in flight; join its future first"
+            )
 
 
 class InCodeParticleStorage:
@@ -106,6 +162,16 @@ class InCodeParticleStorage:
             arr[...] = values
         else:
             arr[self.rows(ids)] = values
+
+    def add_to(self, name, values, ids=None):
+        """In-place increment (e.g. bridge velocity kicks): one wire
+        round trip instead of a get followed by a set."""
+        arr = self.arrays[name]
+        values = np.asarray(values, dtype=float)
+        if ids is None:
+            arr += values
+        else:
+            arr[self.rows(ids)] += values
 
     def remove(self, ids):
         rows = self.rows(ids)

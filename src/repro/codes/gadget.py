@@ -243,6 +243,11 @@ class GadgetInterface(CodeInterface):
         self.storage.set("vel", vel, ids)
         return 0
 
+    def add_velocity(self, ids, dv):
+        """Increment velocities (bridge p-kicks): one round trip."""
+        self.storage.add_to("vel", dv, ids)
+        return 0
+
     # -- dynamics ---------------------------------------------------------------
 
     def _forces(self):

@@ -1,0 +1,204 @@
+"""EvolveGroup — the concurrent multi-model scheduler.
+
+The paper's jungle scenario wins because its models run *simultaneously*
+on different resources ("multiple simulations ... executed
+concurrently", Sec. 5).  :class:`EvolveGroup` is the script-side
+scheduler that makes that the one-line default: it launches
+``evolve_model`` on every member through the async method surface
+(:mod:`repro.codes.highlevel`), lets the workers advance in parallel,
+and joins all futures at the coupling point — communication overlaps
+computation, and a failure in any member surfaces as an aggregate error
+naming exactly which models failed.
+
+Members can be:
+
+* high-level codes — their ``evolve_model.async_(t)`` future is used,
+  so the evolve pipelines over the worker channel with no extra thread;
+* objects with a plain blocking ``evolve_model`` (or bare callables) —
+  the call is offloaded to a thread via :meth:`Future.submit`, which is
+  how CESM-style components without an RPC channel still overlap.
+
+Usage::
+
+    group = EvolveGroup([gravity, hydro, se])
+    group.evolve(t_end)          # overlapped, joined, mirrors refreshed
+"""
+
+from __future__ import annotations
+
+from ..rpc.futures import AggregateRequestError, Future, wait_all
+from .base import CodeStateError, InflightTracker
+
+__all__ = ["EvolveGroup"]
+
+
+def _join_quietly(futures):
+    """Join futures for their side effects (cleanup hooks, mirror
+    refreshes), swallowing their errors — the recovery path when a
+    launch failed or a deadline expired and the results are moot."""
+    for future in futures:
+        try:
+            future.result()
+        except Exception:  # noqa: BLE001 - results are abandoned
+            pass
+
+
+class EvolveGroup:
+    """Overlap ``evolve_model`` across a set of model codes.
+
+    ``evolve`` / ``evolve_async`` advance every member to the same end
+    time; ``each`` runs an arbitrary per-member action concurrently
+    (thread offload) — the generic form used by the CESM coupler to
+    step its components.
+    """
+
+    def __init__(self, members=()):
+        self.members = list(members)
+        # per-member guards for THREAD-OFFLOADED calls: high-level
+        # codes carry their own InflightTracker, but a blocking-only
+        # member (CESM component, bare callable) has none — without
+        # this, a retry after a timeout would run two evolve/step
+        # calls concurrently on the same unlocked object
+        self._offload_trackers = {}
+
+    def add(self, member):
+        self.members.append(member)
+        return member
+
+    def _offload(self, member, op, fn, *args):
+        # prune trackers of members no longer in the group: bounds the
+        # dict on long-lived groups with changing membership and makes
+        # id() recycling harmless (a recycled id implies the old
+        # member is gone from self.members)
+        live = {id(m) for m in self.members}
+        for stale in [k for k in self._offload_trackers
+                      if k not in live]:
+            del self._offload_trackers[stale]
+        tracker = self._offload_trackers.setdefault(
+            id(member), InflightTracker(type(member).__name__)
+        )
+        tracker.begin(op)
+        try:
+            return Future.submit(
+                fn, *args,
+                description=f"{type(member).__name__}.{op}",
+                cleanup=lambda: tracker.finish(op),
+            )
+        except BaseException:
+            tracker.finish(op)
+            raise
+
+    def __len__(self):
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    # -- launching -----------------------------------------------------------
+
+    def _launch(self, member, t_end):
+        evolve = getattr(member, "evolve_model", None)
+        if evolve is None:
+            if callable(member):
+                return self._offload(
+                    member, "evolve_model", member, t_end
+                )
+            raise TypeError(
+                f"{member!r} has no evolve_model and is not callable"
+            )
+        async_form = getattr(evolve, "async_", None)
+        if async_form is not None:
+            return async_form(t_end)
+        # blocking-only member: overlap it on a thread instead
+        return self._offload(member, "evolve_model", evolve, t_end)
+
+    def evolve_async(self, t_end):
+        """Launch ``evolve_model(t_end)`` on every member; returns the
+        futures in member order without joining them.
+
+        If a launch fails partway (e.g. a stopped or already-evolving
+        member raises eagerly), the futures already launched are joined
+        before the error propagates, so no member is left with a
+        stranded in-flight transition.
+        """
+        futures = []
+        try:
+            for member in self.members:
+                futures.append(self._launch(member, t_end))
+        except BaseException:
+            _join_quietly(futures)
+            raise
+        return futures
+
+    def evolve(self, t_end, timeout=None):
+        """Advance every member to *t_end* concurrently and join.
+
+        Returns the per-member results in member order.  Failures are
+        collected into an
+        :class:`~repro.rpc.futures.AggregateRequestError` naming each
+        failed model — after every member has been joined, so no code
+        is left with a stranded in-flight transition.  On *timeout*
+        ``wait_all`` abandons the outstanding futures: when the
+        workers do finish, each future retires its in-flight
+        transition without running its transform (no mirror refresh,
+        no channel I/O on a foreign thread), so the codes unlock
+        instead of staying bricked.
+        """
+        return wait_all(self.evolve_async(t_end), timeout=timeout)
+
+    def each(self, action, timeout=None):
+        """Run ``action(member)`` for every member concurrently.
+
+        Thread-offloaded; returns results in member order.  This is the
+        generic overlap primitive for members without an async method
+        surface (e.g. CESM components stepping their grids).
+        """
+        op = getattr(action, "__name__", "action")
+        futures = []
+        try:
+            for member in self.members:
+                futures.append(
+                    self._offload(member, op, action, member)
+                )
+        except BaseException:
+            _join_quietly(futures)
+            raise
+        return wait_all(futures, timeout=timeout)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self):
+        """Stop every member that exposes stop() and is not stopped.
+
+        This is a cleanup path: a member still busy with an in-flight
+        transition (whose orderly ``stop()`` raises) is force-shut-down
+        via its ``shutdown()`` hook, and ANY member's failure is
+        collected rather than aborting the loop — one bad member never
+        leaves the rest of the group's workers running.  Failures are
+        re-raised at the end as an
+        :class:`~repro.rpc.futures.AggregateRequestError` naming each
+        member.
+        """
+        failures = []
+        attempted = 0
+        for member in self.members:
+            stop = getattr(member, "stop", None)
+            if stop is None or getattr(member, "stopped", False):
+                continue
+            attempted += 1
+            try:
+                try:
+                    stop()
+                except CodeStateError:
+                    shutdown = getattr(member, "shutdown", None)
+                    if shutdown is None:
+                        raise
+                    shutdown()
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                failures.append((f"{type(member).__name__}.stop", exc))
+        if failures:
+            raise AggregateRequestError(failures, total=attempted)
+
+    def __repr__(self):
+        names = ", ".join(type(m).__name__ for m in self.members)
+        return f"<EvolveGroup [{names}]>"

@@ -1,4 +1,4 @@
-"""High-level (script-side) model code wrappers.
+"""High-level (script-side) model code wrappers — async-first API.
 
 These are the objects an AMUSE script instantiates: they hide the channel
 and the worker behind a units-checked interface.  "This API is based as
@@ -9,15 +9,38 @@ happens here: gravity/hydro workers run in N-body units internally, the
 script sees SI quantities through a
 :class:`~repro.units.nbody.ConvertBetweenGenericAndSiUnits`.
 
-Usage::
+**The API is async-first.**  Every remote operation ``code.m(...)`` also
+exists as ``code.m.async_(...)``, which returns a *unit-aware future*
+(:class:`~repro.rpc.futures.Future` / ``QuantityFuture``) instead of
+blocking; unit conversion and mirror refreshes happen at
+future-resolution time, in the joining thread.  The blocking form is a
+thin shim — exactly ``async_(...).result()`` — so legacy scripts keep
+working unchanged while concurrent ones overlap their models, the
+paper's core performance claim ("multiple simulations ... executed
+concurrently", Sec. 5).  Illegal overlaps (a second evolve, particle
+edits or ``stop`` while an evolve future is outstanding) raise
+:class:`~repro.codes.base.CodeStateError` eagerly in the caller.
+
+Blocking usage (unchanged from the classic API)::
 
     conv = nbody_system.nbody_to_si(1000 | units.MSun, 1 | units.parsec)
     gravity = PhiGRAPE(conv, channel_type="sockets", kernel="gpu")
     gravity.add_particles(stars)
     gravity.evolve_model(1.0 | units.Myr)
-    gravity.particles.new_channel_to(stars).copy_attributes(
-        ["position", "velocity"])
     gravity.stop()
+
+Concurrent usage — gravity, hydro and stellar evolution advance
+simultaneously on their own resources and join at the coupling point::
+
+    from repro.codes import EvolveGroup
+
+    group = EvolveGroup([gravity, hydro, se])
+    group.evolve(1.0 | units.Myr)          # overlapped, joined
+
+    # or hand-rolled with futures:
+    f1 = gravity.evolve_model.async_(1.0 | units.Myr)
+    f2 = hydro.evolve_model.async_(1.0 | units.Myr)
+    wait_all([f1, f2])
 """
 
 from __future__ import annotations
@@ -27,10 +50,17 @@ import functools
 import numpy as np
 
 from ..datamodel import Particles
-from ..rpc import new_channel, wait_all
+from ..rpc import (
+    Future,
+    QuantityFuture,
+    new_channel,
+    remote_method,
+    wait_all,
+)
 from ..units import nbody as nbody_system
 from ..units import units as u
 from ..units.core import Quantity
+from .base import CodeStateError, InflightTracker
 from .gadget import GadgetInterface
 from .phigrape import PhiGRAPEInterface
 from .sse import SSEInterface
@@ -50,9 +80,10 @@ __all__ = [
 class _ParametersProxy:
     """Attribute-style access to worker parameters over the channel."""
 
-    def __init__(self, channel, names):
+    def __init__(self, channel, names, inflight=None):
         object.__setattr__(self, "_channel", channel)
         object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_inflight", inflight)
 
     def __getattr__(self, name):
         if name not in self._names:
@@ -66,12 +97,22 @@ class _ParametersProxy:
             raise AttributeError(
                 f"unknown parameter {name!r}; valid: {sorted(self._names)}"
             )
+        if self._inflight is not None:
+            self._inflight.require_idle(f"set parameter {name}")
         self._channel.call("set_parameter", name, value)
 
     def __repr__(self):
+        # ONE batched frame for the full table, not a round trip per
+        # parameter
+        names = sorted(self._names)
+        with self._channel.batch():
+            requests = [
+                self._channel.async_call("get_parameter", name)
+                for name in names
+            ]
+        values = wait_all(requests)
         pairs = ", ".join(
-            f"{n}={self._channel.call('get_parameter', n)!r}"
-            for n in sorted(self._names)
+            f"{n}={v!r}" for n, v in zip(names, values)
         )
         return f"<parameters {pairs}>"
 
@@ -84,6 +125,12 @@ class CommunityCode:
     "sockets", "ibis"/"distributed") — switching resource or channel is
     the single-line change the paper demonstrates (Sec. 6.2: "we only
     had to change a single line in our simulation script").
+
+    Remote operations are :class:`~repro.rpc.futures.remote_method`\\ s:
+    ``code.evolve_model(t)`` blocks, ``code.evolve_model.async_(t)``
+    returns a future joined at the next coupling point.  A per-code
+    :class:`~repro.codes.base.InflightTracker` rejects operations that
+    would race with an outstanding evolve.
     """
 
     INTERFACE = None
@@ -103,8 +150,10 @@ class CommunityCode:
             channel_type, factory, **(channel_options or {})
         )
         self.converter = convert_nbody
+        self._inflight = InflightTracker(type(self).__name__)
         self.parameters = _ParametersProxy(
-            self.channel, self.channel.call("parameter_names")
+            self.channel, self.channel.call("parameter_names"),
+            self._inflight,
         )
         self.particles = Particles(0)
         self._ids = np.empty(0, dtype=np.int64)
@@ -125,24 +174,151 @@ class CommunityCode:
             q = self.converter.to_si(q)
         return q
 
-    # -- lifecycle --------------------------------------------------------------
+    # -- state guards --------------------------------------------------------
+
+    def _require_open(self, action):
+        if self._stopped:
+            raise CodeStateError(
+                f"{type(self).__name__} has been stopped; "
+                f"cannot {action}"
+            )
+
+    def _require_edit(self, action):
+        """Guard for operations that mutate worker state: the code must
+        be open AND no async transition may be in flight."""
+        self._require_open(action)
+        self._inflight.require_idle(action)
+
+    # -- evolution (the async-first core) ------------------------------------
+
+    def _begin_transition(self, name):
+        """Mark a mutating async operation in flight.  Every mutating
+        remote method registers here, so ANY ordering of overlapping
+        mutations (evolve-then-kick or kick-then-evolve) raises
+        :class:`CodeStateError` eagerly instead of letting a late join
+        clobber the worker state."""
+        self._require_open(name)
+        self._inflight.begin(name)
+
+    def _transition_future(self, name, request=None, requests=None,
+                           transform=None):
+        """Future for an in-flight transition: retires it at join time
+        whatever the outcome."""
+        return Future(
+            request=request, requests=requests, transform=transform,
+            cleanup=lambda: self._inflight.finish(name),
+            description=f"{type(self).__name__}.{name}",
+        )
+
+    def _abort_transition(self, name):
+        self._inflight.finish(name)
+
+    def _launch_guarded(self, name, launch):
+        """Run *launch* (which issues the channel calls for an already-
+        begun transition); abort the transition if the launch itself
+        raises, so a failed send can never brick the tracker."""
+        try:
+            return launch()
+        except BaseException:
+            self._abort_transition(name)
+            raise
+
+    def _launch_evolve(self, t_code):
+        """Issue the evolve, mark the transition in flight, and return
+        a future that refreshes the mirror at join time."""
+        self._begin_transition("evolve_model")
+        request = self._launch_guarded(
+            "evolve_model",
+            lambda: self.channel.async_call(
+                "evolve_model", float(t_code)
+            ),
+        )
+
+        def _join(value):
+            self.pull_state()
+            return value
+
+        return self._transition_future(
+            "evolve_model", request, transform=_join
+        )
+
+    @remote_method
+    def evolve_model(self, end_time):
+        """Advance the worker to *end_time* and refresh the mirror.
+
+        ``evolve_model.async_(t)`` returns the future instead: the
+        worker advances in the background and the mirror refresh (plus
+        unit conversion) runs when the future is joined.
+        """
+        return self._launch_evolve(
+            self._to_code(end_time, self._TIME_UNIT)
+        )
+
+    @remote_method
+    def pull_state(self):
+        """Refresh the local mirror from the worker (no-op by default;
+        subclasses fetch their attribute sets in one batched frame)."""
+        self._require_open("pull_state")
+        return Future.completed(
+            self.particles,
+            description=f"{type(self).__name__}.pull_state",
+        )
+
+    # -- lifecycle -----------------------------------------------------------
 
     @property
     def model_time(self):
+        self._require_open("read model_time")
         return self._from_code(
             self.channel.call("get_model_time"), self._TIME_UNIT
         )
 
+    @property
+    def stopped(self):
+        """True once :meth:`stop` has completed."""
+        return self._stopped
+
     def stop(self):
-        if not self._stopped:
-            self.channel.stop()
-            self._stopped = True
+        """Stop the worker.  A second stop — or stopping while an async
+        evolve is in flight — raises :class:`CodeStateError` instead of
+        racing the channel shutdown."""
+        if self._stopped:
+            raise CodeStateError(
+                f"{type(self).__name__} has already been stopped"
+            )
+        self._inflight.require_idle("stop")
+        self.channel.stop()
+        self._stopped = True
+
+    def shutdown(self):
+        """Unconditional worker shutdown — the cleanup path.
+
+        Unlike :meth:`stop` this never raises for an in-flight async
+        transition and is a no-op on an already-stopped code.  An
+        outstanding future is never left hanging: its join either
+        returns normally (the worker finished the call before the
+        channel closed) or raises — typically :class:`CodeStateError`
+        from the post-evolve mirror refresh, or a channel error if the
+        call was still on the wire.  Used by ``__exit__`` during
+        exception unwinding and by :meth:`EvolveGroup.stop`.
+        """
+        if self._stopped:
+            return
+        self.channel.stop()
+        self._stopped = True
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc):
-        self.stop()
+        if not self._stopped:
+            if self._inflight.inflight is None:
+                self.stop()
+            else:
+                # unwinding with an outstanding future: an orderly
+                # stop would raise and mask the body's exception, and
+                # refusing would leak the worker — force the shutdown
+                self.shutdown()
         return False
 
 
@@ -158,6 +334,7 @@ class GravitationalDynamicsCode(CommunityCode):
     def add_particles(self, particles):
         """Register script particles with the worker; returns the local
         mirror subset."""
+        self._require_edit("add_particles")
         mass = self._to_code(particles.mass, self._MASS_UNIT)
         pos = self._to_code(particles.position, self._LENGTH_UNIT)
         vel = self._to_code(particles.velocity, self._SPEED_UNIT)
@@ -180,14 +357,8 @@ class GravitationalDynamicsCode(CommunityCode):
         )
 
     def commit_particles(self):
+        self._require_edit("commit_particles")
         self.channel.call("ensure_state", "RUN")
-
-    def evolve_model(self, end_time):
-        """Advance the worker to *end_time* and refresh the mirror."""
-        t = self._to_code(end_time, self._TIME_UNIT)
-        result = self.channel.call("evolve_model", float(t))
-        self.pull_state()
-        return result
 
     #: worker getter -> (mirror attribute, unit factory) for pull_state;
     #: subclasses extend this to sync extra attributes in the same frame
@@ -197,82 +368,158 @@ class GravitationalDynamicsCode(CommunityCode):
         ("get_velocity", "velocity", lambda self: self._SPEED_UNIT),
     )
 
+    @remote_method
     def pull_state(self):
         """Refresh the local mirror from the worker.
 
         One batched frame fetches every attribute in ``_PULL_ATTRS``
-        per sync instead of one frame per attribute.
+        per sync instead of one frame per attribute; the async form
+        applies the values (and unit conversion) at join time.
         """
+        self._require_open("pull_state")
         if not len(self._ids):
-            return
+            return Future.completed(
+                self.particles,
+                description=f"{type(self).__name__}.pull_state",
+            )
         with self.channel.batch():
             requests = [
                 (attr, unit_of, self.channel.async_call(getter, self._ids))
                 for getter, attr, unit_of in self._PULL_ATTRS
             ]
-        for attr, unit_of, request in requests:
-            setattr(
-                self.particles, attr,
-                self._from_code(request.result(), unit_of(self)),
-            )
 
+        def _apply(values):
+            for (attr, unit_of, _request), value in zip(requests, values):
+                setattr(
+                    self.particles, attr,
+                    self._from_code(value, unit_of(self)),
+                )
+            return self.particles
+
+        return Future(
+            requests=[request for _a, _u, request in requests],
+            transform=_apply,
+            description=f"{type(self).__name__}.pull_state",
+        )
+
+    @remote_method
     def push_masses(self):
         """Send mirror masses to the worker (stellar-evolution coupling)."""
-        if len(self._ids):
-            self.channel.call(
+        self._begin_transition("push_masses")
+        if not len(self._ids):
+            self._abort_transition("push_masses")
+            return Future.completed(None)
+        request = self._launch_guarded(
+            "push_masses",
+            lambda: self.channel.async_call(
                 "set_mass", self._ids,
                 self._to_code(self.particles.mass, self._MASS_UNIT),
-            )
+            ),
+        )
+        return self._transition_future(
+            "push_masses", request, transform=lambda _v: None
+        )
 
+    @remote_method
     def push_state(self):
         """Send mirror positions/velocities/masses to the worker in one
         batched frame."""
+        self._begin_transition("push_state")
         if not len(self._ids):
-            return
-        pos = self._to_code(self.particles.position, self._LENGTH_UNIT)
-        vel = self._to_code(self.particles.velocity, self._SPEED_UNIT)
-        mass = self._to_code(self.particles.mass, self._MASS_UNIT)
-        with self.channel.batch():
-            requests = [
-                self.channel.async_call("set_position", self._ids, pos),
-                self.channel.async_call("set_velocity", self._ids, vel),
-                self.channel.async_call("set_mass", self._ids, mass),
-            ]
-        wait_all(requests)
+            self._abort_transition("push_state")
+            return Future.completed(None)
 
+        def _launch():
+            pos = self._to_code(
+                self.particles.position, self._LENGTH_UNIT
+            )
+            vel = self._to_code(
+                self.particles.velocity, self._SPEED_UNIT
+            )
+            mass = self._to_code(self.particles.mass, self._MASS_UNIT)
+            with self.channel.batch():
+                return [
+                    self.channel.async_call(
+                        "set_position", self._ids, pos
+                    ),
+                    self.channel.async_call(
+                        "set_velocity", self._ids, vel
+                    ),
+                    self.channel.async_call("set_mass", self._ids, mass),
+                ]
+
+        requests = self._launch_guarded("push_state", _launch)
+        return self._transition_future(
+            "push_state", requests=requests,
+            transform=lambda _values: None,
+        )
+
+    @remote_method
     def kick(self, velocity_delta):
-        """Apply a velocity increment to all particles (bridge kicks)."""
-        vel = self.channel.call("get_velocity", self._ids)
-        dv = self._to_code(velocity_delta, self._SPEED_UNIT)
-        self.channel.call("set_velocity", self._ids, vel + dv)
+        """Apply a velocity increment to all particles (bridge kicks).
 
-    # -- diagnostics -----------------------------------------------------------
+        One pipelined ``add_velocity`` round trip per kick — no
+        join-time channel I/O, so kicks on independent codes overlap
+        fully when launched asynchronously."""
+        self._begin_transition("kick")
+        request = self._launch_guarded(
+            "kick",
+            lambda: self.channel.async_call(
+                "add_velocity", self._ids,
+                self._to_code(velocity_delta, self._SPEED_UNIT),
+            ),
+        )
+        return self._transition_future(
+            "kick", request, transform=lambda _v: None
+        )
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def _energy_future(self, getter):
+        self._require_open(getter)
+        return QuantityFuture(
+            self.channel.async_call(getter),
+            transform=lambda v: self._from_code(v, nbody_system.energy),
+            description=f"{type(self).__name__}.{getter}",
+        )
+
+    @remote_method
+    def get_kinetic_energy(self):
+        return self._energy_future("get_kinetic_energy")
+
+    @remote_method
+    def get_potential_energy(self):
+        return self._energy_future("get_potential_energy")
+
+    @remote_method
+    def get_total_energy(self):
+        return self._energy_future("get_total_energy")
 
     @property
     def kinetic_energy(self):
-        return self._from_code(
-            self.channel.call("get_kinetic_energy"), nbody_system.energy
-        )
+        return self.get_kinetic_energy()
 
     @property
     def potential_energy(self):
-        return self._from_code(
-            self.channel.call("get_potential_energy"),
-            nbody_system.energy,
-        )
+        return self.get_potential_energy()
 
     @property
     def total_energy(self):
-        return self._from_code(
-            self.channel.call("get_total_energy"), nbody_system.energy
-        )
+        return self.get_total_energy()
 
-    # -- bridge field surface ------------------------------------------------------
+    # -- bridge field surface ------------------------------------------------
 
     def _field_query(self, method, unit, eps, points, sources):
         """Evaluate a field method, optionally uploading source
         particles first — upload and query travel in ONE batched frame
-        (the coupling model's per-kick exchange)."""
+        (the coupling model's per-kick exchange).  Returns a
+        :class:`QuantityFuture`; unit conversion runs at join time."""
+        self._require_open(method)
+        if sources is not None:
+            # the source upload REPLACES the worker's particle
+            # content — a mutation, so it must not pipeline behind an
+            # in-flight evolve of this same code
+            self._inflight.require_idle(f"{method} with source upload")
         eps2 = float(self._to_code(eps, self._LENGTH_UNIT)) ** 2
         pts = self._to_code(points, self._LENGTH_UNIT)
         upload = None
@@ -283,17 +530,26 @@ class GravitationalDynamicsCode(CommunityCode):
                     "load_field_particles", mass, pos
                 )
             request = self.channel.async_call(method, eps2, pts)
-        if upload is not None:
-            upload.result()   # a failed upload must raise, not let the
-                              # query run against stale field particles
-        return self._from_code(request.result(), unit)
 
+        def _convert(value):
+            if upload is not None:
+                upload.result()   # a failed upload must raise, not let
+                                  # the query pass off stale field data
+            return self._from_code(value, unit)
+
+        return QuantityFuture(
+            request, transform=_convert,
+            description=f"{type(self).__name__}.{method}",
+        )
+
+    @remote_method
     def get_gravity_at_point(self, eps, points, sources=None):
         return self._field_query(
             "get_gravity_at_point", nbody_system.acceleration,
             eps, points, sources,
         )
 
+    @remote_method
     def get_potential_at_point(self, eps, points, sources=None):
         return self._field_query(
             "get_potential_at_point", nbody_system.speed ** 2,
@@ -326,6 +582,7 @@ class Gadget(GravitationalDynamicsCode):
     INTERFACE = GadgetInterface
 
     def add_particles(self, particles):
+        self._require_edit("add_particles")
         mass = self._to_code(particles.mass, self._MASS_UNIT)
         pos = self._to_code(particles.position, self._LENGTH_UNIT)
         vel = self._to_code(particles.velocity, self._SPEED_UNIT)
@@ -346,17 +603,20 @@ class Gadget(GravitationalDynamicsCode):
     def inject_energy(self, subset_indices, du):
         """Add specific internal energy *du* to the given particles —
         the supernova/wind feedback path of the embedded-cluster run."""
+        self._require_edit("inject_energy")
         ids = self._ids[np.asarray(subset_indices, dtype=np.intp)]
         self.channel.call(
             "add_internal_energy", ids,
             self._to_code(du, self._SPEED_UNIT ** 2),
         )
 
+    @remote_method
+    def get_thermal_energy(self):
+        return self._energy_future("get_thermal_energy")
+
     @property
     def thermal_energy(self):
-        return self._from_code(
-            self.channel.call("get_thermal_energy"), nbody_system.energy
-        )
+        return self.get_thermal_energy()
 
 
 class SSE(CommunityCode):
@@ -374,6 +634,7 @@ class SSE(CommunityCode):
         )
 
     def add_particles(self, particles):
+        self._require_edit("add_particles")
         zams = particles.mass.value_in(u.MSun)
         ids = self.channel.call("new_particle", zams)
         mirror = Particles(keys=np.asarray(particles.key))
@@ -385,25 +646,32 @@ class SSE(CommunityCode):
         self.pull_state()
         return self.particles
 
-    def evolve_model(self, end_time):
-        result = self.channel.call(
-            "evolve_model", float(end_time.value_in(u.Myr))
-        )
-        self.pull_state()
-        return result
-
+    @remote_method
     def pull_state(self):
+        self._require_open("pull_state")
         if not len(self._ids):
-            return
-        mass, radius, lum, teff, stype = self.channel.call(
-            "get_state", self._ids
-        )
-        self.particles.mass = Quantity(mass, u.MSun)
-        self.particles.radius = Quantity(radius, u.RSun)
-        self.particles.luminosity = Quantity(lum, u.LSun)
-        self.particles.temperature = Quantity(teff, u.K)
-        self.particles.stellar_type = np.asarray(stype)
+            return Future.completed(
+                self.particles, description="SSE.pull_state"
+            )
+        request = self.channel.async_call("get_state", self._ids)
 
+        def _apply(state):
+            mass, radius, lum, teff, stype = state
+            self.particles.mass = Quantity(mass, u.MSun)
+            self.particles.radius = Quantity(radius, u.RSun)
+            self.particles.luminosity = Quantity(lum, u.LSun)
+            self.particles.temperature = Quantity(teff, u.K)
+            self.particles.stellar_type = np.asarray(stype)
+            return self.particles
+
+        return Future(
+            request, transform=_apply, description="SSE.pull_state"
+        )
+
+    @remote_method
     def time_of_next_supernova(self):
-        t = self.channel.call("time_of_next_supernova")
-        return Quantity(t, u.Myr)
+        return QuantityFuture(
+            self.channel.async_call("time_of_next_supernova"),
+            transform=lambda t: Quantity(t, u.Myr),
+            description="SSE.time_of_next_supernova",
+        )

@@ -115,6 +115,12 @@ class PhiGRAPEInterface(CodeInterface):
         self.storage.set("vel", vel, ids)
         return 0
 
+    def add_velocity(self, ids, dv):
+        """Increment velocities (bridge p-kicks): one round trip."""
+        self.invalidate_model()
+        self.storage.add_to("vel", dv, ids)
+        return 0
+
     # -- dynamics -----------------------------------------------------------------
 
     def commit_particles(self):

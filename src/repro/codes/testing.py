@@ -1,0 +1,46 @@
+"""Synthetic model codes for overlap tests and benchmarks.
+
+:class:`SleepInterface` is a worker whose evolve costs a fixed
+wall-clock time — the stand-in for *off-process* compute: a real remote
+worker burns CPU on its own node exactly like a sleeping worker thread
+here, with the GIL out of the picture.  :class:`SleepCode` wraps it
+with the full async-first high-level surface, so the concurrency
+machinery (futures, EvolveGroup, in-flight tracking) can be measured
+and tested against workers with perfectly known per-step cost.
+
+Shared by ``tests/test_async_api.py`` and
+``benchmarks/bench_async_overlap.py`` so the two always exercise the
+same worker semantics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..units import nbody as nbody_system
+from .base import CodeInterface
+from .highlevel import CommunityCode
+
+__all__ = ["SleepInterface", "SleepCode"]
+
+
+class SleepInterface(CodeInterface):
+    """Model code whose evolve costs ``cost_s`` wall-clock seconds."""
+
+    PARAMETERS = {
+        "cost_s": (0.15, "wall-clock seconds charged per evolve call"),
+    }
+
+    def evolve_model(self, end_time):
+        self.ensure_state("RUN")
+        time.sleep(self.cost_s)
+        self.model_time = float(end_time)
+        self.step_count += 1
+        return 0
+
+
+class SleepCode(CommunityCode):
+    """High-level wrapper: full async surface over a SleepInterface."""
+
+    INTERFACE = SleepInterface
+    _TIME_UNIT = nbody_system.time

@@ -99,6 +99,11 @@ class TreeGravityInterface(CodeInterface):
         self.storage.set("vel", vel, ids)
         return 0
 
+    def add_velocity(self, ids, dv):
+        """Increment velocities (bridge p-kicks): one round trip."""
+        self.storage.add_to("vel", dv, ids)
+        return 0
+
     def load_field_particles(self, mass, pos):
         """Replace the whole particle content (coupling-model fast path).
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..codes.group import EvolveGroup
+from ..rpc import AggregateRequestError, remote_method, wait_all
 from ..units import nbody as nbody_system
 from ..units.core import Quantity
 
@@ -35,7 +37,10 @@ class CouplingField:
     Each field evaluation issues ONE batched frame over the channel:
     the source-particle upload and the field query travel together and
     the worker executes them in order — halving the round trips per
-    kick compared to one frame per call.
+    kick compared to one frame per call.  Both queries are
+    :class:`~repro.rpc.futures.remote_method`\\ s, so the bridge can
+    launch every system's field evaluation asynchronously and overlap
+    them (``field.get_gravity_at_point.async_(...)``).
     """
 
     def __init__(self, field_code, source_systems, eps=None):
@@ -56,13 +61,15 @@ class CouplingField:
             )
         return np.concatenate(masses), np.concatenate(positions)
 
+    @remote_method
     def get_gravity_at_point(self, eps, points):
-        return self.code.get_gravity_at_point(
+        return self.code.get_gravity_at_point.async_(
             self.eps or eps, points, sources=self._gather_sources()
         )
 
+    @remote_method
     def get_potential_at_point(self, eps, points):
-        return self.code.get_potential_at_point(
+        return self.code.get_potential_at_point.async_(
             self.eps or eps, points, sources=self._gather_sources()
         )
 
@@ -102,6 +109,12 @@ class Bridge:
         return code
 
     @property
+    def group(self):
+        """The registered codes as an :class:`EvolveGroup` — derived
+        from ``systems`` so the two can never fall out of sync."""
+        return EvolveGroup([code for code, _ in self.systems])
+
+    @property
     def particles(self):
         """All particles across systems (fresh copies, script units)."""
         sets = [code.particles for code, _ in self.systems]
@@ -113,22 +126,92 @@ class Bridge:
     # -- phases ------------------------------------------------------------
 
     def kick_systems(self, dt):
-        """Apply partner gravity to every system for interval *dt*."""
+        """Apply partner gravity to every system for interval *dt*.
+
+        All field evaluations are launched asynchronously first — the
+        uploads and queries of every (system, partner) pair pipeline
+        over the channels and overlap — then each system's kick is
+        launched as its accelerations resolve (one ``add_velocity``
+        round trip per code, overlapping across codes) and joined at
+        the end.
+        """
         softening = Quantity(0.0, nbody_system.length)
-        for code, partners in self.systems:
-            if not partners or not len(code.particles):
-                continue
-            pos = code.particles.position
+        pending = []
+        try:
+            for code, partners in self.systems:
+                if not partners or not len(code.particles):
+                    continue
+                pos = code.particles.position
+                eps = self._eps_for(code, softening)
+                futures = []
+                pending.append((code, futures))
+                for partner in partners:
+                    futures.append((
+                        partner,
+                        partner.get_gravity_at_point.async_(eps, pos),
+                    ))
+        except BaseException:
+            # a failed launch (stopped partner) must not leave the
+            # earlier systems' field futures dangling un-joined
+            for _code, futures in pending:
+                for _partner, future in futures:
+                    future.exception()
+            raise
+        # every launched kick future is ALWAYS joined below, even when
+        # a sibling's field query or kick fails — otherwise its
+        # in-flight 'kick' transition would strand and its mirror
+        # would diverge from the worker; the first error is re-raised
+        # after the joins
+        errors = []
+        kicks = []
+        kick_attempts = 0
+        for code, futures in pending:
             total = None
-            for partner in partners:
-                acc = partner.get_gravity_at_point(
-                    self._eps_for(code, softening), pos
-                )
+            failed = False
+            for partner, future in futures:
+                try:
+                    acc = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    # name the FIELD PROVIDER that failed (the future's
+                    # description carries the field code's class), not
+                    # the system being kicked
+                    errors.append((
+                        getattr(future, "description", None)
+                        or f"{type(partner).__name__} field for "
+                           f"{type(code).__name__}",
+                        exc,
+                    ))
+                    failed = True
+                    continue
                 total = acc if total is None else total + acc
+            if failed or errors:
+                # after the first failure no FURTHER kicks are
+                # launched (kicks already in flight for earlier
+                # systems are still joined and mirrored below); the
+                # remaining field futures above still get joined
+                continue
             dv = total * dt
-            code.kick(dv)
+            kick_attempts += 1
+            try:
+                kicks.append((code, dv, code.kick.async_(dv)))
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append((f"{type(code).__name__}.kick", exc))
+        for code, dv, future in kicks:
+            try:
+                future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append((f"{type(code).__name__}.kick", exc))
+                continue
             # keep the local mirror coherent with the worker
             code.particles.velocity = code.particles.velocity + dv
+        if errors:
+            # the same error surface as the drift phase's wait_all:
+            # one aggregate naming every failed model, out of all the
+            # field/kick calls this phase attempted
+            attempted = sum(
+                len(futures) for _c, futures in pending
+            ) + kick_attempts
+            raise AggregateRequestError(errors, total=attempted)
         self.kick_count += 1
 
     def _eps_for(self, code, default):
@@ -137,22 +220,20 @@ class Bridge:
         return default
 
     def drift_systems(self, t_end):
-        """Evolve every system to *t_end*, in parallel when async."""
+        """Evolve every system to *t_end*, in parallel when async.
+
+        The async path goes through the :class:`EvolveGroup`: every
+        code's ``evolve_model.async_`` future is launched, the workers
+        advance concurrently, and the join refreshes each mirror —
+        the inter-model parallelism of the paper's jungle scenario.
+        Synchronous mode evolves one code at a time (the
+        coupler-bottleneck ablation).
+        """
         if self.use_async:
-            requests = []
-            for code, _ in self.systems:
-                t = code._to_code(t_end, code._TIME_UNIT)
-                requests.append(
-                    code.channel.async_call("evolve_model", float(t))
-                )
-            for request in requests:
-                request.result()
+            wait_all(self.group.evolve_async(t_end))
         else:
             for code, _ in self.systems:
-                t = code._to_code(t_end, code._TIME_UNIT)
-                code.channel.call("evolve_model", float(t))
-        for code, _ in self.systems:
-            code.pull_state()
+                code.evolve_model(t_end)
         self.drift_count += 1
 
     # -- main loop --------------------------------------------------------------
@@ -202,5 +283,6 @@ class Bridge:
         return total
 
     def stop(self):
-        for code, _ in self.systems:
-            code.stop()
+        # the group knows the cleanup protocol: skip stopped members,
+        # force-shutdown busy ones, never leak the rest of the workers
+        self.group.stop()

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..codes import Fi, Gadget, Octgrav, PhiGRAPE, SSE
+from ..codes import EvolveGroup, Fi, Gadget, Octgrav, PhiGRAPE, SSE
 from ..ic import (
     new_plummer_gas_model,
     new_plummer_model,
@@ -291,8 +291,9 @@ class EmbeddedClusterSimulation:
         )
 
     def stop(self):
-        for code in (self.gravity, self.hydro, self.se, self.coupling):
-            code.stop()
+        EvolveGroup(
+            (self.gravity, self.hydro, self.se, self.coupling)
+        ).stop()
 
     # -- cost-model hooks ----------------------------------------------------------
 

@@ -302,16 +302,34 @@ class JungleRunner:
     coupled step and advances the jungle clock by the cost model's
     per-iteration estimate, so monitoring/traffic/timing come out
     paper-shaped while the physics output stays real.
+
+    Concurrency-aware accounting (paper Sec. 6.2): when the wrapped
+    simulation drifts its models asynchronously (the async-first
+    bridge, ``bridge.use_async``), the modeled per-iteration time
+    charges ``max()`` over the concurrently evolving codes instead of
+    ``sum()`` — the jungle scenario's win.  ``overlap_drift=None``
+    (default) infers this from the simulation's bridge; pass
+    True/False to force either accounting (e.g. to reproduce the
+    paper's serialized-prototype numbers with an async simulation).
     """
 
     def __init__(self, simulation, damuse, workload=None,
-                 overlap_drift=False):
+                 overlap_drift=None):
         self.simulation = simulation
         self.damuse = damuse
         self.workload = workload or IterationWorkload()
         self.cost_model = CostModel(damuse.jungle)
-        self.overlap_drift = overlap_drift
+        #: None = infer live from the bridge on every read, so
+        #: toggling bridge.use_async mid-run (ablations) is honored
+        self._overlap_override = overlap_drift
         self.iteration_costs = []
+
+    @property
+    def overlap_drift(self):
+        if self._overlap_override is not None:
+            return bool(self._overlap_override)
+        bridge = getattr(self.simulation, "bridge", None)
+        return bool(getattr(bridge, "use_async", False))
 
     def run_iteration(self):
         """One outer iteration; returns the cost breakdown."""

@@ -28,8 +28,13 @@ and the published GPU/remote/jungle numbers follow from device rates:
 
 The model deliberately charges *sequential* drift RPC by default — the
 paper's prototype issues evolve calls through the central coupler, which
-is the bottleneck Sec. 4.1/7 flags; the async-overlap variant quantifies
-the planned improvement (ablation A3).
+is the bottleneck Sec. 4.1/7 flags; the async-overlap variant
+(``overlap_drift=True``: drift charges ``max()`` over the concurrently
+evolving codes instead of ``sum()``) quantifies the improvement
+(ablation A3).  Since the async-first API redesign,
+:class:`~repro.distributed.core.JungleRunner` selects the variant from
+the wrapped simulation's bridge: an async bridge gets concurrent
+accounting automatically.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""RPC layer: wire protocol, channels and async requests."""
+"""RPC layer: wire protocol, channels, async requests and futures."""
 
 from .channel import (
     AsyncRequest,
@@ -7,8 +7,15 @@ from .channel import (
     SocketChannel,
     new_channel,
     register_channel_factory,
-    wait_all,
     worker_loop,
+)
+from .futures import (
+    AggregateRequestError,
+    Future,
+    QuantityFuture,
+    as_completed,
+    remote_method,
+    wait_all,
 )
 from .protocol import (
     PROTOCOL_VERSION,
@@ -22,12 +29,17 @@ from .protocol import (
 )
 
 __all__ = [
+    "AggregateRequestError",
     "AsyncRequest",
     "Channel",
     "DirectChannel",
+    "Future",
+    "QuantityFuture",
     "SocketChannel",
+    "as_completed",
     "new_channel",
     "register_channel_factory",
+    "remote_method",
     "wait_all",
     "worker_loop",
     "PROTOCOL_VERSION",

@@ -57,21 +57,47 @@ class AsyncRequest:
 
     Mirrors AMUSE's async request objects: ``result()`` blocks,
     ``is_result_available()`` polls, ``wait()`` blocks without
-    returning.
+    returning.  Completion callbacks (``add_done_callback``) fire on
+    the resolving thread — usually a channel's reader thread — so they
+    must not block; the rich :class:`~repro.rpc.futures.Future` layer
+    builds its lazy, caller-thread transforms on top of this hook.
     """
 
     def __init__(self):
         self._event = threading.Event()
         self._value = None
         self._error = None
+        self._callbacks = []
+        self._callback_lock = threading.Lock()
 
     def _resolve(self, value=None, error=None):
         self._value = value
         self._error = error
         self._event.set()
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            # a raising callback must not kill the resolving thread
+            # (usually a channel reader — its death would strand every
+            # later request) nor starve the remaining callbacks
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - user callback, reported
+                traceback.print_exc()
 
     def is_result_available(self):
         return self._event.is_set()
+
+    def done(self):
+        return self._event.is_set()
+
+    def add_done_callback(self, fn):
+        """Call ``fn(self)`` when resolved (immediately if already done)."""
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def wait(self, timeout=None):
         if not self._event.wait(timeout):
@@ -94,13 +120,6 @@ class AsyncRequest:
         req = AsyncRequest()
         req._resolve(error=error)
         return req
-
-
-def wait_all(requests, timeout=None):
-    """Block until every request in *requests* has completed."""
-    for req in requests:
-        req.wait(timeout)
-    return [req.result() for req in requests]
 
 
 def resolve_multi(requests, results):

@@ -1,0 +1,539 @@
+"""Unit-aware futures and the async method surface of the script API.
+
+The wire layer (:mod:`repro.rpc.channel`) hands out bare
+:class:`AsyncRequest` objects: a response slot matched by call id in the
+channel's pending table.  This module builds the *script-facing* future
+layer on top of them, the contract the paper's concurrency story rests
+on ("multiple simulations ... executed concurrently", Sec. 5):
+
+* :class:`Future` — wraps one or more pending requests and applies a
+  *transform* lazily, in the joining thread, the first time ``result()``
+  is called.  Unit conversion, mirror refreshes and state-machine
+  bookkeeping all live in transforms, so nothing heavy ever runs on a
+  channel's reader thread.
+* :class:`QuantityFuture` — a future whose transform attaches units;
+  ``value_in(unit)`` is the blocking convenience accessor.
+* :func:`wait_all` — join a set of futures with a shared deadline; when
+  calls failed it raises an :class:`AggregateRequestError` naming each
+  failed call instead of hiding all but the first.
+* :func:`as_completed` — yield futures in completion order.
+* :class:`remote_method` — descriptor giving a method written in async
+  style (returning a future) a synchronous face: ``code.m(...)`` is
+  exactly ``code.m.async_(...).result()``, which makes the old blocking
+  API a thin shim over the async one.
+"""
+
+from __future__ import annotations
+
+import functools
+import queue
+import threading
+import time
+
+from .channel import AsyncRequest
+
+__all__ = [
+    "AggregateRequestError",
+    "Future",
+    "QuantityFuture",
+    "as_completed",
+    "remote_method",
+    "wait_all",
+]
+
+
+class AggregateRequestError(RuntimeError):
+    """Several async calls failed; names every failure, not just one.
+
+    ``failures`` is a list of ``(description, exception)`` pairs in
+    request order.
+    """
+
+    def __init__(self, failures, total=None):
+        self.failures = list(failures)
+        self.total = total if total is not None else len(self.failures)
+        detail = "; ".join(
+            f"{name} ({type(exc).__name__}: {exc})"
+            for name, exc in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} of {self.total} async call(s) "
+            f"failed: {detail}"
+        )
+
+
+def _describe(request, index):
+    return getattr(request, "description", None) or f"request #{index}"
+
+
+class _DaemonPool:
+    """Reusable pool of DAEMON worker threads for Future.submit.
+
+    Offloaded calls (EvolveGroup members without an async surface) are
+    issued every coupled step, so worker threads are reused instead of
+    paying thread churn per call — but unlike
+    ``concurrent.futures.ThreadPoolExecutor`` the workers are daemon
+    threads with no atexit join: a call left hung after a recovered
+    timeout must not wedge interpreter shutdown.
+
+    Each idle worker owns a one-slot handoff queue on an idle stack;
+    submit hands the task to an idle worker, spawns a new one below
+    the cap, or queues in overflow behind the busy workers.  Idle
+    workers retire after ``_IDLE_TTL_S`` without work.
+    """
+
+    _IDLE_TTL_S = 30.0
+
+    def __init__(self, max_workers=32):
+        self._lock = threading.Lock()
+        self._idle = []             # handoff queues of idle workers
+        self._overflow = queue.SimpleQueue()
+        self._workers = 0
+        self._max = max_workers
+
+    def submit(self, fn):
+        # overflow is fed UNDER the lock, and workers check it under
+        # the same lock before parking idle — so a task can never land
+        # in overflow while a worker slips onto the idle stack unseen
+        with self._lock:
+            if self._idle:
+                self._idle.pop().put(fn)
+                return
+            if self._workers < self._max:
+                self._workers += 1
+                box = queue.SimpleQueue()
+                box.put(fn)
+                threading.Thread(
+                    target=self._worker, args=(box,),
+                    name="repro-future", daemon=True,
+                ).start()
+                return
+            self._overflow.put(fn)
+
+    def _worker(self, box):
+        fn = box.get()
+        while True:
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - fn resolves its future
+                pass
+            # drain overflow before going idle — atomically with the
+            # parking decision (see submit)
+            with self._lock:
+                try:
+                    fn = self._overflow.get_nowait()
+                except queue.Empty:
+                    fn = None
+                    self._idle.append(box)
+            if fn is not None:
+                continue
+            try:
+                fn = box.get(timeout=self._IDLE_TTL_S)
+            except queue.Empty:
+                with self._lock:
+                    if box in self._idle:
+                        self._idle.remove(box)
+                        self._workers -= 1
+                        return
+                # claimed between the timeout and the lock: the task
+                # is en route — take it (arrives momentarily)
+                fn = box.get()
+
+
+#: shared offload pool (lazily created)
+_submit_pool = None
+_submit_pool_lock = threading.Lock()
+
+
+def _get_submit_pool():
+    global _submit_pool
+    with _submit_pool_lock:
+        if _submit_pool is None:
+            _submit_pool = _DaemonPool()
+    return _submit_pool
+
+
+class Future:
+    """A joinable handle for one or more in-flight async calls.
+
+    ``done()`` reports whether the underlying wire responses have
+    arrived; ``result()`` blocks, then *materializes* the value exactly
+    once: the raw wire values are passed through ``transform`` in the
+    calling thread (this is where unit conversion and mirror refreshes
+    happen — at future-resolution time, never on the reader thread).
+    ``cleanup`` runs once at materialization whatever the outcome,
+    which the high-level layer uses to retire in-flight state-machine
+    transitions.
+    """
+
+    def __init__(self, request=None, requests=None, transform=None,
+                 cleanup=None, description=None):
+        if requests is not None and request is not None:
+            raise TypeError("pass either request= or requests=, not both")
+        self._multi = requests is not None
+        if self._multi:
+            self._requests = list(requests)
+        else:
+            self._requests = [request if request is not None
+                              else AsyncRequest()]
+        self._transform = transform
+        self._cleanup = cleanup
+        self.description = description
+        self._lock = threading.Lock()
+        # materialization state machine: "new" -> "running" -> "done".
+        # The lock is held only for state flips, NEVER while a
+        # transform runs (transforms do blocking channel I/O; a reader
+        # thread must always be able to take the lock and move on)
+        self._state = "new"
+        self._finished = threading.Event()
+        self._value = None
+        self._error = None
+
+    # -- state ---------------------------------------------------------------
+
+    def done(self):
+        """True once every underlying wire response has arrived."""
+        return all(r.is_result_available() for r in self._requests)
+
+    # AsyncRequest-compatible alias (so futures and raw requests mix)
+    is_result_available = done
+
+    def add_done_callback(self, fn):
+        """Call ``fn(self)`` once all underlying responses are in.
+
+        Runs on the thread that resolves the last response (or
+        immediately, if already done).  Callbacks must not block.
+        """
+        if not self._requests:
+            # an empty multi-future is born done; fire immediately so
+            # done() and the callback can never disagree
+            fn(self)
+            return
+        counter = {"n": len(self._requests)}
+        lock = threading.Lock()
+
+        def _one(_request):
+            with lock:
+                counter["n"] -= 1
+                fire = counter["n"] == 0
+            if fire:
+                fn(self)
+
+        for request in self._requests:
+            request.add_done_callback(_one)
+
+    def wait(self, timeout=None):
+        """Block until done; raises TimeoutError on a shared deadline."""
+        deadline = None if timeout is None else \
+            time.monotonic() + timeout
+        for request in self._requests:
+            remaining = None if deadline is None else \
+                max(0.0, deadline - time.monotonic())
+            request.wait(remaining)
+
+    # -- joining -------------------------------------------------------------
+
+    def _materialize(self, timeout=None):
+        with self._lock:
+            if self._state == "new":
+                self._state = "running"
+                claimed = True
+            else:
+                claimed = False
+        if not claimed:
+            # another thread is (or finished) materializing; wait for
+            # it rather than racing the transform — bounded by the
+            # caller's timeout, like the wire wait
+            if not self._finished.wait(timeout):
+                raise TimeoutError(
+                    f"{self.description or 'future'} result was not "
+                    "materialized in time (another join is still "
+                    "running its transform)"
+                )
+            return
+        try:
+            values = [r.result() for r in self._requests]
+            raw = values if self._multi else values[0]
+            self._value = raw if self._transform is None else \
+                self._transform(raw)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in result()
+            self._error = exc
+        finally:
+            if self._cleanup is not None:
+                self._cleanup()
+            with self._lock:
+                self._state = "done"
+            self._finished.set()
+
+    def _join(self, timeout):
+        """Wait for the responses, then materialize — both bounded by
+        one shared deadline."""
+        deadline = None if timeout is None else \
+            time.monotonic() + timeout
+        self.wait(timeout)
+        self._materialize(
+            None if deadline is None else
+            max(0.0, deadline - time.monotonic())
+        )
+
+    def result(self, timeout=None):
+        """Join: wait for the responses, materialize, return the value.
+
+        *timeout* bounds both the wire wait and (when another thread is
+        already materializing) the wait for that join to finish; it
+        cannot interrupt a transform running in THIS thread.
+        """
+        self._join(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout=None):
+        """Join and return the error (or None) instead of raising."""
+        self._join(timeout)
+        return self._error
+
+    def abandon(self):
+        """Discard the result: once the responses arrive, retire the
+        cleanup hook WITHOUT running the transform.
+
+        Unlike ``result()`` this never performs channel I/O (no mirror
+        refresh), so it is safe to trigger from a reader thread — the
+        recovery path when a deadline expired and the caller walks
+        away.  A later ``result()`` raises; an earlier one wins.
+        """
+        def _discard(_future):
+            with self._lock:
+                if self._state != "new":
+                    return      # a join got there first (or is running)
+                self._state = "done"
+            try:
+                self._error = RuntimeError(
+                    f"{self.description or 'future'} was abandoned "
+                    "before its result was consumed"
+                )
+            finally:
+                if self._cleanup is not None:
+                    self._cleanup()
+                self._finished.set()
+
+        self.add_done_callback(_discard)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def completed(cls, value, description=None):
+        future = cls(description=description)
+        future._requests[0]._resolve(value)
+        return future
+
+    @classmethod
+    def failed(cls, error, description=None):
+        future = cls(description=description)
+        future._requests[0]._resolve(error=error)
+        return future
+
+    @classmethod
+    def submit(cls, fn, *args, description=None, cleanup=None,
+               **kwargs):
+        """Run ``fn(*args, **kwargs)`` on the shared offload pool;
+        the future joins it.
+
+        The offload path of :class:`~repro.codes.group.EvolveGroup` for
+        members without an async-capable method surface (e.g. CESM
+        components): the call still overlaps with other members, and
+        pool threads are reused across steps instead of spawning one
+        per call.  *cleanup* is retired at join/abandon time like any
+        future's cleanup hook.
+        """
+        future = cls(
+            description=description or getattr(fn, "__name__", "call"),
+            cleanup=cleanup,
+        )
+        request = future._requests[0]
+
+        def _run():
+            try:
+                request._resolve(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - delivered at join
+                request._resolve(error=exc)
+
+        _get_submit_pool().submit(_run)
+        return future
+
+    def __repr__(self):
+        state = "done" if self.done() else "pending"
+        name = f" {self.description}" if self.description else ""
+        return f"<{type(self).__name__}{name} {state}>"
+
+
+class QuantityFuture(Future):
+    """A future resolving to a unit-carrying Quantity.
+
+    The unit conversion (code units -> script units through the code's
+    converter) happens inside the transform, i.e. at future-resolution
+    time in the joining thread.
+    """
+
+    def value_in(self, unit):
+        """Block and return the bare numbers expressed in *unit*."""
+        return self.result().value_in(unit)
+
+
+def _retire_on_timeout(requests):
+    """No future may be left with a stranded cleanup hook when a
+    wait_all deadline expires: pending futures are abandoned (their
+    cleanup retires when the response lands, without running the
+    transform), already-resolved ones are joined for their side
+    effects."""
+    for request in requests:
+        abandon = getattr(request, "abandon", None)
+        if abandon is None:
+            continue            # raw AsyncRequest: nothing to retire
+        if request.is_result_available():
+            request.exception()
+        else:
+            abandon()
+
+
+def wait_all(requests, timeout=None):
+    """Join every request/future; return their results in order.
+
+    *timeout* (seconds) is a shared deadline for the whole set — a
+    TimeoutError names the calls still pending when it expires, and
+    every future is retired (joined if resolved, abandoned if not) so
+    no cleanup hook is left stranded.  If any calls failed, an
+    :class:`AggregateRequestError` naming every failed call is raised
+    after all of them have been joined.
+    """
+    requests = list(requests)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for index, request in enumerate(requests):
+        remaining = None if deadline is None else \
+            max(0.0, deadline - time.monotonic())
+        try:
+            request.wait(remaining)
+        except TimeoutError:
+            pending = [
+                _describe(r, i) for i, r in enumerate(requests)
+                if not r.is_result_available()
+            ]
+            _retire_on_timeout(requests)
+            raise TimeoutError(
+                f"{len(pending)} of {len(requests)} async call(s) "
+                f"still pending after {timeout}s: "
+                f"{', '.join(pending)}"
+            ) from None
+    results = []
+    failures = []
+    for index, request in enumerate(requests):
+        remaining = None if deadline is None else \
+            max(0.0, deadline - time.monotonic())
+        try:
+            # the deadline also bounds materialization (a join racing
+            # another thread's in-progress transform); a transform
+            # running in THIS thread is cooperative and not
+            # interruptible
+            results.append(request.result(remaining))
+        except TimeoutError as exc:
+            # only the SHARED deadline expiring aborts the join loop;
+            # a TimeoutError raised by the call itself (e.g. a nested
+            # timed wait inside a transform) is an ordinary failure
+            # and must not strand the remaining joins
+            if deadline is not None and \
+                    time.monotonic() >= deadline:
+                _retire_on_timeout(requests)
+                raise TimeoutError(
+                    f"result of {_describe(request, index)} was not "
+                    f"materialized within {timeout}s"
+                ) from None
+            failures.append((_describe(request, index), exc))
+        except Exception as exc:  # noqa: BLE001 - aggregated below
+            failures.append((_describe(request, index), exc))
+    if failures:
+        raise AggregateRequestError(failures, total=len(requests))
+    return results
+
+
+def as_completed(requests, timeout=None):
+    """Yield requests/futures in the order they complete.
+
+    *timeout* bounds the wait for EACH next completion; on expiry a
+    TimeoutError naming the still-pending calls is raised.
+    """
+    requests = list(requests)
+    done_queue = queue.SimpleQueue()
+    for request in requests:
+        request.add_done_callback(done_queue.put)
+    for _ in range(len(requests)):
+        try:
+            yield done_queue.get(timeout=timeout)
+        except queue.Empty:
+            pending = [
+                _describe(r, i) for i, r in enumerate(requests)
+                if not r.is_result_available()
+            ]
+            raise TimeoutError(
+                f"{len(pending)} async call(s) still pending: "
+                f"{', '.join(pending)}"
+            ) from None
+
+
+class BoundAsyncMethod:
+    """A bound method exposing both calling conventions.
+
+    ``m(...)`` is the blocking shim — literally ``m.async_(...).result()``
+    — while ``m.async_(...)`` returns the :class:`Future` produced by
+    the underlying implementation.
+    """
+
+    __slots__ = ("__func__", "__self__")
+
+    def __init__(self, func, instance):
+        object.__setattr__(self, "__func__", func)
+        object.__setattr__(self, "__self__", instance)
+
+    def async_(self, *args, **kwargs):
+        return self.__func__(self.__self__, *args, **kwargs)
+
+    def __call__(self, *args, **kwargs):
+        return self.async_(*args, **kwargs).result()
+
+    @property
+    def __doc__(self):
+        return self.__func__.__doc__
+
+    @property
+    def __name__(self):
+        return self.__func__.__name__
+
+    def __repr__(self):
+        return (
+            f"<async-capable method {self.__func__.__name__} of "
+            f"{self.__self__!r}>"
+        )
+
+
+class remote_method:  # noqa: N801 - decorator, lowercase by convention
+    """Decorator: write the async implementation, get both call forms.
+
+    The decorated function must return a :class:`Future` (usually
+    wrapping channel ``async_call``s).  Attribute access on an instance
+    yields a :class:`BoundAsyncMethod`, so every remote operation
+    ``code.m(...)`` automatically gains the ``code.m.async_(...)``
+    form, and the synchronous call is guaranteed to be the shim
+    ``async_(...).result()`` — one implementation, two conventions.
+    """
+
+    def __init__(self, async_impl):
+        self.async_impl = async_impl
+        functools.update_wrapper(self, async_impl)
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return BoundAsyncMethod(self.async_impl, instance)
+
+    def __call__(self, instance, *args, **kwargs):
+        # direct class-level invocation (rare): behave like the shim
+        return self.async_impl(instance, *args, **kwargs).result()
