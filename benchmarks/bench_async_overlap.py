@@ -14,6 +14,16 @@ concurrently in < 1.6x the wall clock of a single code (the serialized
 path costs ~2x).  A second test records the cost model's modeled
 per-iteration time with and without drift overlap — the Sec. 6.2
 accounting change (max over concurrent codes instead of sum).
+
+The numpy-kernel variant (``--kernel numpy`` standalone, or the
+``test_a3_numpy_kernel_*`` test) is the adversarial case: evolve is
+GIL-holding numpy compute, so in-process worker threads serialize
+(two workers sit near 2x one worker) while ``channel_type="subprocess"``
+workers — each with their own interpreter and GIL — overlap near 1.0x.
+Acceptance: subprocess pair < 1.4x single, threads baseline >= 1.7x in
+the same run.  The subprocess bound needs >= 2 CPU cores (two
+compute-heavy processes cannot overlap on one core, GIL or not); on a
+single-core box the ratio is still reported but not asserted.
 """
 
 import itertools
@@ -21,7 +31,7 @@ import os
 import time
 
 from repro.codes.group import EvolveGroup
-from repro.codes.testing import SleepCode
+from repro.codes.testing import NumpyKernelCode, SleepCode
 from repro.jungle import (
     CostModel,
     IterationWorkload,
@@ -33,6 +43,16 @@ from repro.units import nbody_system
 QUICK = bool(os.environ.get("BENCH_QUICK"))
 STEP_COST_S = 0.05 if QUICK else 0.2
 ROUNDS = 3 if QUICK else 5
+#: numpy kernel slices per evolve (~100ms quick / ~400ms full on the
+#: dev container)
+NUMPY_WORK_ITEMS = 500 if QUICK else 2000
+
+
+def _cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:      # non-Linux
+        return os.cpu_count() or 1
 
 
 def _make_codes(n):
@@ -112,3 +132,139 @@ def test_a3_modeled_iteration_time_drops(report):
     ])
     assert par["drift_s"] < seq["drift_s"]
     assert par["total_s"] < seq["total_s"]
+
+
+def _measure_numpy_overlap(clock, evolve_rounds=1):
+    """One full numpy-kernel comparison: single subprocess worker,
+    two GIL-sharing thread workers, two subprocess workers.  Returns
+    ``(single_s, threads_s, subproc_s)`` medians over *evolve_rounds*.
+    """
+    def _timed(fn):
+        samples = []
+        for _ in range(evolve_rounds):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    single = NumpyKernelCode(
+        channel_type="subprocess", work_items=NUMPY_WORK_ITEMS
+    )
+    single_s = _timed(
+        lambda: single.evolve_model(next(clock) | nbody_system.time)
+    )
+    single.stop()
+
+    threads = EvolveGroup([
+        NumpyKernelCode(
+            channel_type="sockets", work_items=NUMPY_WORK_ITEMS
+        )
+        for _ in range(2)
+    ])
+    threads_s = _timed(
+        lambda: threads.evolve(next(clock) | nbody_system.time)
+    )
+    threads.stop()
+
+    subproc = EvolveGroup([
+        NumpyKernelCode(
+            channel_type="subprocess", work_items=NUMPY_WORK_ITEMS
+        )
+        for _ in range(2)
+    ])
+    subproc_s = _timed(
+        lambda: subproc.evolve(next(clock) | nbody_system.time)
+    )
+    subproc.stop()
+    return single_s, threads_s, subproc_s
+
+
+def test_a3_numpy_kernel_subprocess_lifts_gil_bound(report):
+    """Compute-heavy workers: threads serialize on the GIL (~2x),
+    subprocess workers overlap for real (~1x, needs >= 2 cores)."""
+    cores = _cpu_count()
+    single_s, threads_s, subproc_s = _measure_numpy_overlap(
+        itertools.count(1), evolve_rounds=ROUNDS
+    )
+    threads_x = threads_s / single_s
+    subproc_x = subproc_s / single_s
+    report("A3 numpy-kernel overlap (GIL-holding compute)", [
+        f"one subprocess worker:        {single_s * 1e3:8.1f} ms/step",
+        f"two thread workers (sockets): {threads_s * 1e3:8.1f} ms/step"
+        f"  ({threads_x:.2f}x, GIL-bound; acceptance: >= 1.7x)",
+        f"two subprocess workers:       {subproc_s * 1e3:8.1f} ms/step"
+        f"  ({subproc_x:.2f}x; acceptance: < 1.4x on >= 2 cores)",
+        f"cpu cores available: {cores}" + (
+            "" if cores >= 2 else
+            "  (single core: compute cannot physically overlap; "
+            "subprocess ratio reported, not asserted)"
+        ),
+    ])
+
+    # in-process worker threads share the coupler's GIL: two
+    # compute-heavy workers are no better than serialized, on any
+    # number of cores
+    assert threads_x >= 1.7
+    if cores >= 2:
+        # the tentpole claim: off-process workers overlap real compute
+        assert subproc_x < 1.4
+
+
+def main(argv=None):
+    """Standalone run: ``python benchmarks/bench_async_overlap.py
+    --kernel numpy`` prints the overlap table without pytest."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--kernel", choices=("sleep", "numpy"), default="numpy",
+        help="worker cost model: fixed sleep or GIL-holding numpy",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help="evolve rounds per measurement (median is reported)",
+    )
+    args = parser.parse_args(argv)
+    clock = itertools.count(1)
+
+    if args.kernel == "numpy":
+        cores = _cpu_count()
+        single_s, threads_s, subproc_s = _measure_numpy_overlap(
+            clock, evolve_rounds=args.rounds
+        )
+        print(f"numpy kernel, {NUMPY_WORK_ITEMS} slices/evolve, "
+              f"{cores} cpu core(s)")
+        print(f"  one subprocess worker:        "
+              f"{single_s * 1e3:8.1f} ms/step")
+        print(f"  two thread workers (sockets): "
+              f"{threads_s * 1e3:8.1f} ms/step "
+              f"({threads_s / single_s:.2f}x, GIL-bound)")
+        print(f"  two subprocess workers:       "
+              f"{subproc_s * 1e3:8.1f} ms/step "
+              f"({subproc_s / single_s:.2f}x)")
+        ok = threads_s / single_s >= 1.7 and (
+            cores < 2 or subproc_s / single_s < 1.4
+        )
+        print("acceptance:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    single = SleepCode(channel_type="sockets", cost_s=STEP_COST_S)
+    t0 = time.perf_counter()
+    single.evolve_model(next(clock) | nbody_system.time)
+    single_s = time.perf_counter() - t0
+    single.stop()
+    group = EvolveGroup(_make_codes(2))
+    t0 = time.perf_counter()
+    group.evolve(next(clock) | nbody_system.time)
+    overlap_s = time.perf_counter() - t0
+    group.stop()
+    print(f"sleep kernel ({STEP_COST_S}s/step)")
+    print(f"  one worker:            {single_s * 1e3:8.1f} ms/step")
+    print(f"  two workers overlapped: {overlap_s * 1e3:7.1f} ms/step "
+          f"({overlap_s / single_s:.2f}x)")
+    return 0 if overlap_s < 1.6 * single_s else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,14 +77,19 @@ def async_futures(converter, stars):
 
 
 def concurrent_models(converter, stars):
-    """EvolveGroup: gravity + SSE + hydro advance simultaneously."""
+    """EvolveGroup: gravity + SSE + hydro advance simultaneously.
+
+    Every worker uses ``channel_type="subprocess"`` — its own OS
+    process, its own GIL — so the overlap covers real compute (numpy
+    kernels), not just sleep/IO as with in-process worker threads.
+    """
     gas = new_plummer_gas_model(256, convert_nbody=converter, rng=8)
     gravity = PhiGRAPE(
-        converter, channel_type="sockets", eta=0.05
+        converter, channel_type="subprocess", eta=0.05
     )
-    se = SSE(channel_type="sockets")
+    se = SSE(channel_type="subprocess")
     hydro = Gadget(
-        converter, channel_type="sockets", n_neighbours=12
+        converter, channel_type="subprocess", n_neighbours=12
     )
     gravity.add_particles(stars)
     se.add_particles(stars)
@@ -97,7 +102,7 @@ def concurrent_models(converter, stars):
     serial_s = time.perf_counter() - t0
 
     # overlapped: all three advance concurrently, joined at the
-    # coupling point (each worker runs in its own thread)
+    # coupling point (each worker runs in its own process)
     group = EvolveGroup([gravity, se, hydro])
     t0 = time.perf_counter()
     group.evolve(0.2 | units.Myr)
@@ -106,9 +111,9 @@ def concurrent_models(converter, stars):
     print(
         f"three models, serialized: {serial_s * 1e3:7.1f} ms; "
         f"overlapped via EvolveGroup: {overlap_s * 1e3:7.1f} ms\n"
-        "  (in-process worker threads share the GIL, so the overlap "
-        "here is modest;\n   off-process workers overlap fully — see "
-        "benchmarks/bench_async_overlap.py)"
+        "  (subprocess workers own their GIL, so compute-heavy models "
+        "overlap for real;\n   the GIL-bound threads-vs-subprocess "
+        "comparison lives in benchmarks/bench_async_overlap.py)"
     )
     group.stop()
 

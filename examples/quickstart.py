@@ -54,6 +54,21 @@ def main():
         f"{gravity.model_time.value_in(units.Myr):.1f} Myr"
     )
 
+    # channel_type="subprocess" is the same one-line change, but the
+    # worker gets its own OS process (own interpreter, own GIL) — the
+    # AMUSE process model, where concurrent models overlap real
+    # compute, not just sleep/IO
+    offproc = PhiGRAPE(
+        converter, channel_type="subprocess", kernel="cpu", eta=0.05
+    )
+    offproc.add_particles(stars)
+    offproc.evolve_model(0.5 | units.Myr)
+    print(
+        f"off-process worker (pid {offproc.channel.pid}) evolved to "
+        f"{offproc.model_time.value_in(units.Myr):.1f} Myr"
+    )
+    offproc.stop()
+
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)
     channel.copy_attributes(["position", "velocity"])

@@ -80,6 +80,19 @@ class InflightTracker:
             if self._inflight == transition:
                 self._inflight = None
 
+    def resync(self):
+        """Forget any in-flight transition unconditionally.
+
+        The worker-death recovery path: when the channel is lost (e.g.
+        a crashed subprocess worker) the transition can never complete
+        remotely, so the tracker must not stay wedged on it.  Normal
+        retirement goes through :meth:`finish` via the future's cleanup
+        hook; ``resync`` is for cleanup paths that cannot wait for a
+        join.
+        """
+        with self._lock:
+            self._inflight = None
+
     def require_idle(self, action):
         if self._inflight is not None:
             raise CodeStateError(

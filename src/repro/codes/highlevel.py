@@ -52,6 +52,7 @@ import numpy as np
 from ..datamodel import Particles
 from ..rpc import (
     Future,
+    ProtocolError,
     QuantityFuture,
     new_channel,
     remote_method,
@@ -122,9 +123,12 @@ class CommunityCode:
 
     Subclasses set ``INTERFACE`` to a low-level interface class.  The
     worker is started through a channel chosen by name ("direct"/"mpi",
-    "sockets", "ibis"/"distributed") — switching resource or channel is
-    the single-line change the paper demonstrates (Sec. 6.2: "we only
-    had to change a single line in our simulation script").
+    "sockets", "subprocess", "ibis"/"distributed") — switching resource
+    or channel is the single-line change the paper demonstrates
+    (Sec. 6.2: "we only had to change a single line in our simulation
+    script").  ``channel_type="subprocess"`` runs the worker in its own
+    OS process: concurrent models then overlap real compute, not just
+    sleep/IO (the AMUSE process model).
 
     Remote operations are :class:`~repro.rpc.futures.remote_method`\\ s:
     ``code.evolve_model(t)`` blocks, ``code.evolve_model.async_(t)``
@@ -304,7 +308,14 @@ class CommunityCode:
         """
         if self._stopped:
             return
-        self.channel.stop()
+        try:
+            self.channel.stop()
+        except ProtocolError:
+            # the worker is already gone (e.g. a crashed subprocess
+            # child surfacing as ConnectionLostError); cleanup must
+            # still release the script-side state, never re-raise
+            pass
+        self._inflight.resync()
         self._stopped = True
 
     def __enter__(self):
@@ -312,12 +323,15 @@ class CommunityCode:
 
     def __exit__(self, *exc):
         if not self._stopped:
-            if self._inflight.inflight is None:
+            if exc[0] is None and self._inflight.inflight is None:
                 self.stop()
             else:
-                # unwinding with an outstanding future: an orderly
-                # stop would raise and mask the body's exception, and
-                # refusing would leak the worker — force the shutdown
+                # unwinding an exception (or exiting with an
+                # outstanding future): an orderly stop could raise —
+                # CodeStateError for the in-flight transition, or
+                # ConnectionLostError from a crashed subprocess
+                # worker — and mask the body's exception; force the
+                # shutdown instead
                 self.shutdown()
         return False
 

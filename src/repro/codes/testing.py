@@ -8,20 +8,46 @@ with the full async-first high-level surface, so the concurrency
 machinery (futures, EvolveGroup, in-flight tracking) can be measured
 and tested against workers with perfectly known per-step cost.
 
-Shared by ``tests/test_async_api.py`` and
-``benchmarks/bench_async_overlap.py`` so the two always exercise the
-same worker semantics.
+:class:`NumpyKernelInterface` is the adversarial counterpart: its
+evolve is a GIL-holding numpy compute loop.  In-process worker threads
+serialize on it (~2x for two workers), while subprocess workers —
+each with its own interpreter — overlap it fully (~1x).  It is the
+kernel behind the GIL-bound acceptance check in
+``benchmarks/bench_async_overlap.py``.
+
+The fault-injection interfaces (:class:`CrashingInterface`,
+:class:`FailingInterface`, :class:`WedgedStopInterface`) exercise the
+channel lifecycle paths: worker death mid-call, constructor failure in
+a spawned child, and a worker that never acknowledges stop.
+
+Everything here is importable as ``repro.codes.testing`` so a
+subprocess worker child can unpickle the factories.  Shared by
+``tests/test_async_api.py``, ``tests/test_subproc.py`` and
+``benchmarks/bench_async_overlap.py`` so they always exercise the same
+worker semantics.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 import time
+
+import numpy as np
 
 from ..units import nbody as nbody_system
 from .base import CodeInterface
 from .highlevel import CommunityCode
 
-__all__ = ["SleepInterface", "SleepCode"]
+__all__ = [
+    "SleepInterface",
+    "SleepCode",
+    "NumpyKernelInterface",
+    "NumpyKernelCode",
+    "CrashingInterface",
+    "FailingInterface",
+    "WedgedStopInterface",
+]
 
 
 class SleepInterface(CodeInterface):
@@ -44,3 +70,81 @@ class SleepCode(CommunityCode):
 
     INTERFACE = SleepInterface
     _TIME_UNIT = nbody_system.time
+
+
+class NumpyKernelInterface(CodeInterface):
+    """Model code whose evolve is GIL-holding numpy compute.
+
+    The loop runs many *small* element-wise kernels: numpy ufuncs hold
+    the GIL, so two of these in worker threads of one process serialize
+    — exactly the bound the subprocess channel exists to lift.
+    ``work_items`` scales the per-evolve cost linearly.
+    """
+
+    PARAMETERS = {
+        "work_items": (
+            2000, "numpy kernel slices executed per evolve call"),
+        "item_size": (
+            20000, "elements per kernel slice"),
+    }
+
+    def evolve_model(self, end_time):
+        self.ensure_state("RUN")
+        x = np.linspace(0.0, 1.0, int(self.item_size))
+        checksum = 0.0
+        for _ in range(int(self.work_items)):
+            checksum += float(np.sum(np.sqrt(x * x + 1.0) * np.cos(x)))
+        self.checksum = checksum
+        self.model_time = float(end_time)
+        self.step_count += 1
+        return 0
+
+
+class NumpyKernelCode(CommunityCode):
+    """High-level wrapper: full async surface over compute-heavy evolve."""
+
+    INTERFACE = NumpyKernelInterface
+    _TIME_UNIT = nbody_system.time
+
+
+class CrashingInterface(CodeInterface):
+    """Fault injection: methods that take the whole worker process down.
+
+    ``crash()`` writes a marker to stderr and hard-exits the process —
+    from the channel's point of view the worker died mid-call, the
+    worker-death path the subprocess channel must surface as
+    :class:`~repro.rpc.protocol.ConnectionLostError`.
+    """
+
+    PARAMETERS = {
+        "exit_code": (3, "process exit code used by crash()"),
+        "stderr_message": (
+            "worker crashed on purpose", "marker written to stderr"),
+    }
+
+    def evolve_model(self, end_time):
+        self.ensure_state("RUN")
+        self.crash()
+
+    def crash(self):
+        print(self.stderr_message, file=sys.stderr, flush=True)
+        os._exit(int(self.exit_code))
+
+
+class FailingInterface(CodeInterface):
+    """Fault injection: the interface constructor itself raises."""
+
+    def __init__(self, **parameters):
+        raise RuntimeError("FailingInterface refused to construct")
+
+
+class WedgedStopInterface(CodeInterface):
+    """Fault injection: ``stop`` blocks far past any stop timeout."""
+
+    PARAMETERS = {
+        "wedge_s": (2.0, "seconds stop() stays wedged"),
+    }
+
+    def stop(self):
+        time.sleep(self.wedge_s)
+        return super().stop()

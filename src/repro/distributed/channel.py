@@ -51,7 +51,7 @@ class DistributedChannel(StreamChannel):
 
     def __init__(self, interface_factory, daemon=None, address=None,
                  resource="local", node_count=1,
-                 max_version=PROTOCOL_VERSION):
+                 max_version=PROTOCOL_VERSION, worker_mode=None):
         super().__init__()
         if daemon is not None:
             address = daemon.address
@@ -62,6 +62,7 @@ class DistributedChannel(StreamChannel):
             )
         self.resource = resource
         self.node_count = int(node_count)
+        self.worker_mode = worker_mode
 
         self._sock = socket.create_connection(address)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -73,9 +74,13 @@ class DistributedChannel(StreamChannel):
         self.wire_version = self._negotiate(max_version)
 
         factory_bytes = pickle.dumps(interface_factory, protocol=5)
-        self.worker_id = self._request(
-            ("start_worker", factory_bytes, resource, node_count)
-        ).result()
+        # worker_mode=None keeps the pre-subprocess 3-tuple shape, so
+        # this client still talks to older daemons (which then apply
+        # their own default mode)
+        start = ("start_worker", factory_bytes, resource, node_count)
+        if worker_mode is not None:
+            start += (worker_mode,)
+        self.worker_id = self._request(start).result()
 
     # -- plumbing ---------------------------------------------------------------
 

@@ -13,14 +13,20 @@ This daemon is a REAL loopback TCP server speaking the AMUSE frame
 protocol.  The coupler-side :class:`DistributedChannel` starts workers
 through it and routes every RPC through the daemon socket — the extra
 hop whose cost the paper measures (and ``benchmarks/bench_loopback.py``
-reproduces).  Workers run in daemon-side threads, standing in for the
-remote proxy+worker pair (the *modeled* wide-area side lives in
-:mod:`repro.distributed.core`).
+reproduces).  Workers run in daemon-side threads by default, standing in
+for the remote proxy+worker pair (the *modeled* wide-area side lives in
+:mod:`repro.distributed.core`); with ``worker_mode="subprocess"`` each
+pilot spawns a real child process instead, so daemon-hosted models
+overlap real compute.
 
 Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
 
 * ``("hello", req_id, max_version)`` — wire-version negotiation
-* ``("start_worker", req_id, factory_bytes, resource, node_count)``
+* ``("start_worker", req_id, factory_bytes, resource, node_count
+  [, worker_mode])`` — *worker_mode* ("thread" or "subprocess")
+  overrides the daemon's default; "subprocess" pilots spawn a REAL
+  child process per worker (its own interpreter and GIL) driven
+  through a :class:`~repro.rpc.subproc.SubprocessChannel`
 * ``("call", req_id, worker_id, method, args, kwargs)``
 * ``("mcall", req_id, worker_id, [(method, args, kwargs), ...])`` —
   pipelined batch, executed in order, answered with one mresult frame
@@ -50,8 +56,48 @@ from ..rpc.protocol import (
     send_frame,
     send_frame_v2,
 )
+from ..rpc.subproc import SubprocessChannel
 
 __all__ = ["IbisDaemon"]
+
+
+class _ThreadWorker:
+    """A pilot worker hosted in the daemon process itself (the original
+    mode): calls are dispatched straight to the interface in the
+    connection handler's thread."""
+
+    mode = "thread"
+    pid = None
+
+    def __init__(self, interface):
+        self.interface = interface
+
+    def call(self, method, *args, **kwargs):
+        return getattr(self.interface, method)(*args, **kwargs)
+
+    def stop(self):
+        stop = getattr(self.interface, "stop", None)
+        if stop is not None:
+            stop()
+
+
+class _SubprocessWorker:
+    """A pilot worker in its own OS process, driven through a
+    :class:`~repro.rpc.subproc.SubprocessChannel` — the real AMUSE
+    proxy+worker pair: the daemon forwards calls to a child that owns
+    its interpreter (and its GIL)."""
+
+    mode = "subprocess"
+
+    def __init__(self, factory):
+        self.channel = SubprocessChannel(factory)
+        self.pid = self.channel.pid
+
+    def call(self, method, *args, **kwargs):
+        return self.channel.call(method, *args, **kwargs)
+
+    def stop(self):
+        self.channel.stop()
 
 
 class IbisDaemon:
@@ -65,9 +111,16 @@ class IbisDaemon:
         daemon.shutdown()
     """
 
-    def __init__(self, host="127.0.0.1", max_version=PROTOCOL_VERSION):
+    def __init__(self, host="127.0.0.1", max_version=PROTOCOL_VERSION,
+                 worker_mode="thread"):
+        if worker_mode not in ("thread", "subprocess"):
+            raise ValueError(
+                f"unknown worker mode {worker_mode!r}; "
+                "known: ['subprocess', 'thread']"
+            )
         self._host = host
         self._max_version = max_version
+        self._worker_mode = worker_mode
         self._listener = None
         self._accept_thread = None
         self._workers = {}
@@ -100,13 +153,11 @@ class IbisDaemon:
         except OSError:
             pass
         with self._lock:
-            for interface in self._workers.values():
-                stop = getattr(interface, "stop", None)
-                if stop is not None:
-                    try:
-                        stop()
-                    except Exception:  # noqa: BLE001
-                        pass
+            for worker in self._workers.values():
+                try:
+                    worker.stop()
+                except Exception:  # noqa: BLE001
+                    pass
             self._workers.clear()
             self._worker_meta.clear()
 
@@ -169,26 +220,45 @@ class IbisDaemon:
 
     def _run_worker_call(self, worker_id, method, args, kwargs):
         with self._lock:
-            interface = self._workers.get(worker_id)
-        if interface is None:
+            worker = self._workers.get(worker_id)
+        if worker is None:
             raise KeyError(f"unknown worker {worker_id}")
-        return getattr(interface, method)(*args, **kwargs)
+        return worker.call(method, *args, **kwargs)
 
     def _dispatch(self, kind, rest):
         if kind == "echo":
             (payload,) = rest
             return payload
         if kind == "start_worker":
-            factory_bytes, resource, node_count = rest
+            # pre-subprocess clients send a 3-tuple (no worker_mode);
+            # they get the daemon's default mode
+            factory_bytes, resource, node_count, *opt = rest
+            worker_mode = opt[0] if opt and opt[0] is not None else \
+                self._worker_mode
             factory = pickle.loads(factory_bytes)
-            interface = factory()
+            if worker_mode == "subprocess":
+                worker = _SubprocessWorker(factory)
+                code_name = getattr(
+                    getattr(factory, "func", factory), "__name__",
+                    type(factory).__name__,
+                )
+            elif worker_mode == "thread":
+                worker = _ThreadWorker(factory())
+                code_name = type(worker.interface).__name__
+            else:
+                raise ValueError(
+                    f"unknown worker mode {worker_mode!r}; "
+                    "known: ['subprocess', 'thread']"
+                )
             with self._lock:
                 worker_id = next(self._worker_ids)
-                self._workers[worker_id] = interface
+                self._workers[worker_id] = worker
                 self._worker_meta[worker_id] = {
                     "resource": resource,
                     "node_count": node_count,
-                    "code": type(interface).__name__,
+                    "code": code_name,
+                    "mode": worker.mode,
+                    "pid": worker.pid,
                 }
             return worker_id
         if kind == "call":
@@ -206,10 +276,10 @@ class IbisDaemon:
         if kind == "stop_worker":
             (worker_id,) = rest
             with self._lock:
-                interface = self._workers.pop(worker_id, None)
+                worker = self._workers.pop(worker_id, None)
                 self._worker_meta.pop(worker_id, None)
-            if interface is not None and hasattr(interface, "stop"):
-                interface.stop()
+            if worker is not None:
+                worker.stop()
             return True
         if kind == "list_workers":
             with self._lock:

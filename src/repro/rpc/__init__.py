@@ -19,6 +19,7 @@ from .futures import (
 )
 from .protocol import (
     PROTOCOL_VERSION,
+    ConnectionLostError,
     ProtocolError,
     RemoteError,
     encode_frame_v2,
@@ -27,15 +28,16 @@ from .protocol import (
     send_frame,
     send_frame_v2,
 )
-
 __all__ = [
     "AggregateRequestError",
     "AsyncRequest",
     "Channel",
+    "ConnectionLostError",
     "DirectChannel",
     "Future",
     "QuantityFuture",
     "SocketChannel",
+    "SubprocessChannel",
     "as_completed",
     "new_channel",
     "register_channel_factory",
@@ -51,3 +53,15 @@ __all__ = [
     "send_frame",
     "send_frame_v2",
 ]
+
+
+def __getattr__(name):
+    # lazy: repro.rpc.subproc is also the worker bootstrap executed as
+    # ``python -m repro.rpc.subproc``; importing it from the package
+    # __init__ would make runpy warn in every spawned child
+    if name == "SubprocessChannel":
+        from .subproc import SubprocessChannel
+        return SubprocessChannel
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -11,6 +11,11 @@ keeps the same shape:
   thread running :func:`worker_loop`; supports pipelined asynchronous
   calls.  This is the channel the paper's ">8 Gbit/s" loopback claim is
   measured on.
+* :class:`~repro.rpc.subproc.SubprocessChannel` — a TRUE off-process
+  worker: a spawned child process running :func:`worker_loop` over the
+  same negotiated wire protocol, registered here under "subprocess".
+  This is the channel that lifts the GIL bound on concurrent
+  multi-model execution.
 * the Ibis/Distributed channel lives in :mod:`repro.distributed` (it
   needs the daemon) and registers itself here under "ibis" /
   "distributed" via :func:`register_channel_factory`.
@@ -27,13 +32,16 @@ hello with an error frame and the channel transparently stays on v1.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import socket
 import threading
 import traceback
+import warnings
 
 from .protocol import (
     PROTOCOL_VERSION,
+    ConnectionLostError,
     ProtocolError,
     RemoteError,
     recv_frame,
@@ -338,6 +346,8 @@ class StreamChannel(Channel):
         self._pending_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._stopped = False
+        self._closed = False
+        self._stop_timeout = 10.0  # subclasses may override
         self.bytes_sent = 0
         self.bytes_received = 0
         self._sock = None          # set by the subclass __init__
@@ -345,10 +355,10 @@ class StreamChannel(Channel):
     # -- frame shapes (subclass hooks) -------------------------------------
 
     def _call_message(self, call_id, method, args, kwargs):
-        raise NotImplementedError
+        return ("call", call_id, method, args, kwargs)
 
     def _mcall_message(self, call_id, calls):
-        raise NotImplementedError
+        return ("mcall", call_id, calls)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -382,6 +392,12 @@ class StreamChannel(Channel):
         )
         return request
 
+    def _connection_lost_error(self):
+        """Build the error delivered to every stranded request when the
+        peer vanishes.  Subclasses enrich it (the subprocess channel
+        reaps the child and attaches its exit code and stderr tail)."""
+        return ConnectionLostError(self._lost_message)
+
     def _read_responses(self):
         try:
             while True:
@@ -399,7 +415,7 @@ class StreamChannel(Channel):
                     exc_class, msg, tb = rest
                     fail_all(request, RemoteError(exc_class, msg, tb))
         except (ProtocolError, OSError):
-            failure = ProtocolError(self._lost_message)
+            failure = self._connection_lost_error()
             with self._pending_lock:
                 pending = list(self._pending.values())
                 self._pending.clear()
@@ -407,6 +423,61 @@ class StreamChannel(Channel):
                 self._stopped = True
             for request in pending:
                 fail_all(request, failure)
+
+    def _negotiate_hello(self, max_version):
+        """Hello handshake against a :func:`worker_loop` peer, run
+        before the reader thread starts.
+
+        The hello is a well-formed v1 call frame, so a v1 worker answers
+        it with an "unexpected message kind" error — which is exactly
+        the downgrade signal.
+        """
+        if max_version < 2:
+            return 1
+        self.bytes_sent += send_frame(
+            self._sock, ("hello", 0, max_version, (), {})
+        )
+        reply = recv_frame(self._sock)
+        if reply[0] == "result":
+            return min(max_version, reply[2]["version"])
+        return 1
+
+    def _describe(self):
+        return f"{self.kind} channel"
+
+    def _begin_stop(self, warn_on_noack=False):
+        """Shared first half of ``stop()``: dispatch the remote stop
+        (once) and close the socket (once).
+
+        ``_stopped`` may already be set by the reader's loss cleanup —
+        the socket still needs releasing in that case.  Returns False
+        when the socket-close path already ran, making REPEATED
+        ``stop()`` calls an idempotent no-op; subclasses then release
+        their transport (join the worker thread, reap the child).
+        """
+        if not self._stopped:
+            try:
+                self._dispatch_call("stop", (), {}).result(
+                    timeout=self._stop_timeout
+                )
+            except (ProtocolError, RemoteError, TimeoutError) as exc:
+                if warn_on_noack:
+                    warnings.warn(
+                        f"{self._describe()}: worker did not "
+                        "acknowledge stop "
+                        f"({type(exc).__name__}: {exc})",
+                        RuntimeWarning, stacklevel=3,
+                    )
+            self._stopped = True
+        if self._closed:
+            return False
+        self._closed = True
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        return True
 
     def _send_batch(self, entries):
         if self.wire_version < 2:
@@ -521,6 +592,8 @@ def worker_loop(interface, conn, max_version=PROTOCOL_VERSION):
                 reply(("error", call_id) + status[1:])
             if method == "stop":
                 break
+    except OSError:
+        pass        # peer vanished mid-reply; nothing left to serve
     finally:
         try:
             conn.close()
@@ -545,8 +618,10 @@ class SocketChannel(StreamChannel):
 
     def __init__(self, interface_factory, host="127.0.0.1",
                  max_version=PROTOCOL_VERSION,
-                 worker_max_version=PROTOCOL_VERSION):
+                 worker_max_version=PROTOCOL_VERSION,
+                 stop_timeout=10.0):
         super().__init__()
+        self._stop_timeout = float(stop_timeout)
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind((host, 0))
@@ -554,7 +629,10 @@ class SocketChannel(StreamChannel):
         self.address = listener.getsockname()
 
         def _serve():
-            worker_side, _ = listener.accept()
+            try:
+                worker_side, _ = listener.accept()
+            except OSError:
+                return      # constructor cleanup closed the listener
             listener.close()
             worker_side.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
@@ -563,57 +641,52 @@ class SocketChannel(StreamChannel):
             worker_loop(interface, worker_side,
                         max_version=worker_max_version)
 
-        self._worker_thread = threading.Thread(target=_serve, daemon=True)
+        self._worker_thread = threading.Thread(
+            target=_serve, name="sockets-worker", daemon=True
+        )
         self._worker_thread.start()
 
-        self._sock = socket.create_connection(self.address)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self.wire_version = self._negotiate(max_version)
+        # any failure past this point (connect, hello handshake) must
+        # not leak the listener socket or the half-started worker
+        # thread: close both, then re-raise
+        try:
+            self._sock = socket.create_connection(self.address)
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self.wire_version = self._negotiate_hello(max_version)
+        except BaseException:
+            for sock in (self._sock, listener):
+                try:
+                    if sock is not None:
+                        sock.close()
+                except OSError:
+                    pass
+            self._worker_thread.join(timeout=self._stop_timeout)
+            raise
 
         self._reader_thread = threading.Thread(
-            target=self._read_responses, daemon=True
+            target=self._read_responses, name="sockets-reader",
+            daemon=True,
         )
         self._reader_thread.start()
 
     # -- internals ---------------------------------------------------------
 
-    def _negotiate(self, max_version):
-        """Hello handshake, run before the reader thread starts.
-
-        The hello is a well-formed v1 call frame, so a v1 worker answers
-        it with an "unexpected message kind" error — which is exactly
-        the downgrade signal.
-        """
-        if max_version < 2:
-            return 1
-        self.bytes_sent += send_frame(
-            self._sock, ("hello", 0, max_version, (), {})
-        )
-        reply = recv_frame(self._sock)
-        if reply[0] == "result":
-            return min(max_version, reply[2]["version"])
-        return 1
-
-    def _call_message(self, call_id, method, args, kwargs):
-        return ("call", call_id, method, args, kwargs)
-
-    def _mcall_message(self, call_id, calls):
-        return ("mcall", call_id, calls)
+    def _describe(self):
+        return f"{self.kind} channel on {self.address}"
 
     def stop(self):
-        # _stopped may already be set by the reader's loss cleanup;
-        # the socket/thread still need releasing in that case
-        if not self._stopped:
-            try:
-                self._dispatch_call("stop", (), {}).result(timeout=10)
-            except (ProtocolError, RemoteError, TimeoutError):
-                pass
-            self._stopped = True
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-        self._worker_thread.join(timeout=10)
+        if not self._begin_stop(warn_on_noack=True):
+            return
+        self._worker_thread.join(timeout=self._stop_timeout)
+        if self._worker_thread.is_alive():
+            # a wedged worker must not leak silently
+            warnings.warn(
+                f"{self._describe()}: worker thread still alive "
+                f"{self._stop_timeout}s after stop; leaking it",
+                RuntimeWarning, stacklevel=2,
+            )
 
 
 _FACTORIES = {
@@ -629,8 +702,39 @@ def register_channel_factory(name, factory):
     _FACTORIES[name] = factory
 
 
+def _validate_channel_kwargs(channel_type, factory, kwargs):
+    """Reject kwargs the factory does not accept, naming the channel
+    type and the offending keyword — instead of a bare ``TypeError``
+    deep inside the constructor (e.g. sockets-only options handed to
+    the "mpi"/direct channel)."""
+    if not kwargs:
+        return
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return                  # not introspectable: let the call speak
+    parameters = signature.parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in parameters.values()):
+        return
+    valid = [
+        name for name in parameters
+        if name != "interface_factory"
+    ]
+    for keyword in kwargs:
+        if keyword not in parameters or keyword == "interface_factory":
+            raise ValueError(
+                f"channel type {channel_type!r} does not accept option "
+                f"{keyword!r}; valid options: {sorted(valid)}"
+            )
+
+
 def new_channel(channel_type, interface_factory, **kwargs):
     """Create a channel of the named type around an interface factory."""
+    if channel_type == "subprocess" and channel_type not in _FACTORIES:
+        # lazy: the subproc module doubles as the spawned worker's
+        # ``-m`` entrypoint, so it must not be imported eagerly
+        from . import subproc  # noqa: F401 - registers the factory
     try:
         factory = _FACTORIES[channel_type]
     except KeyError:
@@ -638,4 +742,5 @@ def new_channel(channel_type, interface_factory, **kwargs):
             f"unknown channel type {channel_type!r}; known: "
             f"{sorted(_FACTORIES)}"
         ) from None
+    _validate_channel_kwargs(channel_type, factory, kwargs)
     return factory(interface_factory, **kwargs)

@@ -70,6 +70,7 @@ __all__ = [
     "decode_payload",
     "RemoteError",
     "ProtocolError",
+    "ConnectionLostError",
 ]
 
 MAGIC = b"AMSE"                       # v1 frames
@@ -91,6 +92,21 @@ _SMALL_FRAME = 1 << 16
 
 class ProtocolError(RuntimeError):
     """Raised on malformed frames or broken connections."""
+
+
+class ConnectionLostError(ProtocolError):
+    """The peer vanished while calls were (or could be) in flight.
+
+    Raised by stream channels when the connection drops, and by the
+    subprocess channel when the worker child dies — then carrying the
+    child's exit code and a tail of its captured stderr so the crash
+    is diagnosable from the script side.
+    """
+
+    def __init__(self, message, returncode=None, stderr_tail=""):
+        super().__init__(message)
+        self.returncode = returncode
+        self.stderr_tail = stderr_tail
 
 
 class RemoteError(RuntimeError):

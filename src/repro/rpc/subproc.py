@@ -1,0 +1,428 @@
+"""The subprocess channel — TRUE off-process workers.
+
+AMUSE runs every community code as a separate OS process talking to the
+coupler over a socket (paper Sec. 4.1; the MPI and sockets channels
+both spawn real worker executables).  The in-process channels of this
+reproduction share the coupler's GIL, so concurrent ``evolve_model``
+calls only overlap while workers sleep or wait on IO — numpy kernels
+serialize.  This module restores the real AMUSE process model:
+
+* :func:`main` — the worker bootstrap entrypoint.  ``python -m
+  repro.rpc.subproc --connect host:port --interface mod:Class`` connects
+  back to the spawning channel, receives the pickled interface factory
+  in a bootstrap frame, instantiates the interface and hands the socket
+  to the existing :func:`~repro.rpc.channel.worker_loop` — the same
+  loop, the same wire protocol (v1/v2 hello negotiation included), but
+  with its own interpreter and its own GIL.
+* :class:`SubprocessChannel` — the coupler side: spawns the child,
+  bootstraps it, and then behaves exactly like the sockets channel
+  (pipelined async calls, ``batch()`` multi-call frames, negotiated v2
+  zero-copy framing).
+
+Lifecycle guarantees:
+
+* ``stop()`` asks the worker to stop over the wire, then escalates:
+  bounded wait for a clean exit, ``terminate()`` (SIGTERM), bounded
+  wait, ``kill()`` (SIGKILL).  It never hangs on a wedged child.
+* a child that dies unexpectedly surfaces as
+  :class:`~repro.rpc.protocol.ConnectionLostError` carrying the exit
+  code and a tail of the child's captured stderr — on every in-flight
+  request, and again from ``stop()``.
+* children that were never stopped (crashed scripts) are reaped by an
+  ``atexit`` hook, so no orphan worker outlives the coupler.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import importlib
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import traceback
+import warnings
+
+from .channel import StreamChannel, register_channel_factory, worker_loop
+from .protocol import (
+    PROTOCOL_VERSION,
+    ConnectionLostError,
+    ProtocolError,
+    RemoteError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["SubprocessChannel", "main"]
+
+#: how much captured child stderr is kept for crash reports
+_STDERR_TAIL_BYTES = 8192
+
+
+# -- orphan reaping ---------------------------------------------------------
+
+_live_children = set()
+_live_children_lock = threading.Lock()
+
+
+def _track_child(proc):
+    with _live_children_lock:
+        _live_children.add(proc)
+
+
+def _untrack_child(proc):
+    with _live_children_lock:
+        _live_children.discard(proc)
+
+
+@atexit.register
+def _reap_orphans():
+    """Terminate-then-kill any worker child still alive at interpreter
+    exit — a crashed script must not leave orphan workers burning CPU."""
+    with _live_children_lock:
+        children = list(_live_children)
+        _live_children.clear()
+    for proc in children:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in children:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+# -- coupler side -----------------------------------------------------------
+
+
+def _interface_spec(interface_factory):
+    """Best-effort "module:Class" label for the spawned command line —
+    makes the worker identifiable in ``ps`` output.  The pickled
+    factory sent over the socket is authoritative."""
+    target = interface_factory
+    if isinstance(target, functools.partial):
+        target = target.func
+    module = getattr(target, "__module__", None)
+    qualname = getattr(target, "__qualname__", None)
+    if module and qualname and "<" not in qualname:
+        return f"{module}:{qualname}"
+    return None
+
+
+def _child_env():
+    """Child environment with the ``repro`` package importable."""
+    env = os.environ.copy()
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing else \
+        src_root + os.pathsep + existing
+    return env
+
+
+class SubprocessChannel(StreamChannel):
+    """Channel to a worker running in a spawned child process.
+
+    The listener is bound on loopback, the child is spawned with
+    ``--connect host:port``, connects back, receives the pickled
+    interface factory, and serves :func:`worker_loop` — real pipelined
+    RPC to a worker with its own GIL, so concurrent numpy kernels
+    genuinely overlap (see ``benchmarks/bench_async_overlap.py``).
+    """
+
+    kind = "subprocess"
+    _lost_message = "subprocess worker connection lost"
+
+    def __init__(self, interface_factory, host="127.0.0.1",
+                 max_version=PROTOCOL_VERSION,
+                 worker_max_version=PROTOCOL_VERSION,
+                 spawn_timeout=30.0, stop_timeout=10.0,
+                 kill_timeout=5.0):
+        super().__init__()
+        self._spawn_timeout = float(spawn_timeout)
+        self._stop_timeout = float(stop_timeout)
+        self._kill_timeout = float(kill_timeout)
+        self._escalated = False
+        self._proc = None
+        self._stderr_buf = bytearray()
+        self._stderr_lock = threading.Lock()
+        self._stderr_thread = None
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind((host, 0))
+            listener.listen(1)
+            listener.settimeout(self._spawn_timeout)
+            self.address = listener.getsockname()
+
+            command = [
+                sys.executable, "-m", "repro.rpc.subproc",
+                "--connect", f"{self.address[0]}:{self.address[1]}",
+                "--max-version", str(int(worker_max_version)),
+            ]
+            spec = _interface_spec(interface_factory)
+            if spec is not None:
+                command += ["--interface", spec]
+            self._proc = subprocess.Popen(
+                command, env=_child_env(), stderr=subprocess.PIPE,
+            )
+            _track_child(self._proc)
+            self._stderr_thread = threading.Thread(
+                target=self._drain_stderr, name="subproc-stderr",
+                daemon=True,
+            )
+            self._stderr_thread.start()
+
+            self._sock, _ = listener.accept()
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._sock.settimeout(self._spawn_timeout)
+            self._bootstrap(interface_factory)
+            self.wire_version = self._negotiate_hello(max_version)
+            self._sock.settimeout(None)
+        except BaseException as exc:
+            self._abort_spawn(listener)
+            if isinstance(exc, (socket.timeout, OSError, ProtocolError)) \
+                    and not isinstance(exc, ConnectionLostError):
+                raise ConnectionLostError(
+                    "subprocess worker failed to come up: "
+                    f"{type(exc).__name__}: {exc}"
+                    f"{self._stderr_suffix()}",
+                    returncode=self._returncode(),
+                    stderr_tail=self._stderr_tail(),
+                ) from exc
+            raise
+        finally:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+        self._reader_thread = threading.Thread(
+            target=self._read_responses, name="subproc-reader",
+            daemon=True,
+        )
+        self._reader_thread.start()
+
+    # -- spawn / bootstrap --------------------------------------------------
+
+    @property
+    def pid(self):
+        """OS process id of the worker child."""
+        return self._proc.pid
+
+    def _bootstrap(self, interface_factory):
+        """Ship the pickled factory; the child acks once the interface
+        is constructed (or reports the constructor's failure)."""
+        factory_bytes = pickle.dumps(interface_factory, protocol=5)
+        self.bytes_sent += send_frame(
+            self._sock, ("factory", 0, factory_bytes)
+        )
+        reply = recv_frame(self._sock)
+        if reply[0] == "error":
+            _kind, _call_id, exc_class, msg, tb = reply
+            raise RemoteError(exc_class, msg, tb)
+        self.worker_pid = reply[2]["pid"]
+
+    def _abort_spawn(self, listener):
+        """Constructor failure: close sockets and put the child down."""
+        for sock in (self._sock, listener):
+            try:
+                if sock is not None:
+                    sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        if self._proc is not None:
+            self._escalate_shutdown()
+
+    def _drain_stderr(self):
+        stream = self._proc.stderr
+        while True:
+            chunk = stream.read1(4096)
+            if not chunk:
+                return
+            with self._stderr_lock:
+                self._stderr_buf += chunk
+                del self._stderr_buf[:-_STDERR_TAIL_BYTES]
+
+    def _stderr_tail(self):
+        if self._stderr_thread is not None:
+            # the pipe closes when the child dies; give the drain
+            # thread a moment to pull the last chunk through
+            self._stderr_thread.join(timeout=1.0)
+        with self._stderr_lock:
+            return bytes(self._stderr_buf).decode("utf-8", "replace")
+
+    def _stderr_suffix(self):
+        tail = self._stderr_tail().strip()
+        return f"; stderr tail:\n{tail}" if tail else ""
+
+    def _returncode(self):
+        return None if self._proc is None else self._proc.poll()
+
+    # -- death reporting ----------------------------------------------------
+
+    def _connection_lost_error(self):
+        """Enrich the loss error with the child's fate: reap it (it is
+        gone or going) and attach exit code plus captured stderr."""
+        returncode = None
+        try:
+            returncode = self._proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            pass
+        else:
+            _untrack_child(self._proc)
+        message = (
+            f"subprocess worker (pid {self._proc.pid}) connection lost"
+        )
+        if returncode is not None:
+            message += f" (exit code {returncode})"
+        tail = self._stderr_tail().strip()
+        if tail:
+            message += f"; stderr tail:\n{tail}"
+        return ConnectionLostError(
+            message, returncode=returncode, stderr_tail=tail,
+        )
+
+    # -- shutdown -----------------------------------------------------------
+
+    def _escalate_shutdown(self):
+        """Bounded wait → terminate → bounded wait → kill → wait.
+
+        Returns the child's exit code.  Sets ``_escalated`` when the
+        exit was forced by us (so a -SIGTERM/-SIGKILL return code is
+        not misread as a worker crash)."""
+        proc = self._proc
+        try:
+            try:
+                return proc.wait(timeout=self._stop_timeout)
+            except subprocess.TimeoutExpired:
+                pass
+            self._escalated = True
+            proc.terminate()
+            try:
+                return proc.wait(timeout=self._kill_timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                return proc.wait()
+        finally:
+            _untrack_child(proc)
+
+    def _describe(self):
+        return f"subprocess channel (worker pid {self._proc.pid})"
+
+    def stop(self):
+        """Stop the worker and reap the child.
+
+        Repeated calls are idempotent.  A child that had ALREADY died
+        with a nonzero exit code (a crash, not our escalation) raises
+        :class:`ConnectionLostError` carrying its stderr tail — after
+        the process and sockets are fully released, so the error never
+        costs the cleanup.
+        """
+        # an unacknowledged remote stop needs no warning here: the
+        # escalation below deals with the child either way
+        if not self._begin_stop():
+            return
+        returncode = self._escalate_shutdown()
+        if self._escalated:
+            warnings.warn(
+                f"{self._describe()}: worker did not exit within "
+                f"{self._stop_timeout}s; escalated to "
+                "terminate/kill",
+                RuntimeWarning, stacklevel=2,
+            )
+        elif returncode:
+            raise ConnectionLostError(
+                f"subprocess worker (pid {self._proc.pid}) exited "
+                f"with code {returncode}{self._stderr_suffix()}",
+                returncode=returncode,
+                stderr_tail=self._stderr_tail(),
+            )
+
+
+register_channel_factory("subprocess", SubprocessChannel)
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _load_interface(spec):
+    """Resolve a "module:Class" spec to the interface class."""
+    module_name, _, qualname = spec.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def main(argv=None):
+    """Worker bootstrap: connect back, build the interface, serve.
+
+    Spawned as ``python -m repro.rpc.subproc --connect host:port
+    --interface mod:Class``.  The authoritative interface factory
+    arrives pickled in the first frame; ``--interface`` is the fallback
+    (and the human-readable label in process listings).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.rpc.subproc",
+        description="repro worker bootstrap (spawned by "
+                    "SubprocessChannel)",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the spawning channel's listener",
+    )
+    parser.add_argument(
+        "--interface", default=None, metavar="MOD:CLASS",
+        help="interface class (fallback when the bootstrap frame "
+             "carries no factory)",
+    )
+    parser.add_argument(
+        "--max-version", type=int, default=PROTOCOL_VERSION,
+        help="highest wire protocol version to negotiate",
+    )
+    args = parser.parse_args(argv)
+
+    host, _, port = args.connect.rpartition(":")
+    conn = socket.create_connection((host, int(port)))
+    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    message = recv_frame(conn)
+    kind, call_id, *rest = message
+    if kind != "factory":
+        send_frame(conn, ("error", call_id, "ProtocolError",
+                          f"expected factory frame, got {kind!r}", ""))
+        return 1
+    try:
+        factory_bytes = rest[0]
+        if factory_bytes is not None:
+            factory = pickle.loads(factory_bytes)
+        elif args.interface is not None:
+            factory = _load_interface(args.interface)
+        else:
+            raise ProtocolError(
+                "no factory in bootstrap frame and no --interface"
+            )
+        interface = factory()
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        send_frame(conn, ("error", call_id, type(exc).__name__,
+                          str(exc), traceback.format_exc()))
+        return 1
+    send_frame(conn, ("result", call_id, {"pid": os.getpid()}))
+
+    worker_loop(interface, conn, max_version=args.max_version)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
