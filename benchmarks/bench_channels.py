@@ -1,17 +1,27 @@
-"""A1 — channel ablation: direct (MPI-local) vs sockets vs ibis.
+"""A1 — channel ablation: direct (MPI-local) vs sockets vs shm vs ibis.
 
 AMUSE supports interchangeable worker channels (paper Sec. 4.1).  This
 bench measures REAL call latency and bulk-transfer throughput through
 each, quantifying what the extra daemon hop of the ibis channel costs —
 the paper's claim is that it is small enough for remote GPUs to win.
+
+The shm comparison is the tentpole acceptance check of the
+shared-memory transport: on large float64 arrays the shm channel must
+deliver at least 2x the sockets-loopback throughput (the payload never
+touches the socket).  The compression profile test pins the
+negotiation economics: same-host channels stay uncompressed, the
+WAN-profile ibis channel negotiates a codec and shrinks compressible
+transfers on the wire.
 """
 
 import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.codes.phigrape import PhiGRAPEInterface
+from repro.codes.testing import ArrayEchoInterface
 from repro.distributed import DistributedChannel, IbisDaemon
 from repro.rpc import new_channel
 
@@ -19,6 +29,9 @@ QUICK = bool(os.environ.get("BENCH_QUICK"))
 LATENCY_ROUNDS = 25 if QUICK else 100
 BULK_ROUNDS = 2 if QUICK else 5
 OVERHEAD_ROUNDS = 50 if QUICK else 200
+ECHO_ROUNDS = 5 if QUICK else 15
+#: large-array payload for the shm-vs-sockets comparison (float64)
+ECHO_WORDS = 1 << 20 if QUICK else 1 << 21
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +41,7 @@ def channels():
     chans = {
         "direct": new_channel("direct", PhiGRAPEInterface),
         "sockets": new_channel("sockets", PhiGRAPEInterface),
+        "shm": new_channel("shm", PhiGRAPEInterface),
         "ibis": DistributedChannel(
             PhiGRAPEInterface, daemon=daemon, resource="local"
         ),
@@ -38,7 +52,20 @@ def channels():
     daemon.shutdown()
 
 
-@pytest.mark.parametrize("kind", ["direct", "sockets", "ibis"])
+def echo_throughput_gbit_s(channel, payload, rounds=ECHO_ROUNDS):
+    """Median two-way echo throughput for *payload* in Gbit/s."""
+    channel.call("echo", payload)      # warmup
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        channel.call("echo", payload)
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    median = samples[len(samples) // 2]
+    return 2 * payload.nbytes * 8 / median / 1e9
+
+
+@pytest.mark.parametrize("kind", ["direct", "sockets", "shm", "ibis"])
 def test_a1_call_latency(channels, kind, benchmark):
     ch = channels[kind]
     benchmark.pedantic(
@@ -48,7 +75,7 @@ def test_a1_call_latency(channels, kind, benchmark):
     assert benchmark.stats.stats.median < 5e-3
 
 
-@pytest.mark.parametrize("kind", ["direct", "sockets", "ibis"])
+@pytest.mark.parametrize("kind", ["direct", "sockets", "shm", "ibis"])
 def test_a1_bulk_add_particles(channels, kind, benchmark):
     n = 5000
     rng = np.random.default_rng(1)
@@ -65,11 +92,108 @@ def test_a1_bulk_add_particles(channels, kind, benchmark):
     assert benchmark.stats.stats.median < 1.0
 
 
+def test_a1_shm_beats_sockets_on_large_arrays(report, benchmark):
+    """The shm acceptance check: >= 2x sockets-loopback throughput on
+    large float64 arrays (zero wire copies vs two kernel traversals)."""
+    payload = np.arange(ECHO_WORDS, dtype=np.float64)
+    sockets = new_channel("sockets", ArrayEchoInterface)
+    shm = new_channel("shm", ArrayEchoInterface)
+    try:
+        sockets_gbit = echo_throughput_gbit_s(sockets, payload)
+        shm_gbit = echo_throughput_gbit_s(shm, payload)
+        stats = shm.transport_stats
+        benchmark.pedantic(
+            shm.call, args=("echo", payload), rounds=ECHO_ROUNDS,
+            iterations=1, warmup_rounds=1,
+        )
+        benchmark.extra_info["sockets_gbit_s"] = sockets_gbit
+        benchmark.extra_info["shm_gbit_s"] = shm_gbit
+        benchmark.extra_info["ratio"] = shm_gbit / sockets_gbit
+    finally:
+        sockets.stop()
+        shm.stop()
+    report(
+        "A1: shm vs sockets large-array echo "
+        f"({payload.nbytes >> 20} MiB float64)",
+        [f"sockets  {sockets_gbit:7.1f} Gbit/s",
+         f"shm      {shm_gbit:7.1f} Gbit/s "
+         f"({shm_gbit / sockets_gbit:.2f}x; acceptance: >= 2x)",
+         f"bytes through shared memory: "
+         f"{stats['shm_buffer_bytes'] >> 20} MiB "
+         f"(inline wire bytes: {stats['wire_buffer_bytes']})"],
+    )
+    assert stats["shm_buffer_bytes"] > 0
+    assert shm_gbit >= 2.0 * sockets_gbit
+
+
+def test_a1_shm_subprocess_variant(report):
+    """The off-process shm worker keeps the zero-wire-copy win (same
+    segments, attached by name from the spawned child)."""
+    payload = np.arange(ECHO_WORDS, dtype=np.float64)
+    subproc = new_channel("subprocess", ArrayEchoInterface)
+    shm_subproc = new_channel(
+        "shm", ArrayEchoInterface, worker_mode="subprocess"
+    )
+    try:
+        socket_gbit = echo_throughput_gbit_s(subproc, payload)
+        shm_gbit = echo_throughput_gbit_s(shm_subproc, payload)
+    finally:
+        subproc.stop()
+        shm_subproc.stop()
+    report(
+        "A1: shm subprocess worker vs socket subprocess worker",
+        [f"subprocess (socket) {socket_gbit:7.1f} Gbit/s",
+         f"subprocess (shm)    {shm_gbit:7.1f} Gbit/s "
+         f"({shm_gbit / socket_gbit:.2f}x)"],
+    )
+    assert shm_gbit > socket_gbit
+
+
+def test_a1_compression_profile(report):
+    """Negotiation economics: same-host channels stay uncompressed,
+    WAN-profile channels negotiate a codec and shrink the wire."""
+    payload = np.zeros(1 << 17, dtype=np.float64)    # compressible MiB
+    daemon = IbisDaemon()
+    daemon.start()
+    sockets = new_channel("sockets", ArrayEchoInterface)
+    local = DistributedChannel(
+        ArrayEchoInterface, daemon=daemon, resource="local"
+    )
+    wan = DistributedChannel(
+        ArrayEchoInterface, daemon=daemon, resource="DAS-4 (VU)"
+    )
+    try:
+        assert sockets.transport_stats["codec"] is None
+        assert local.transport_stats["codec"] is None
+        codec = wan.transport_stats["codec"]
+        assert codec is not None, \
+            "WAN-profile channel negotiated no codec"
+        before = wan.bytes_sent
+        wan.call("echo", payload)
+        wan_wire = wan.bytes_sent - before
+        before = local.bytes_sent
+        local.call("echo", payload)
+        local_wire = local.bytes_sent - before
+        ratio = local_wire / wan_wire
+    finally:
+        sockets.stop()
+        local.stop()
+        wan.stop()
+        daemon.shutdown()
+    report(
+        "A1: negotiated compression profile "
+        f"({payload.nbytes >> 20} MiB compressible float64)",
+        ["same-host channels: no codec (loopback beats any codec)",
+         f"WAN-profile channel: codec={codec}",
+         f"wire bytes  local {local_wire}  wan {wan_wire} "
+         f"({ratio:.0f}x smaller)"],
+    )
+    assert wan_wire < local_wire / 4
+
+
 def test_a1_channel_overhead_ordering(channels, report):
     """direct < sockets <= ibis in per-call overhead; all results
     identical (the channel must not change physics)."""
-    import time
-
     medians = {}
     for kind, ch in channels.items():
         times = []

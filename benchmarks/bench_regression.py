@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Benchmark-regression harness: the committed BENCH trajectory.
+
+Three perf-focused PRs (wire v2, async overlap, off-process workers,
+now shm + compression) made throughput claims; this script turns them
+into a CI gate.  It measures the headline transport metrics, writes
+them as ``BENCH_<n>.json`` at the repo root (committed, forming the
+trajectory), and in ``--check`` mode fails when a metric regresses
+more than the tolerance (default 25%) against the latest committed
+baseline.
+
+Two metric classes:
+
+* **gated** — host-independent ratios (shm vs sockets throughput,
+  compression wire shrink, batching speedup, async overlap).  These
+  compare the same machine against itself within one run, so a CI
+  runner's absolute speed cancels out and the 25% gate is meaningful
+  across runner generations.
+* **informational** — absolute numbers (Gbit/s, latency) recorded for
+  trend eyeballing but not gated: comparing a laptop's loopback to a
+  CI runner's would gate on hardware, not on code.
+
+Usage::
+
+    python benchmarks/bench_regression.py --write BENCH_4.json  # baseline
+    python benchmarks/bench_regression.py --check               # CI gate
+    BENCH_QUICK=1 python benchmarks/bench_regression.py --check --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+# one methodology for echo throughput: the regression gate measures
+# exactly what the bench_channels acceptance test asserts
+from bench_channels import echo_throughput_gbit_s          # noqa: E402
+from repro.codes.group import EvolveGroup                   # noqa: E402
+from repro.codes.testing import (                           # noqa: E402
+    ArrayEchoInterface,
+    SleepCode,
+)
+from repro.distributed import (                             # noqa: E402
+    DistributedChannel,
+    IbisDaemon,
+)
+from repro.rpc import new_channel                           # noqa: E402
+from repro.units import nbody_system                        # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_TOLERANCE = 0.25
+
+
+def _median(samples):
+    samples = sorted(samples)
+    return samples[len(samples) // 2]
+
+
+def measure(quick=False):
+    """Run every metric; returns {name: metric-dict}."""
+    rounds = 5 if quick else 15
+    payload = np.arange(1 << 20 if quick else 1 << 21,
+                        dtype=np.float64)
+    metrics = {}
+
+    def add(name, value, unit, higher_is_better, gate):
+        metrics[name] = {
+            "value": round(float(value), 4),
+            "unit": unit,
+            "higher_is_better": higher_is_better,
+            "gate": gate,
+        }
+
+    # -- channel throughput: sockets vs shm (the tentpole claim) -------
+    sockets = new_channel("sockets", ArrayEchoInterface)
+    shm = new_channel("shm", ArrayEchoInterface)
+    subproc = new_channel("subprocess", ArrayEchoInterface)
+    try:
+        sockets_gbit = echo_throughput_gbit_s(sockets, payload, rounds=rounds)
+        shm_gbit = echo_throughput_gbit_s(shm, payload, rounds=rounds)
+        subproc_gbit = echo_throughput_gbit_s(subproc, payload, rounds=rounds)
+        latencies = []
+        for _ in range(50 if quick else 200):
+            t0 = time.perf_counter()
+            sockets.call("checksum", ())
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        sockets.stop()
+        shm.stop()
+        subproc.stop()
+    add("shm_vs_sockets_throughput_ratio", shm_gbit / sockets_gbit,
+        "x", True, gate=True)
+    add("sockets_loopback_gbit_s", sockets_gbit, "Gbit/s", True,
+        gate=False)
+    add("shm_gbit_s", shm_gbit, "Gbit/s", True, gate=False)
+    add("subprocess_gbit_s", subproc_gbit, "Gbit/s", True, gate=False)
+    add("sockets_call_latency_us", _median(latencies) * 1e6, "us",
+        False, gate=False)
+
+    # -- daemon loopback + negotiated compression + batching -----------
+    compressible = np.zeros(1 << 17, dtype=np.float64)
+    with IbisDaemon() as daemon:
+        local = DistributedChannel(
+            ArrayEchoInterface, daemon=daemon, resource="local"
+        )
+        wan = DistributedChannel(
+            ArrayEchoInterface, daemon=daemon, resource="DAS-4 (VU)"
+        )
+        try:
+            daemon_gbit = echo_throughput_gbit_s(local, payload, rounds=rounds)
+            before = wan.bytes_sent
+            wan.call("echo", compressible)
+            wan_wire = wan.bytes_sent - before
+            before = local.bytes_sent
+            local.call("echo", compressible)
+            local_wire = local.bytes_sent - before
+
+            n_calls = 6
+            batch_rounds = 20 if quick else 100
+            local.call("echo", b"warm")
+            t0 = time.perf_counter()
+            for _ in range(batch_rounds):
+                for _ in range(n_calls):
+                    local.call("echo", b"x")
+            sequential_s = (time.perf_counter() - t0) / batch_rounds
+            t0 = time.perf_counter()
+            for _ in range(batch_rounds):
+                with local.batch():
+                    requests = [
+                        local.async_call("echo", b"x")
+                        for _ in range(n_calls)
+                    ]
+                for request in requests:
+                    request.result()
+            batched_s = (time.perf_counter() - t0) / batch_rounds
+        finally:
+            local.stop()
+            wan.stop()
+    add("daemon_loopback_gbit_s", daemon_gbit, "Gbit/s", True,
+        gate=False)
+    add("compression_wire_shrink_ratio", local_wire / wan_wire, "x",
+        True, gate=True)
+    add("batched_vs_sequential_speedup", sequential_s / batched_s,
+        "x", True, gate=True)
+
+    # -- async overlap (sleep kernel: cost is pinned, so the ratio is
+    # a pure measure of the concurrency machinery) ---------------------
+    step_cost = 0.05 if quick else 0.1
+    single = SleepCode(channel_type="sockets", cost_s=step_cost)
+    t0 = time.perf_counter()
+    single.evolve_model(1 | nbody_system.time)
+    single_s = time.perf_counter() - t0
+    single.stop()
+    group = EvolveGroup([
+        SleepCode(channel_type="sockets", cost_s=step_cost)
+        for _ in range(2)
+    ])
+    t0 = time.perf_counter()
+    group.evolve(1 | nbody_system.time)
+    overlap_s = time.perf_counter() - t0
+    group.stop()
+    add("async_overlap_two_codes_ratio", overlap_s / single_s, "x",
+        False, gate=True)
+
+    return metrics
+
+
+# -- trajectory I/O ----------------------------------------------------------
+
+
+def _bench_index(path):
+    match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def latest_baseline():
+    """The highest-numbered committed BENCH_*.json, or None."""
+    candidates = [
+        (index, path)
+        for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+        if (index := _bench_index(path)) is not None
+    ]
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def compare(current, baseline_path, tolerance, quick=False):
+    """Returns a list of regression strings (empty = pass).
+
+    When this run's quick flag differs from the baseline's, the
+    payload sizes and round counts differ systematically; the gate
+    still runs (ratios are payload-robust) but with doubled tolerance
+    so a mode mismatch cannot fabricate a regression.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    if bool(baseline.get("quick")) != bool(quick):
+        print(
+            f"note: baseline {os.path.basename(baseline_path)} was "
+            f"measured in {'quick' if baseline.get('quick') else 'full'} "
+            f"mode, this run in {'quick' if quick else 'full'} mode; "
+            "doubling the tolerance"
+        )
+        tolerance = 2 * tolerance
+    regressions = []
+    for name, metric in current.items():
+        if not metric.get("gate"):
+            continue
+        base = baseline.get("metrics", {}).get(name)
+        if base is None:
+            continue            # new metric: nothing to regress against
+        base_value, value = base["value"], metric["value"]
+        if base_value == 0:
+            continue
+        if metric["higher_is_better"]:
+            worse_by = (base_value - value) / base_value
+        else:
+            worse_by = (value - base_value) / base_value
+        if worse_by > tolerance:
+            regressions.append(
+                f"{name}: {value} {metric['unit']} vs baseline "
+                f"{base_value} ({worse_by:.0%} worse, tolerance "
+                f"{tolerance:.0%})"
+            )
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--write", metavar="PATH", default=None,
+        help="write the measured metrics as a new baseline JSON",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the latest committed BENCH_*.json and "
+             "exit nonzero on regression",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        default=bool(os.environ.get("BENCH_QUICK")),
+        help="fewer rounds (CI smoke); BENCH_QUICK=1 implies it",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=float(
+            os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="allowed relative regression for gated metrics",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = measure(quick=args.quick)
+    width = max(len(name) for name in metrics)
+    print(f"bench-regression metrics ({'quick' if args.quick else 'full'}):")
+    for name, metric in sorted(metrics.items()):
+        flag = "gated" if metric["gate"] else "info "
+        print(f"  [{flag}] {name:<{width}} "
+              f"{metric['value']:>10} {metric['unit']}")
+
+    status = 0
+    if args.check:
+        baseline = latest_baseline()
+        if baseline is None:
+            print("no committed BENCH_*.json baseline yet; "
+                  "nothing to gate against")
+        else:
+            regressions = compare(
+                metrics, baseline, args.tolerance, quick=args.quick
+            )
+            print(f"checked against {os.path.basename(baseline)}: ",
+                  end="")
+            if regressions:
+                print(f"{len(regressions)} REGRESSION(S)")
+                for line in regressions:
+                    print(f"  {line}")
+                status = 1
+            else:
+                print("ok")
+
+    if args.write:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "quick": args.quick,
+            "metrics": metrics,
+        }
+        with open(args.write, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.write}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

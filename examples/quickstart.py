@@ -6,6 +6,25 @@ N-body converter, a Plummer initial model, a gravity worker behind a
 channel (here the real-TCP sockets channel), and copying state back to
 the script through an attribute channel.
 
+Channel selection matrix — every code takes ``channel_type=...``; the
+physics never changes, only where the worker runs and how bytes move:
+
+=============  =============================  =========================
+channel_type   worker runs                    pick it when
+=============  =============================  =========================
+"mpi"/direct   in-process, no serialisation   tests, modeled-time runs
+"sockets"      thread + real loopback TCP     default same-process dev
+"subprocess"   own OS process (own GIL)       CPU-heavy concurrent
+                                              models on one host
+"shm"          thread or subprocess; arrays   same host, large arrays
+               via shared memory, socket      (zero wire copies,
+               for control only               ~2-3x sockets bulk)
+"ibis"         daemon-managed pilot, local    multi-resource jungle
+               or remote resource; WAN-       runs; remote GPUs;
+               profile pilots negotiate       thin-link sites (codec
+               per-buffer compression         shrinks transfers)
+=============  =============================  =========================
+
 Run:  python examples/quickstart.py
 """
 
@@ -68,6 +87,28 @@ def main():
         f"{offproc.model_time.value_in(units.Myr):.1f} Myr"
     )
     offproc.stop()
+
+    # channel_type="shm" keeps the socket as a control plane only:
+    # array payloads cross through shared-memory segments (zero wire
+    # copies — the bulk path for same-host workers; add
+    # channel_options={"worker_mode": "subprocess"} for an off-process
+    # worker that attaches the segments by name).  shm_min is lowered
+    # here so even this demo's small arrays take the shm path; the
+    # production default (64 KiB) keeps latency-bound calls inline.
+    shm = PhiGRAPE(
+        converter, channel_type="shm", kernel="cpu", eta=0.05,
+        channel_options={"shm_min": 256},
+    )
+    shm.add_particles(stars)
+    shm.evolve_model(0.5 | units.Myr)
+    stats = shm.channel.transport_stats
+    print(
+        f"shm worker evolved to "
+        f"{shm.model_time.value_in(units.Myr):.1f} Myr "
+        f"({stats['shm_buffer_bytes']} array bytes via shared memory, "
+        f"{stats['wire_buffer_bytes']} via the socket)"
+    )
+    shm.stop()
 
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)

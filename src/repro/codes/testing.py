@@ -40,6 +40,7 @@ from .base import CodeInterface
 from .highlevel import CommunityCode
 
 __all__ = [
+    "ArrayEchoInterface",
     "SleepInterface",
     "SleepCode",
     "NumpyKernelInterface",
@@ -48,6 +49,26 @@ __all__ = [
     "FailingInterface",
     "WedgedStopInterface",
 ]
+
+
+class ArrayEchoInterface(CodeInterface):
+    """Bulk-transfer worker: echoes / transforms array payloads.
+
+    The measurement surface for channel throughput (sockets vs shm vs
+    compressed): ``echo`` moves a payload both ways untouched, and
+    ``scale`` proves the data genuinely crossed into the worker (the
+    result differs from the input, so a transport that secretly
+    shared state with the caller could not fake it).
+    """
+
+    def echo(self, payload):
+        return payload
+
+    def scale(self, array, factor):
+        return np.asarray(array) * float(factor)
+
+    def checksum(self, array):
+        return float(np.sum(np.asarray(array)))
 
 
 class SleepInterface(CodeInterface):

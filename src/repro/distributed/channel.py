@@ -21,6 +21,18 @@ negotiated on connect: v2 moves array payloads as out-of-band buffers
 (zero-copy scatter-gather send, ``recv_into`` receive) and the daemon
 forwards result buffers without re-pickling; a v1 daemon answers the
 hello with an error and the channel transparently stays on v1 framing.
+
+Two transport knobs follow the paper's locality spectrum:
+
+* ``compress="auto"`` (default) negotiates per-buffer compression via
+  the hello capability dict — but only for WAN-profile channels
+  (``resource`` other than local): there the modeled wide-area link is
+  the bottleneck and shrinking transfers is worth CPU, while the
+  loopback hop of a local pilot is faster than any codec.  Pass
+  True/False/codec-name to force either way.
+* ``worker_mode="shm"`` asks the daemon for a subprocess pilot driven
+  over the shared-memory channel — the daemon-side leg of the
+  same-host zero-wire-copy path.
 """
 
 from __future__ import annotations
@@ -38,9 +50,15 @@ from ..rpc.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     RemoteError,
+    available_codecs,
+    resolve_compress_offer,
 )
 
 __all__ = ["DistributedChannel"]
+
+#: resource labels that mean "this very machine" — the loopback hop is
+#: faster than any codec, so auto compression stays off for them
+_LOCAL_RESOURCES = frozenset({"local", "localhost"})
 
 
 class DistributedChannel(StreamChannel):
@@ -51,7 +69,8 @@ class DistributedChannel(StreamChannel):
 
     def __init__(self, interface_factory, daemon=None, address=None,
                  resource="local", node_count=1,
-                 max_version=PROTOCOL_VERSION, worker_mode=None):
+                 max_version=PROTOCOL_VERSION, worker_mode=None,
+                 compress="auto", compress_min=None):
         super().__init__()
         if daemon is not None:
             address = daemon.address
@@ -63,6 +82,8 @@ class DistributedChannel(StreamChannel):
         self.resource = resource
         self.node_count = int(node_count)
         self.worker_mode = worker_mode
+        self._compress = compress
+        self._compress_min = compress_min
 
         self._sock = socket.create_connection(address)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -84,16 +105,39 @@ class DistributedChannel(StreamChannel):
 
     # -- plumbing ---------------------------------------------------------------
 
+    def _compress_offer(self):
+        """The codec list offered in the hello; WAN-profile only under
+        ``"auto"`` (paper economics: compress where the modeled link is
+        the bottleneck, never the same-host loopback)."""
+        if self._compress == "auto":
+            if self.resource in _LOCAL_RESOURCES or self.resource is None:
+                return []
+            return available_codecs()
+        return resolve_compress_offer(self._compress)
+
     def _negotiate(self, max_version):
         """Hello handshake; a v1 daemon answers with an error frame,
-        which is the downgrade signal."""
+        which is the downgrade signal.  A pre-capability daemon ignores
+        the offer slot and acks a bare version — compression then
+        stays off."""
         if max_version < 2:
             return 1
+        offer = self._compress_offer()
+        caps = {}
+        if offer:
+            caps["compress"] = offer
+            if self._compress_min is not None:
+                caps["compress_min"] = int(self._compress_min)
+        hello = ("hello", max_version) + ((caps,) if caps else ())
         try:
-            ack = self._request(("hello", max_version)).result(timeout=10)
+            ack = self._request(hello).result(timeout=10)
         except RemoteError:
             return 1
-        return min(max_version, ack["version"])
+        if isinstance(ack.get("caps"), dict):
+            self.wire_caps = ack["caps"]
+        self._wire.version = min(max_version, ack["version"])
+        self._apply_negotiated_caps()
+        return self._wire.version
 
     def _request(self, body):
         """Send a daemon-surface request (echo/start_worker/...)."""

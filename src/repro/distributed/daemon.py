@@ -21,12 +21,18 @@ overlap real compute.
 
 Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
 
-* ``("hello", req_id, max_version)`` — wire-version negotiation
+* ``("hello", req_id, max_version[, caps])`` — wire-version
+  negotiation; the optional *caps* dict may offer per-buffer
+  compression codecs, which the daemon acks with the first one it can
+  load (WAN-profile clients use this to shrink the transfers whose
+  modeled link is the bottleneck)
 * ``("start_worker", req_id, factory_bytes, resource, node_count
-  [, worker_mode])`` — *worker_mode* ("thread" or "subprocess")
-  overrides the daemon's default; "subprocess" pilots spawn a REAL
-  child process per worker (its own interpreter and GIL) driven
-  through a :class:`~repro.rpc.subproc.SubprocessChannel`
+  [, worker_mode])`` — *worker_mode* ("thread", "subprocess" or
+  "shm") overrides the daemon's default; "subprocess" pilots spawn a
+  REAL child process per worker (its own interpreter and GIL) driven
+  through a :class:`~repro.rpc.subproc.SubprocessChannel`, and "shm"
+  pilots drive that child over shared-memory segments (zero wire
+  copies on the daemon→worker leg)
 * ``("call", req_id, worker_id, method, args, kwargs)``
 * ``("mcall", req_id, worker_id, [(method, args, kwargs), ...])`` —
   pipelined batch, executed in order, answered with one mresult frame
@@ -52,6 +58,8 @@ from ..rpc.channel import call_entry
 from ..rpc.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    WireState,
+    accept_capabilities,
     recv_frame,
     send_frame,
     send_frame_v2,
@@ -59,6 +67,9 @@ from ..rpc.protocol import (
 from ..rpc.subproc import SubprocessChannel
 
 __all__ = ["IbisDaemon"]
+
+#: pilot modes a start_worker frame may ask for
+_WORKER_MODES = ("thread", "subprocess", "shm")
 
 
 class _ThreadWorker:
@@ -85,12 +96,18 @@ class _SubprocessWorker:
     """A pilot worker in its own OS process, driven through a
     :class:`~repro.rpc.subproc.SubprocessChannel` — the real AMUSE
     proxy+worker pair: the daemon forwards calls to a child that owns
-    its interpreter (and its GIL)."""
+    its interpreter (and its GIL).  ``shm=True`` is the per-pilot
+    transport upgrade: the daemon→child leg moves array payloads
+    through shared-memory segments instead of the socket."""
 
-    mode = "subprocess"
+    def __init__(self, factory, shm=False):
+        options = {}
+        if shm:
+            from ..rpc.shm import DEFAULT_SEGMENT_SIZE
 
-    def __init__(self, factory):
-        self.channel = SubprocessChannel(factory)
+            options["shm_segment_size"] = DEFAULT_SEGMENT_SIZE
+        self.mode = "shm" if shm else "subprocess"
+        self.channel = SubprocessChannel(factory, **options)
         self.pid = self.channel.pid
 
     def call(self, method, *args, **kwargs):
@@ -113,10 +130,10 @@ class IbisDaemon:
 
     def __init__(self, host="127.0.0.1", max_version=PROTOCOL_VERSION,
                  worker_mode="thread"):
-        if worker_mode not in ("thread", "subprocess"):
+        if worker_mode not in _WORKER_MODES:
             raise ValueError(
                 f"unknown worker mode {worker_mode!r}; "
-                "known: ['subprocess', 'thread']"
+                f"known: {sorted(_WORKER_MODES)}"
             )
         self._host = host
         self._max_version = max_version
@@ -176,24 +193,32 @@ class IbisDaemon:
             handler.start()
 
     def _serve(self, conn):
-        version = 1
+        wire = WireState()
 
         def reply_frame(message):
-            if version >= 2:
-                send_frame_v2(conn, message)
+            if wire.version >= 2:
+                send_frame_v2(conn, message, wire)
             else:
                 send_frame(conn, message)
 
         try:
             while True:
                 try:
-                    message = recv_frame(conn)
+                    message = recv_frame(conn, wire)
                 except ProtocolError:
                     return
                 kind, req_id, *rest = message
                 if kind == "hello" and self._max_version >= 2:
-                    version = min(int(rest[0]), self._max_version)
-                    reply_frame(("result", req_id, {"version": version}))
+                    wire.version = min(int(rest[0]), self._max_version)
+                    ack = {"version": wire.version}
+                    if len(rest) >= 2 and isinstance(rest[1], dict):
+                        # capability offer (codec list): the daemon is
+                        # the WAN-relay end, so a negotiated codec
+                        # shrinks exactly the modeled-bottleneck hop
+                        ack["caps"] = accept_capabilities(
+                            rest[1], wire
+                        )
+                    reply_frame(("result", req_id, ack))
                     continue
                 # a max_version=1 daemon behaves exactly like a pre-v2
                 # one: hello falls through to the unknown-kind error
@@ -236,8 +261,10 @@ class IbisDaemon:
             worker_mode = opt[0] if opt and opt[0] is not None else \
                 self._worker_mode
             factory = pickle.loads(factory_bytes)
-            if worker_mode == "subprocess":
-                worker = _SubprocessWorker(factory)
+            if worker_mode in ("subprocess", "shm"):
+                worker = _SubprocessWorker(
+                    factory, shm=(worker_mode == "shm")
+                )
                 code_name = getattr(
                     getattr(factory, "func", factory), "__name__",
                     type(factory).__name__,
@@ -248,7 +275,7 @@ class IbisDaemon:
             else:
                 raise ValueError(
                     f"unknown worker mode {worker_mode!r}; "
-                    "known: ['subprocess', 'thread']"
+                    f"known: {sorted(_WORKER_MODES)}"
                 )
             with self._lock:
                 worker_id = next(self._worker_ids)

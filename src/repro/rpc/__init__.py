@@ -36,6 +36,8 @@ __all__ = [
     "DirectChannel",
     "Future",
     "QuantityFuture",
+    "ShmArena",
+    "ShmChannel",
     "SocketChannel",
     "SubprocessChannel",
     "as_completed",
@@ -62,6 +64,9 @@ def __getattr__(name):
     if name == "SubprocessChannel":
         from .subproc import SubprocessChannel
         return SubprocessChannel
+    if name in ("ShmChannel", "ShmArena"):
+        from . import shm
+        return getattr(shm, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

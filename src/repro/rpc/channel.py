@@ -16,6 +16,10 @@ keeps the same shape:
   same negotiated wire protocol, registered here under "subprocess".
   This is the channel that lifts the GIL bound on concurrent
   multi-model execution.
+* the shm channel (:mod:`repro.rpc.shm`, registered under "shm") —
+  same-host workers (thread or subprocess) whose array payloads travel
+  through ``multiprocessing.shared_memory`` segments; only a small
+  control frame touches the socket.
 * the Ibis/Distributed channel lives in :mod:`repro.distributed` (it
   needs the daemon) and registers itself here under "ibis" /
   "distributed" via :func:`register_channel_factory`.
@@ -34,6 +38,7 @@ from __future__ import annotations
 
 import inspect
 import itertools
+import os
 import socket
 import threading
 import traceback
@@ -44,7 +49,10 @@ from .protocol import (
     ConnectionLostError,
     ProtocolError,
     RemoteError,
+    WireState,
+    accept_capabilities,
     recv_frame,
+    resolve_compress_offer,
     send_frame,
     send_frame_v2,
 )
@@ -351,6 +359,19 @@ class StreamChannel(Channel):
         self.bytes_sent = 0
         self.bytes_received = 0
         self._sock = None          # set by the subclass __init__
+        self._wire = WireState()   # upgraded after the hello handshake
+        self.wire_caps = {}        # the peer's capability ack
+        self._shm_arenas = None    # (tx, rx) pair this channel created
+        self._compress_min = None  # local overrides applied post-hello
+        self._shm_min = None
+
+    @property
+    def wire_version(self):
+        return self._wire.version
+
+    @wire_version.setter
+    def wire_version(self, version):
+        self._wire.version = version
 
     # -- frame shapes (subclass hooks) -------------------------------------
 
@@ -380,7 +401,9 @@ class StreamChannel(Channel):
     def _send_frame_locked(self, message):
         with self._send_lock:
             if self.wire_version >= 2:
-                self.bytes_sent += send_frame_v2(self._sock, message)
+                self.bytes_sent += send_frame_v2(
+                    self._sock, message, self._wire
+                )
             else:
                 self.bytes_sent += send_frame(self._sock, message)
 
@@ -401,7 +424,7 @@ class StreamChannel(Channel):
     def _read_responses(self):
         try:
             while True:
-                message = recv_frame(self._sock)
+                message = recv_frame(self._sock, self._wire)
                 kind, call_id, *rest = message
                 with self._pending_lock:
                     request = self._pending.pop(call_id, None)
@@ -416,6 +439,10 @@ class StreamChannel(Channel):
                     fail_all(request, RemoteError(exc_class, msg, tb))
         except (ProtocolError, OSError):
             failure = self._connection_lost_error()
+            # the peer is gone: remove the segment names NOW so a
+            # crashed peer cannot leak /dev/shm entries (the mappings
+            # stay valid for stragglers; stop() unmaps)
+            self._release_shm(close=False)
             with self._pending_lock:
                 pending = list(self._pending.values())
                 self._pending.clear()
@@ -424,22 +451,116 @@ class StreamChannel(Channel):
             for request in pending:
                 fail_all(request, failure)
 
-    def _negotiate_hello(self, max_version):
+    # -- capability negotiation --------------------------------------------
+
+    def _offer_capabilities(self, compress=None, compress_min=None,
+                            shm_segment_size=None, shm_min=None):
+        """Build the hello capability dict (and create the shm segment
+        pair it names).  Returns None when there is nothing to offer —
+        the hello then stays byte-identical to the pre-capability one.
+        """
+        caps = {}
+        offer = resolve_compress_offer(compress)
+        if offer:
+            caps["compress"] = offer
+            if compress_min is not None:
+                caps["compress_min"] = int(compress_min)
+        if shm_segment_size:
+            from .shm import ShmArena  # lazy: shm.py imports channel.py
+
+            tx = ShmArena(shm_segment_size)
+            try:
+                rx = ShmArena(shm_segment_size)
+            except BaseException:
+                tx.unlink()
+                tx.close()
+                raise
+            self._shm_arenas = (tx, rx)
+            shm_caps = {
+                "c2w": tx.name, "w2c": rx.name, "pid": os.getpid(),
+            }
+            if shm_min is not None:
+                shm_caps["shm_min"] = int(shm_min)
+            caps["shm"] = shm_caps
+        return caps or None
+
+    def _apply_negotiated_caps(self):
+        """Configure the wire from the peer's capability ack; anything
+        the peer did not ack is torn down (shm segments released)."""
+        caps = self.wire_caps
+        codec_name = caps.get("compress")
+        if codec_name:
+            from .protocol import CODECS_BY_NAME
+
+            codec = CODECS_BY_NAME.get(codec_name)
+            if codec is None:
+                raise ProtocolError(
+                    f"peer accepted codec {codec_name!r} this side "
+                    "cannot load"
+                )
+            self._wire.codec = codec
+            if self._compress_min is not None:
+                self._wire.compress_min = int(self._compress_min)
+        if self._shm_arenas is not None:
+            if caps.get("shm"):
+                self._wire.tx_arena, self._wire.rx_arena = \
+                    self._shm_arenas
+                if self._shm_min is not None:
+                    self._wire.shm_min = int(self._shm_min)
+            else:
+                # peer cannot (or will not) do shm: plain v2 socket
+                self._release_shm()
+
+    def _release_shm(self, close=True):
+        """Unlink (and optionally unmap) the channel-owned segment
+        pair; idempotent, safe on channels that never offered shm."""
+        arenas = self._shm_arenas or ()
+        for arena in arenas:
+            arena.unlink()
+            if close:
+                arena.close()
+        if close:
+            self._shm_arenas = None
+            self._wire.tx_arena = None
+            self._wire.rx_arena = None
+
+    @property
+    def transport_stats(self):
+        """Negotiated-transport summary (bench/monitoring surface)."""
+        wire = self._wire
+        return {
+            "wire_version": wire.version,
+            "codec": wire.codec.name if wire.codec else None,
+            "shm": wire.shm_active,
+            "raw_buffer_bytes": wire.raw_buffer_bytes,
+            "wire_buffer_bytes": wire.wire_buffer_bytes,
+            "shm_buffer_bytes": wire.shm_buffer_bytes,
+        }
+
+    def _negotiate_hello(self, max_version, capabilities=None):
         """Hello handshake against a :func:`worker_loop` peer, run
         before the reader thread starts.
 
         The hello is a well-formed v1 call frame, so a v1 worker answers
         it with an "unexpected message kind" error — which is exactly
-        the downgrade signal.
+        the downgrade signal.  *capabilities* (codec offer, shm segment
+        names) ride the kwargs slot; pre-capability v2 peers ignore
+        that slot and ack with a bare version, downgrading every
+        capability at once.
         """
+        self.wire_caps = {}
         if max_version < 2:
             return 1
+        hello_kwargs = {"caps": capabilities} if capabilities else {}
         self.bytes_sent += send_frame(
-            self._sock, ("hello", 0, max_version, (), {})
+            self._sock, ("hello", 0, max_version, (), hello_kwargs)
         )
         reply = recv_frame(self._sock)
         if reply[0] == "result":
-            return min(max_version, reply[2]["version"])
+            ack = reply[2]
+            if isinstance(ack.get("caps"), dict):
+                self.wire_caps = ack["caps"]
+            return min(max_version, ack["version"])
         return 1
 
     def _describe(self):
@@ -536,35 +657,49 @@ def _run_one(interface, method, args, kwargs):
     return call_entry(lambda: getattr(interface, method)(*args, **kwargs))
 
 
-def worker_loop(interface, conn, max_version=PROTOCOL_VERSION):
+def worker_loop(interface, conn, max_version=PROTOCOL_VERSION,
+                enable_capabilities=True):
     """Serve RPC requests for *interface* until "stop" or disconnect.
 
     This is the AMUSE worker main loop: the remote side of every
-    channel.  Runs in a worker thread (SocketChannel) or inside a proxy
+    channel.  Runs in a worker thread (SocketChannel), a spawned child
+    process (SubprocessChannel, shm subprocess mode) or inside a proxy
     process model (distributed AMUSE).  Understands plain calls,
     multi-call batches and the version-negotiation hello; replies use
     the negotiated wire version (*max_version* caps it, which lets
-    tests exercise a genuine v1 peer).
+    tests exercise a genuine v1 peer).  The hello's capability dict —
+    codec offer, shm segment names — is honoured when
+    *enable_capabilities* is true; disabling it emulates a plain-v2
+    peer for downgrade tests.
     """
-    version = 1
+    wire = WireState()
 
     def reply(message):
-        if version >= 2:
-            send_frame_v2(conn, message)
+        if wire.version >= 2:
+            send_frame_v2(conn, message, wire)
         else:
             send_frame(conn, message)
 
     try:
         while True:
             try:
-                message = recv_frame(conn)
+                message = recv_frame(conn, wire)
             except ProtocolError:
                 break
             kind, call_id, *rest = message
             if kind == "hello" and max_version >= 2:
                 peer_version = rest[0] if rest else 1
-                version = min(int(peer_version), max_version)
-                reply(("result", call_id, {"version": version}))
+                wire.version = version = min(
+                    int(peer_version), max_version
+                )
+                ack = {"version": version}
+                offered = {}
+                if (enable_capabilities and len(rest) >= 3
+                        and isinstance(rest[2], dict)):
+                    offered = rest[2].get("caps") or {}
+                if offered:
+                    ack["caps"] = accept_capabilities(offered, wire)
+                reply(("result", call_id, ack))
                 continue
             # a max_version=1 worker behaves exactly like a pre-v2 one:
             # hello falls through to the unexpected-kind error reply
@@ -595,6 +730,11 @@ def worker_loop(interface, conn, max_version=PROTOCOL_VERSION):
     except OSError:
         pass        # peer vanished mid-reply; nothing left to serve
     finally:
+        # workers only ever ATTACH shm segments: close the mappings,
+        # never unlink — the names belong to the channel side
+        for arena in (wire.tx_arena, wire.rx_arena):
+            if arena is not None:
+                arena.close()
         try:
             conn.close()
         except OSError:
@@ -619,9 +759,13 @@ class SocketChannel(StreamChannel):
     def __init__(self, interface_factory, host="127.0.0.1",
                  max_version=PROTOCOL_VERSION,
                  worker_max_version=PROTOCOL_VERSION,
-                 stop_timeout=10.0):
+                 stop_timeout=10.0, compress=None, compress_min=None,
+                 shm_segment_size=None, shm_min=None,
+                 worker_capabilities=True):
         super().__init__()
         self._stop_timeout = float(stop_timeout)
+        self._compress_min = compress_min
+        self._shm_min = shm_min
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind((host, 0))
@@ -639,7 +783,8 @@ class SocketChannel(StreamChannel):
             )
             interface = interface_factory()
             worker_loop(interface, worker_side,
-                        max_version=worker_max_version)
+                        max_version=worker_max_version,
+                        enable_capabilities=worker_capabilities)
 
         self._worker_thread = threading.Thread(
             target=_serve, name="sockets-worker", daemon=True
@@ -647,15 +792,21 @@ class SocketChannel(StreamChannel):
         self._worker_thread.start()
 
         # any failure past this point (connect, hello handshake) must
-        # not leak the listener socket or the half-started worker
-        # thread: close both, then re-raise
+        # not leak the listener socket, the half-started worker thread
+        # or the offered shm segments: release all, then re-raise
         try:
+            caps = self._offer_capabilities(
+                compress=compress, compress_min=compress_min,
+                shm_segment_size=shm_segment_size, shm_min=shm_min,
+            )
             self._sock = socket.create_connection(self.address)
             self._sock.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
-            self.wire_version = self._negotiate_hello(max_version)
+            self.wire_version = self._negotiate_hello(max_version, caps)
+            self._apply_negotiated_caps()
         except BaseException:
+            self._release_shm()
             for sock in (self._sock, listener):
                 try:
                     if sock is not None:
@@ -674,7 +825,8 @@ class SocketChannel(StreamChannel):
     # -- internals ---------------------------------------------------------
 
     def _describe(self):
-        return f"{self.kind} channel on {self.address}"
+        kind = "shm" if self._wire.shm_active else self.kind
+        return f"{kind} channel on {self.address}"
 
     def stop(self):
         if not self._begin_stop(warn_on_noack=True):
@@ -687,6 +839,7 @@ class SocketChannel(StreamChannel):
                 f"{self._stop_timeout}s after stop; leaking it",
                 RuntimeWarning, stacklevel=2,
             )
+        self._release_shm()
 
 
 _FACTORIES = {
@@ -735,6 +888,8 @@ def new_channel(channel_type, interface_factory, **kwargs):
         # lazy: the subproc module doubles as the spawned worker's
         # ``-m`` entrypoint, so it must not be imported eagerly
         from . import subproc  # noqa: F401 - registers the factory
+    if channel_type == "shm" and channel_type not in _FACTORIES:
+        from . import shm  # noqa: F401 - registers the factory
     try:
         factory = _FACTORIES[channel_type]
     except KeyError:

@@ -28,6 +28,51 @@ Grouping the buffer table with the metadata keeps a small frame at two
 reads — the same syscall count as v1 — while large frames add exactly
 one ``recv_into`` per out-of-band buffer.
 
+Two more layouts extend v2 for connections that negotiated the matching
+capability in the hello handshake (see *Capability negotiation* below);
+both are detected per frame by magic, so capable peers may mix them
+freely with v1/v2 frames on one connection:
+
+**v2c** — ``b"AMSC"`` — per-buffer compression.  The buffer table gains
+an encoded length next to the raw length and the block names the codec;
+each buffer above the negotiated size threshold is compressed
+individually and stored raw when compression does not shrink it
+(``enc_len == raw_len`` marks a raw buffer, so incompressible data
+costs one compression attempt and nothing on the wire)::
+
+    <4s magic "AMSC"> <u32 block_len>
+    block: <u32 nbuffers> <u8 codec_id>
+           <(u64 enc_len, u64 raw_len) x nbuffers> <metadata bytes>
+    <encoded buffer bytes ...>
+
+**shm** — ``b"AMSH"`` — same-host shared-memory transport.  Buffer
+*bytes* leave the socket entirely: the sender copies each large buffer
+into a block of its :class:`~repro.rpc.shm.ShmArena` segment and the
+frame carries only ``(offset, length)`` descriptors; the receiver reads
+the block straight out of the mapped segment.  Small buffers stay
+inline (``kind 0``) so arena exhaustion degrades to the v2 wire path
+instead of failing.  Block release is piggybacked: every frame also
+carries the offsets its sender has consumed from the *peer's* arena
+since its last frame, so the request/response traffic itself recycles
+the pool with zero extra round trips::
+
+    <4s magic "AMSH"> <u32 block_len>
+    block: <u32 nbuffers> <u32 nfreed>
+           <(u8 kind, u64 a, u64 b) x nbuffers>   # kind 1: a=offset b=len (shm)
+           <u64 freed_offset x nfreed>            # kind 0: a=len, inline
+           <metadata bytes>
+    <inline buffer bytes ...>
+
+**Capability negotiation** rides the existing hello frame: the client's
+``("hello", 0, max_version, (), {"caps": {...}})`` may offer a codec
+preference list (``"compress"``) and/or shared-memory segment names
+(``"shm"``); the peer's ack dict answers with the first offered codec
+it can load and ``"shm": True`` once it attached the named segments.
+Peers that predate capabilities ignore the kwargs slot and answer with
+a bare version — the client then runs plain v2 — and v1 peers still
+answer the hello with an error frame, downgrading all the way.  A
+:class:`WireState` holds the negotiated outcome per connection.
+
 On send the parts are handed to ``socket.sendmsg`` as a scatter-gather
 iovec — header, metadata and every array buffer go to the kernel without
 being concatenated.  On receive each buffer is read with ``recv_into``
@@ -55,12 +100,24 @@ from __future__ import annotations
 import functools
 import pickle
 import struct
+import threading
+import zlib
 
 __all__ = [
     "MAGIC",
     "MAGIC2",
+    "MAGIC_COMPRESS",
+    "MAGIC_SHM",
     "HEADER",
     "PROTOCOL_VERSION",
+    "COMPRESS_MIN_DEFAULT",
+    "SHM_MIN_DEFAULT",
+    "Codec",
+    "WireState",
+    "available_codecs",
+    "negotiate_codec",
+    "resolve_compress_offer",
+    "accept_capabilities",
     "pack_frame",
     "encode_frame_v2",
     "send_frame",
@@ -75,12 +132,26 @@ __all__ = [
 
 MAGIC = b"AMSE"                       # v1 frames
 MAGIC2 = b"AMS2"                      # v2 frames (out-of-band buffers)
+MAGIC_COMPRESS = b"AMSC"              # v2 + per-buffer compression
+MAGIC_SHM = b"AMSH"                   # v2 + shared-memory buffer blocks
 HEADER = struct.Struct("<4sI")        # magic + payload/block length
 BLOCK_COUNT = struct.Struct("<I")     # buffer count (start of v2 block)
 BUFFER_LEN = struct.Struct("<Q")      # per-buffer length (v2 table)
+COMPRESS_HEAD = struct.Struct("<IB")  # buffer count + codec id (AMSC)
+COMPRESS_ENTRY = struct.Struct("<QQ")  # encoded + raw length (AMSC table)
+SHM_HEAD = struct.Struct("<II")       # buffer count + freed count (AMSH)
+SHM_ENTRY = struct.Struct("<BQQ")     # kind + two u64 fields (AMSH table)
 MAX_FRAME = 1 << 31
 MAX_BUFFERS = 1 << 16
 PROTOCOL_VERSION = 2
+
+#: buffers below this many bytes are never compressed (the attempt
+#: costs more than the socket write it would save)
+COMPRESS_MIN_DEFAULT = 1 << 14
+
+#: buffers below this many bytes stay inline on the socket even on an
+#: shm connection (descriptor bookkeeping beats memcpy only for bulk)
+SHM_MIN_DEFAULT = 1 << 16
 
 #: iovec batch size for sendmsg (Linux IOV_MAX is 1024)
 _IOV_LIMIT = 1024
@@ -117,6 +188,197 @@ class RemoteError(RuntimeError):
         self.exc_class = exc_class
         self.remote_message = message
         self.remote_traceback = remote_traceback
+
+
+# -- per-buffer compression codecs ------------------------------------------
+
+
+class Codec:
+    """One negotiable per-buffer compression codec.
+
+    ``compress`` maps a readable buffer to bytes; ``decompress`` maps
+    the encoded bytes plus the known raw length back to a *writable*
+    buffer (arrays are reconstructed in place over it, and the v2
+    contract is that received arrays are writable).
+    """
+
+    __slots__ = ("codec_id", "name", "compress", "decompress")
+
+    def __init__(self, codec_id, name, compress, decompress):
+        self.codec_id = codec_id
+        self.name = name
+        self.compress = compress
+        self.decompress = decompress
+
+    def __repr__(self):
+        return f"<Codec {self.name} (id {self.codec_id})>"
+
+
+def _build_codecs():
+    """Probe for codec libraries; unimportable ones simply don't exist.
+
+    zstd and lz4 are the WAN-grade codecs the roadmap names; zlib is
+    the stdlib floor so a compression-negotiated link works on any
+    interpreter (it is offered last — a peer with a real codec never
+    picks it).  Compressor objects are created per call: the zstd/lz4
+    module-level objects are not documented thread-safe, and a reader
+    thread may decompress while a sender compresses.
+    """
+    codecs = {}
+    codecs["zlib"] = Codec(
+        1, "zlib",
+        lambda data: zlib.compress(data, 1),
+        lambda data, raw_len: bytearray(zlib.decompress(data)),
+    )
+    try:
+        import lz4.frame as _lz4
+    except ImportError:
+        pass
+    else:
+        codecs["lz4"] = Codec(
+            2, "lz4",
+            lambda data: _lz4.compress(bytes(data)),
+            lambda data, raw_len: bytearray(_lz4.decompress(bytes(data))),
+        )
+    try:
+        import zstandard as _zstd
+    except ImportError:
+        pass
+    else:
+        codecs["zstd"] = Codec(
+            3, "zstd",
+            lambda data: _zstd.ZstdCompressor(level=1).compress(
+                bytes(data)
+            ),
+            lambda data, raw_len: bytearray(
+                _zstd.ZstdDecompressor().decompress(
+                    bytes(data), max_output_size=raw_len
+                )
+            ),
+        )
+    return codecs
+
+
+#: codec preference order when offering/accepting (fastest real codec
+#: first, stdlib floor last)
+CODEC_PREFERENCE = ("zstd", "lz4", "zlib")
+CODECS_BY_NAME = _build_codecs()
+CODECS_BY_ID = {c.codec_id: c for c in CODECS_BY_NAME.values()}
+
+
+def available_codecs():
+    """Importable codec names, most preferred first."""
+    return [n for n in CODEC_PREFERENCE if n in CODECS_BY_NAME]
+
+
+def negotiate_codec(offered):
+    """Pick the first codec from the peer's preference list that this
+    side can load; None when there is no common codec."""
+    for name in offered:
+        if name in CODECS_BY_NAME:
+            return name
+    return None
+
+
+def resolve_compress_offer(compress):
+    """Normalise a channel's ``compress=`` option into an offer list.
+
+    ``None``/``False`` — offer nothing; ``True`` — every importable
+    codec in preference order; a name — just that codec (must be
+    importable); a list — the importable subset, the caller's order.
+    """
+    if compress is None or compress is False:
+        return []
+    if compress is True:
+        return available_codecs()
+    if isinstance(compress, str):
+        if compress not in CODECS_BY_NAME:
+            raise ValueError(
+                f"compression codec {compress!r} is not available; "
+                f"importable codecs: {available_codecs()}"
+            )
+        return [compress]
+    return [name for name in compress if name in CODECS_BY_NAME]
+
+
+# -- negotiated per-connection wire state ------------------------------------
+
+
+class WireState:
+    """The outcome of one connection's hello negotiation.
+
+    Holds the wire version, the agreed codec (if any) with its size
+    threshold, and — for shm connections — the two arena ends: this
+    side allocates outgoing buffers from ``tx_arena`` and reads the
+    peer's buffers out of ``rx_arena``.  The pending-free list collects
+    the rx offsets this side has consumed; the send path drains it into
+    the next outgoing frame so the peer can recycle its blocks.
+    """
+
+    def __init__(self, version=1, codec=None,
+                 compress_min=COMPRESS_MIN_DEFAULT,
+                 tx_arena=None, rx_arena=None, shm_min=SHM_MIN_DEFAULT):
+        self.version = version
+        self.codec = codec
+        self.compress_min = compress_min
+        self.tx_arena = tx_arena
+        self.rx_arena = rx_arena
+        self.shm_min = shm_min
+        self._free_lock = threading.Lock()
+        self._pending_free = []
+        #: transport statistics (raw payload vs wire bytes; shm bytes
+        #: never touch the socket at all)
+        self.raw_buffer_bytes = 0
+        self.wire_buffer_bytes = 0
+        self.shm_buffer_bytes = 0
+
+    def add_freed(self, offsets):
+        """Record consumed peer-arena offsets for the next send."""
+        if offsets:
+            with self._free_lock:
+                self._pending_free.extend(offsets)
+
+    def take_freed(self):
+        with self._free_lock:
+            freed, self._pending_free = self._pending_free, []
+        return freed
+
+    def has_pending_free(self):
+        return bool(self._pending_free)
+
+    @property
+    def shm_active(self):
+        return self.tx_arena is not None
+
+
+def accept_capabilities(offered, wire):
+    """Server half of the hello capability negotiation.
+
+    Mutates *wire* with whatever this side can honour and returns the
+    ack dict.  Anything unrecognised — or an shm offer whose segments
+    this process cannot attach (wrong host, dead creator) — is silently
+    dropped, which IS the downgrade: the client reads the ack and keeps
+    the plain v2 path for everything missing from it.
+    """
+    accepted = {}
+    codec_name = negotiate_codec(offered.get("compress") or ())
+    if codec_name:
+        wire.codec = CODECS_BY_NAME[codec_name]
+        if "compress_min" in offered:
+            wire.compress_min = int(offered["compress_min"])
+        accepted["compress"] = codec_name
+    shm_offer = offered.get("shm")
+    if shm_offer:
+        try:
+            from .shm import attach_peer_arenas  # lazy: avoids a cycle
+            attach_peer_arenas(wire, shm_offer)
+        except Exception:  # noqa: BLE001 - any failure means "no shm"
+            pass
+        else:
+            if "shm_min" in shm_offer:
+                wire.shm_min = int(shm_offer["shm_min"])
+            accepted["shm"] = True
+    return accepted
 
 
 # -- out-of-band payload helpers (also used by repro.mpi.comm) -------------
@@ -213,7 +475,7 @@ def _sendmsg_all(sock, parts):
     return total
 
 
-def send_frame_v2(sock, message):
+def send_frame_v2(sock, message, wire=None):
     """Send one frame on a v2 connection; returns the byte count.
 
     A message with no out-of-band buffers pickles to a single
@@ -221,8 +483,30 @@ def send_frame_v2(sock, message):
     codec path; the receiver detects the version per frame) — small
     latency-bound calls cost the same as on a v1 connection.  Messages
     carrying buffers use the v2 layout with scatter-gather send.
+
+    A negotiated :class:`WireState` upgrades the buffer path: on an shm
+    connection large buffers travel through the arena (and any frame
+    with pending block releases uses shm framing so the peer's pool
+    recycles); on a compressed connection buffers above the threshold
+    are compressed per-buffer.  Both degrade to the plain v2 layout
+    frame by frame — arena full, nothing compressible — without the
+    peer needing to know.
     """
     meta, buffers = encode_payload(message)
+    if wire is not None:
+        wire.raw_buffer_bytes += sum(len(b) for b in buffers)
+        if wire.shm_active and (
+            wire.has_pending_free()
+            or any(len(b) >= wire.shm_min for b in buffers)
+        ):
+            return _send_frame_shm(sock, wire, meta, buffers)
+        if wire.codec is not None and any(
+            len(b) >= wire.compress_min for b in buffers
+        ):
+            sent = _send_frame_compressed(sock, wire, meta, buffers)
+            if sent is not None:
+                return sent
+        wire.wire_buffer_bytes += sum(len(b) for b in buffers)
     if not buffers:
         if len(meta) > MAX_FRAME:
             raise ProtocolError(f"frame too large: {len(meta)} bytes")
@@ -233,6 +517,93 @@ def send_frame_v2(sock, message):
             return len(data)
         return _sendmsg_all(sock, [head, meta])
     return _sendmsg_all(sock, _build_parts_v2(meta, buffers))
+
+
+def _send_frame_compressed(sock, wire, meta, buffers):
+    """Emit an AMSC frame; returns None when nothing shrank (the
+    caller then falls back to the cheaper plain-v2 table)."""
+    codec = wire.codec
+    table = []
+    parts = []
+    shrank = False
+    for buf in buffers:
+        raw_len = len(buf)
+        if raw_len >= wire.compress_min:
+            encoded = codec.compress(buf)
+            if len(encoded) < raw_len:
+                table.append(COMPRESS_ENTRY.pack(len(encoded), raw_len))
+                parts.append(encoded)
+                shrank = True
+                continue
+        table.append(COMPRESS_ENTRY.pack(raw_len, raw_len))
+        parts.append(buf)
+    if not shrank:
+        return None
+    nbuf = len(buffers)
+    if nbuf > MAX_BUFFERS:
+        raise ProtocolError(f"too many buffers: {nbuf}")
+    block_len = COMPRESS_HEAD.size + COMPRESS_ENTRY.size * nbuf + len(meta)
+    payload = sum(len(p) for p in parts)
+    if block_len > MAX_FRAME or block_len + payload > MAX_FRAME:
+        raise ProtocolError(
+            f"frame too large: {block_len + payload} bytes"
+        )
+    wire.wire_buffer_bytes += payload
+    head = HEADER.pack(MAGIC_COMPRESS, block_len)
+    codec_head = COMPRESS_HEAD.pack(nbuf, codec.codec_id)
+    return _sendmsg_all(sock, [head, codec_head, *table, meta, *parts])
+
+
+def _send_frame_shm(sock, wire, meta, buffers):
+    """Emit an AMSH frame: large buffers through the arena, small (or
+    overflow) buffers inline, consumed peer offsets piggybacked.
+
+    A frame rejected as oversize must not poison the still-healthy
+    connection: the blocks allocated for it are returned to the arena
+    and the drained freed-offset list is re-queued for the next frame.
+    """
+    arena = wire.tx_arena
+    nbuf = len(buffers)
+    if nbuf > MAX_BUFFERS:
+        raise ProtocolError(f"too many buffers: {nbuf}")
+    freed = wire.take_freed()
+    allocated = []
+    try:
+        entries = []
+        inline = []
+        for buf in buffers:
+            length = len(buf)
+            offset = arena.alloc(length) if length >= wire.shm_min \
+                else None
+            if offset is None:
+                entries.append(SHM_ENTRY.pack(0, length, 0))
+                inline.append(buf)
+            else:
+                arena.write(offset, buf)
+                allocated.append(offset)
+                entries.append(SHM_ENTRY.pack(1, offset, length))
+        head_fixed = SHM_HEAD.pack(nbuf, len(freed))
+        freed_bytes = struct.pack(f"<{len(freed)}Q", *freed)
+        block_len = (
+            SHM_HEAD.size + SHM_ENTRY.size * nbuf + len(freed_bytes)
+            + len(meta)
+        )
+        payload = sum(len(b) for b in inline)
+        if block_len > MAX_FRAME or block_len + payload > MAX_FRAME:
+            raise ProtocolError(
+                f"frame too large: {block_len + payload} bytes"
+            )
+    except BaseException:
+        for offset in allocated:
+            arena.free(offset)
+        wire.add_freed(freed)
+        raise
+    wire.wire_buffer_bytes += payload
+    wire.shm_buffer_bytes += sum(len(b) for b in buffers) - payload
+    head = HEADER.pack(MAGIC_SHM, block_len)
+    return _sendmsg_all(
+        sock, [head, head_fixed, *entries, freed_bytes, meta, *inline]
+    )
 
 
 # -- receive (auto-detects v1/v2 per frame) ---------------------------------
@@ -265,9 +636,14 @@ def _recv_exact_into(sock, buf):
         offset += n
 
 
-def recv_frame(sock):
-    """Receive one frame (either version); raises ProtocolError on
-    EOF/corruption/oversize."""
+def recv_frame(sock, wire=None):
+    """Receive one frame (any layout, detected by magic); raises
+    ProtocolError on EOF/corruption/oversize.
+
+    Compressed (AMSC) frames are self-describing — the codec id is in
+    the block — so *wire* is only needed for shm (AMSH) frames, whose
+    descriptors reference the peer's arena attached on *wire*.
+    """
     header = _recv_exact(sock, HEADER.size)
     magic = header[:4]
     if magic == MAGIC:
@@ -299,4 +675,102 @@ def recv_frame(sock):
             buffers.append(buf)
         meta = memoryview(block)[table_end:]
         return pickle.loads(meta, buffers=buffers)
+    if magic == MAGIC_COMPRESS:
+        return _recv_frame_compressed(sock, header)
+    if magic == MAGIC_SHM:
+        return _recv_frame_shm(sock, header, wire)
     raise ProtocolError(f"bad frame magic {magic!r}")
+
+
+def _recv_block(sock, header):
+    (block_len,) = struct.unpack("<I", header[4:])
+    if block_len > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {block_len} bytes")
+    block = bytearray(block_len)
+    _recv_exact_into(sock, block)
+    return block
+
+
+def _recv_frame_compressed(sock, header):
+    block = _recv_block(sock, header)
+    nbuffers, codec_id = COMPRESS_HEAD.unpack_from(block)
+    table_end = COMPRESS_HEAD.size + COMPRESS_ENTRY.size * nbuffers
+    if nbuffers > MAX_BUFFERS or table_end > len(block):
+        raise ProtocolError(f"bad buffer table ({nbuffers} buffers)")
+    codec = CODECS_BY_ID.get(codec_id)
+    if codec is None:
+        raise ProtocolError(
+            f"frame compressed with unknown codec id {codec_id} "
+            "(negotiation should have prevented this)"
+        )
+    entries = [
+        COMPRESS_ENTRY.unpack_from(block, COMPRESS_HEAD.size + i *
+                                   COMPRESS_ENTRY.size)
+        for i in range(nbuffers)
+    ]
+    total = len(block) + sum(enc for enc, _raw in entries)
+    if total > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {total} bytes")
+    buffers = []
+    for enc_len, raw_len in entries:
+        buf = bytearray(enc_len)
+        _recv_exact_into(sock, buf)
+        if enc_len != raw_len:
+            buf = codec.decompress(buf, raw_len)
+            if len(buf) != raw_len:
+                raise ProtocolError(
+                    f"decompressed to {len(buf)} bytes, "
+                    f"expected {raw_len}"
+                )
+        buffers.append(buf)
+    meta = memoryview(block)[table_end:]
+    return pickle.loads(meta, buffers=buffers)
+
+
+def _recv_frame_shm(sock, header, wire):
+    block = _recv_block(sock, header)
+    nbuffers, nfreed = SHM_HEAD.unpack_from(block)
+    table_end = (
+        SHM_HEAD.size + SHM_ENTRY.size * nbuffers + BUFFER_LEN.size *
+        nfreed
+    )
+    if nbuffers > MAX_BUFFERS or table_end > len(block):
+        raise ProtocolError(f"bad buffer table ({nbuffers} buffers)")
+    entries = [
+        SHM_ENTRY.unpack_from(block, SHM_HEAD.size + i * SHM_ENTRY.size)
+        for i in range(nbuffers)
+    ]
+    freed = struct.unpack_from(
+        f"<{nfreed}Q", block, SHM_HEAD.size + SHM_ENTRY.size * nbuffers
+    )
+    total_inline = sum(a for kind, a, _b in entries if kind == 0)
+    if len(block) + total_inline > MAX_FRAME:
+        raise ProtocolError(
+            f"frame too large: {len(block) + total_inline} bytes"
+        )
+    if wire is None or (
+        any(kind == 1 for kind, _a, _b in entries)
+        and wire.rx_arena is None
+    ):
+        raise ProtocolError(
+            "received an shm frame on a connection without negotiated "
+            "shared memory"
+        )
+    if freed and wire.tx_arena is not None:
+        for offset in freed:
+            wire.tx_arena.free(offset)
+    buffers = []
+    consumed = []
+    for kind, a, b in entries:
+        if kind == 0:
+            buf = bytearray(a)
+            _recv_exact_into(sock, buf)
+        elif kind == 1:
+            buf = wire.rx_arena.read(a, b)
+            consumed.append(a)
+        else:
+            raise ProtocolError(f"bad shm buffer kind {kind}")
+        buffers.append(buf)
+    wire.add_freed(consumed)
+    meta = memoryview(block)[table_end:]
+    return pickle.loads(meta, buffers=buffers)

@@ -142,11 +142,15 @@ class SubprocessChannel(StreamChannel):
                  max_version=PROTOCOL_VERSION,
                  worker_max_version=PROTOCOL_VERSION,
                  spawn_timeout=30.0, stop_timeout=10.0,
-                 kill_timeout=5.0):
+                 kill_timeout=5.0, compress=None, compress_min=None,
+                 shm_segment_size=None, shm_min=None,
+                 worker_capabilities=True):
         super().__init__()
         self._spawn_timeout = float(spawn_timeout)
         self._stop_timeout = float(stop_timeout)
         self._kill_timeout = float(kill_timeout)
+        self._compress_min = compress_min
+        self._shm_min = shm_min
         self._escalated = False
         self._proc = None
         self._stderr_buf = bytearray()
@@ -165,6 +169,8 @@ class SubprocessChannel(StreamChannel):
                 "--connect", f"{self.address[0]}:{self.address[1]}",
                 "--max-version", str(int(worker_max_version)),
             ]
+            if not worker_capabilities:
+                command += ["--no-capabilities"]
             spec = _interface_spec(interface_factory)
             if spec is not None:
                 command += ["--interface", spec]
@@ -184,7 +190,12 @@ class SubprocessChannel(StreamChannel):
             )
             self._sock.settimeout(self._spawn_timeout)
             self._bootstrap(interface_factory)
-            self.wire_version = self._negotiate_hello(max_version)
+            caps = self._offer_capabilities(
+                compress=compress, compress_min=compress_min,
+                shm_segment_size=shm_segment_size, shm_min=shm_min,
+            )
+            self.wire_version = self._negotiate_hello(max_version, caps)
+            self._apply_negotiated_caps()
             self._sock.settimeout(None)
         except BaseException as exc:
             self._abort_spawn(listener)
@@ -231,7 +242,9 @@ class SubprocessChannel(StreamChannel):
         self.worker_pid = reply[2]["pid"]
 
     def _abort_spawn(self, listener):
-        """Constructor failure: close sockets and put the child down."""
+        """Constructor failure: close sockets, release any offered shm
+        segments and put the child down."""
+        self._release_shm()
         for sock in (self._sock, listener):
             try:
                 if sock is not None:
@@ -332,6 +345,9 @@ class SubprocessChannel(StreamChannel):
         if not self._begin_stop():
             return
         returncode = self._escalate_shutdown()
+        # the child is reaped (cleanly, or via terminate/kill): the
+        # segments must never outlive it, whatever path got us here
+        self._release_shm()
         if self._escalated:
             warnings.warn(
                 f"{self._describe()}: worker did not exit within "
@@ -391,6 +407,11 @@ def main(argv=None):
         "--max-version", type=int, default=PROTOCOL_VERSION,
         help="highest wire protocol version to negotiate",
     )
+    parser.add_argument(
+        "--no-capabilities", action="store_true",
+        help="ignore hello capability offers (emulates a plain-v2 "
+             "worker for downgrade tests)",
+    )
     args = parser.parse_args(argv)
 
     host, _, port = args.connect.rpartition(":")
@@ -420,7 +441,8 @@ def main(argv=None):
         return 1
     send_frame(conn, ("result", call_id, {"pid": os.getpid()}))
 
-    worker_loop(interface, conn, max_version=args.max_version)
+    worker_loop(interface, conn, max_version=args.max_version,
+                enable_capabilities=not args.no_capabilities)
     return 0
 
 

@@ -153,6 +153,128 @@ class TestFrameV2:
         assert np.array_equal(out["a"], obj["a"])
 
 
+class TestCompressedFrames:
+    """AMSC framing: negotiated per-buffer compression (frame level)."""
+
+    def _wire(self, compress_min=1024):
+        return protocol_mod.WireState(
+            version=2,
+            codec=protocol_mod.CODECS_BY_NAME["zlib"],
+            compress_min=compress_min,
+        )
+
+    def test_compressible_buffer_round_trips_smaller(self):
+        wire = self._wire()
+        arr = np.zeros(1 << 15, dtype=np.float64)
+        sock = _FakeSocket()
+        sent = send_frame_v2(sock, ("result", 1, arr), wire)
+        assert bytes(sock.sent[:4]) == protocol_mod.MAGIC_COMPRESS
+        assert sent < arr.nbytes // 4
+        out = recv_frame(_FakeSocket(bytes(sock.sent)))
+        assert out[:2] == ("result", 1)
+        assert np.array_equal(out[2], arr)
+
+    def test_incompressible_buffer_stored_raw_in_amsc(self):
+        wire = self._wire()
+        rnd = np.random.default_rng(3).random(1 << 14)
+        compressible = np.zeros(1 << 14)
+        sock = _FakeSocket()
+        send_frame_v2(sock, ("result", 2, [rnd, compressible]), wire)
+        out = recv_frame(_FakeSocket(bytes(sock.sent)))
+        assert np.array_equal(out[2][0], rnd)
+        assert np.array_equal(out[2][1], compressible)
+
+    def test_nothing_compressible_falls_back_to_plain_v2(self):
+        wire = self._wire()
+        # random BYTES (unlike random floats, whose exponent bytes
+        # repeat) gain nothing under any codec
+        rnd = np.random.default_rng(4).integers(
+            0, 256, 1 << 14, dtype=np.uint8
+        )
+        sock = _FakeSocket()
+        send_frame_v2(sock, ("result", 3, rnd), wire)
+        assert bytes(sock.sent[:4]) == MAGIC2
+
+    def test_below_threshold_keeps_plain_v2_framing(self):
+        wire = self._wire(compress_min=1 << 20)
+        arr = np.zeros(1 << 14)
+        sock = _FakeSocket()
+        send_frame_v2(sock, ("result", 4, arr), wire)
+        assert bytes(sock.sent[:4]) == MAGIC2
+
+    def test_decompressed_arrays_are_writable(self):
+        wire = self._wire()
+        sock = _FakeSocket()
+        send_frame_v2(sock, ("result", 5, np.zeros(1 << 15)), wire)
+        out = recv_frame(_FakeSocket(bytes(sock.sent)))
+        out[2][0] = 1.5
+        assert out[2][0] == 1.5
+
+    def test_unknown_codec_id_rejected(self):
+        wire = self._wire()
+        arr = np.zeros(1 << 15)
+        sock = _FakeSocket()
+        send_frame_v2(sock, ("result", 6, arr), wire)
+        data = bytearray(sock.sent)
+        # codec id sits right after the 8-byte header + 4-byte count
+        data[12] = 200
+        with pytest.raises(ProtocolError, match="unknown codec"):
+            recv_frame(_FakeSocket(bytes(data)))
+
+    def test_shm_frame_without_wire_rejected(self):
+        data = protocol_mod.HEADER.pack(
+            protocol_mod.MAGIC_SHM, protocol_mod.SHM_HEAD.size
+        ) + protocol_mod.SHM_HEAD.pack(0, 0)
+        with pytest.raises(ProtocolError, match="shm"):
+            recv_frame(_FakeSocket(data))
+
+
+class TestHelloCapabilities:
+    """Mixed-capability hello at the worker_loop level: the ack dict
+    mirrors exactly what the worker could honour."""
+
+    def _hello(self, caps, **worker_kwargs):
+        client, server = socket.socketpair()
+        thread = threading.Thread(
+            target=worker_loop, args=(_OrderedInterface(), server),
+            kwargs=worker_kwargs, daemon=True,
+        )
+        thread.start()
+        send_frame(
+            client,
+            ("hello", 0, PROTOCOL_VERSION, (), {"caps": caps}),
+        )
+        reply = recv_frame(client)
+        client.close()
+        return reply
+
+    def test_codec_offer_is_acked(self):
+        reply = self._hello({"compress": ["zlib"]})
+        assert reply[0] == "result"
+        assert reply[2]["caps"] == {"compress": "zlib"}
+
+    def test_unsupported_codec_offer_is_dropped(self):
+        reply = self._hello({"compress": ["middle-out"]})
+        assert reply[2]["caps"] == {}
+
+    def test_capability_disabled_worker_acks_bare_version(self):
+        reply = self._hello(
+            {"compress": ["zlib"]}, enable_capabilities=False,
+        )
+        assert reply[0] == "result"
+        assert reply[2] == {"version": PROTOCOL_VERSION}
+
+    def test_v1_worker_still_answers_caps_hello_with_error(self):
+        reply = self._hello({"compress": ["zlib"]}, max_version=1)
+        assert reply[0] == "error"
+
+    def test_bad_segment_names_in_shm_offer_are_dropped(self):
+        reply = self._hello(
+            {"shm": {"c2w": "psm_gone_a", "w2c": "psm_gone_b"}}
+        )
+        assert reply[2]["caps"] == {}
+
+
 class TestOversizeRejection:
     def test_encode_rejects_oversize_frame(self, monkeypatch):
         monkeypatch.setattr(protocol_mod, "MAX_FRAME", 1024)

@@ -337,7 +337,7 @@ class TestSocketConstructorCleanup:
     def test_handshake_failure_leaks_nothing(self, monkeypatch):
         before = len(self._worker_threads())
 
-        def _boom(self, max_version):
+        def _boom(self, max_version, capabilities=None):
             raise RuntimeError("handshake exploded")
 
         monkeypatch.setattr(
