@@ -20,6 +20,12 @@ Two metric classes:
   trend eyeballing but not gated: comparing a laptop's loopback to a
   CI runner's would gate on hardware, not on code.
 
+When committing a new BENCH_<n>.json from a noisy/single-core host,
+re-measure a few times and carry forward the previous baseline's value
+for any gated ratio whose local samples scatter across the tolerance
+(e.g. shm-vs-sockets on one contended core) — a noise-trough baseline
+would fail healthy CI runs, a noise-peak one would hide regressions.
+
 Usage::
 
     python benchmarks/bench_regression.py --write BENCH_4.json  # baseline
@@ -46,6 +52,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 # one methodology for echo throughput: the regression gate measures
 # exactly what the bench_channels acceptance test asserts
 from bench_channels import echo_throughput_gbit_s          # noqa: E402
+# and for the DAG-vs-barrier schedule ratio, exactly what the
+# bench_taskgraph acceptance test asserts
+from bench_taskgraph import measure_taskgraph_vs_barrier   # noqa: E402
 from repro.codes.group import EvolveGroup                   # noqa: E402
 from repro.codes.testing import (                           # noqa: E402
     ArrayEchoInterface,
@@ -172,6 +181,17 @@ def measure(quick=False):
     group.stop()
     add("async_overlap_two_codes_ratio", overlap_s / single_s, "x",
         False, gate=True)
+
+    # -- DAG schedule vs barrier schedule (taskgraph tentpole): the
+    # ratio is host-independent (same workers, same host, two
+    # schedules), so it gates
+    barrier_s, dag_s = measure_taskgraph_vs_barrier(
+        rounds=2 if quick else 3
+    )
+    add("taskgraph_vs_barrier_ratio", dag_s / barrier_s, "x",
+        False, gate=True)
+    add("taskgraph_dag_step_s", dag_s, "s", False, gate=False)
+    add("taskgraph_barrier_step_s", barrier_s, "s", False, gate=False)
 
     return metrics
 

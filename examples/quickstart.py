@@ -110,6 +110,64 @@ def main():
     )
     shm.stop()
 
+    # -- dependency-aware scheduling + fault tolerance ----------------
+    # TaskGraph chains async launches with per-edge joins: each node
+    # launches the moment ITS dependencies finish, so a fast code's
+    # follow-up work rides the slack of the slowest worker instead of
+    # waiting at a group barrier.  FaultPolicy.RESTART makes futures'
+    # cancel() and worker respawn into real fault tolerance: here the
+    # subprocess worker is SIGKILLed mid-evolve, respawned through its
+    # channel factory with parameters and unit-converted state
+    # replayed, and the graph resumes to completion.
+    import os
+    import signal
+    import threading
+    import time
+
+    from repro.rpc import FaultPolicy, TaskGraph
+
+    survivor = PhiGRAPE(
+        converter, channel_type="subprocess", kernel="cpu", eta=0.05
+    )
+    survivor.add_particles(stars)
+    graph = TaskGraph()
+    drift = graph.add(
+        "drift",
+        lambda: survivor.evolve_model.async_(0.5 | units.Myr),
+        code=survivor,       # binds the node for RESTART respawns
+    )
+    graph.add(
+        "report",
+        lambda: print(
+            "  drift joined at "
+            f"{survivor.model_time.value_in(units.Myr):.1f} Myr"
+        ),
+        after=[drift],
+    )
+    doomed_pid = survivor.channel.pid
+
+    def kill_mid_evolve():
+        # wait until the evolve is genuinely in flight (and its call
+        # frame on the wire) before striking, so the kill can never
+        # land on an idle worker after a fast run
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if survivor._inflight.inflight == "evolve_model":
+                time.sleep(0.01)
+                os.kill(doomed_pid, signal.SIGKILL)
+                return
+            time.sleep(0.001)
+
+    threading.Thread(target=kill_mid_evolve, daemon=True).start()
+    print(f"SIGKILLing worker pid {doomed_pid} mid-evolve...")
+    graph.run(fault_policy=FaultPolicy.RESTART)
+    print(
+        f"run FINISHED with restarted worker pid "
+        f"{survivor.channel.pid} (was {doomed_pid}); "
+        f"node restarted {graph['drift'].restarts}x"
+    )
+    survivor.stop()
+
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)
     channel.copy_attributes(["position", "velocity"])

@@ -26,6 +26,8 @@ import numpy as np
 from ..codes.group import EvolveGroup
 from ..datamodel import regrid_area_weighted
 from ..mpi import World
+from ..rpc.futures import AggregateRequestError
+from ..rpc.taskgraph import TaskGraph
 from .components import Atmosphere, Land, Ocean, SeaIce
 
 __all__ = ["EarthSystemModel", "Layout", "ParallelDriver", "land_mask"]
@@ -160,15 +162,42 @@ class EarthSystemModel:
         """One coupled step: exchange, then step every component.
 
         The exchange is the coupling point; between exchanges the
-        components are independent, so ``overlap_components=True``
-        steps all four concurrently through an :class:`EvolveGroup`
-        (the async-API overlap), mirroring a partitioned CESM layout
-        where each model advances on its own processor set.
+        components are independent.  ``overlap_components=True``
+        schedules the step as a
+        :class:`~repro.rpc.taskgraph.TaskGraph`: an ``exchange`` node
+        followed by one thread-offloaded node per component, joined
+        per edge — the DAG expression of a partitioned CESM layout
+        where each model advances on its own processor set the moment
+        CPL hands it its fields.
         """
-        self.exchange()
         if self.overlap_components:
-            self._group.each(lambda c: c.step(dt_days))
+            group = self._group      # refresh membership + guards
+            graph = TaskGraph()
+
+            def run_exchange():
+                self.exchange()
+
+            exchange = graph.add("exchange", run_exchange)
+            for name, component in self.components.items():
+                graph.add(
+                    f"step:{name}",
+                    (lambda component=component:
+                     group._offload(
+                         component, "step", component.step, dt_days
+                     )),
+                    after=[exchange],
+                )
+            try:
+                graph.run()
+            except AggregateRequestError as error:
+                if len(error.failures) == 1:
+                    # keep the serial branch's contract: a lone
+                    # failure (a raising exchange or component step)
+                    # surfaces raw, not wrapped
+                    raise error.failures[0][1] from None
+                raise
         else:
+            self.exchange()
             for component in self.components.values():
                 component.step(dt_days)
         self.time_days += dt_days

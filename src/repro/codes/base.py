@@ -311,6 +311,13 @@ class CodeInterface:
     def get_model_time(self):
         return self.model_time
 
+    def set_model_time(self, value):
+        """Restore the model clock — the RESTART replay path: a
+        respawned worker resumes from the script's last synchronized
+        time instead of re-integrating from zero."""
+        self.model_time = float(value)
+        return 0
+
     # -- introspection used by the RPC worker ------------------------------------
 
     @classmethod

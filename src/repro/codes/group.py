@@ -6,9 +6,18 @@ concurrently", Sec. 5).  :class:`EvolveGroup` is the script-side
 scheduler that makes that the one-line default: it launches
 ``evolve_model`` on every member through the async method surface
 (:mod:`repro.codes.highlevel`), lets the workers advance in parallel,
-and joins all futures at the coupling point — communication overlaps
+and joins them at the coupling point — communication overlaps
 computation, and a failure in any member surfaces as an aggregate error
 naming exactly which models failed.
+
+Internally ``evolve``/``each`` run on a
+:class:`~repro.rpc.taskgraph.TaskGraph` of independent nodes: each
+member's future is joined the moment its own responses arrive (a fast
+code's mirror refresh never queues behind the slowest worker), a
+timeout CANCELS the outstanding calls (withdrawing them from the
+channel pending tables so the in-flight trackers unlock immediately),
+and an optional :class:`~repro.rpc.taskgraph.FaultPolicy` lets a
+group survive — or transparently respawn — a dead worker.
 
 Members can be:
 
@@ -26,7 +35,10 @@ Usage::
 
 from __future__ import annotations
 
-from ..rpc.futures import AggregateRequestError, Future, wait_all
+import functools
+
+from ..rpc.futures import AggregateRequestError, Future
+from ..rpc.taskgraph import FaultPolicy, TaskGraph
 from .base import CodeStateError, InflightTracker
 
 __all__ = ["EvolveGroup"]
@@ -130,40 +142,83 @@ class EvolveGroup:
             raise
         return futures
 
-    def evolve(self, t_end, timeout=None):
+    # -- graph-scheduled joins ----------------------------------------------
+
+    def _member_nodes(self, graph, op, launcher):
+        """One independent graph node per member (unique names; codes
+        that can respawn are bound for the RESTART policy)."""
+        nodes = []
+        for index, member in enumerate(self.members):
+            base = f"{type(member).__name__}.{op}"
+            name = base if base not in graph.nodes else \
+                f"{base}#{index}"
+            nodes.append(graph.add(
+                name, functools.partial(launcher, member),
+                code=member if hasattr(member, "restart_worker")
+                else None,
+            ))
+        return nodes
+
+    @staticmethod
+    def _run_graph(graph, timeout, fault_policy):
+        """Run the graph, unwrapping a lone caller-mistake
+        :class:`CodeStateError` (illegal overlap, stopped member) back
+        to its bare form — the eager-guard contract of the async API —
+        while genuine model failures keep the aggregate shape."""
+        try:
+            graph.run(
+                timeout=timeout,
+                fault_policy=fault_policy or FaultPolicy.RAISE,
+            )
+        except AggregateRequestError as error:
+            if len(error.failures) == 1 and \
+                    isinstance(error.failures[0][1], CodeStateError):
+                raise error.failures[0][1] from None
+            raise
+
+    def evolve(self, t_end, timeout=None, fault_policy=None):
         """Advance every member to *t_end* concurrently and join.
 
-        Returns the per-member results in member order.  Failures are
-        collected into an
+        Scheduled as a :class:`~repro.rpc.taskgraph.TaskGraph` of
+        independent nodes: each member's future materializes (mirror
+        refresh, unit conversion) the moment its own responses arrive,
+        not when the slowest member finishes.  Returns the per-member
+        results in member order.  Failures are collected into an
         :class:`~repro.rpc.futures.AggregateRequestError` naming each
         failed model — after every member has been joined, so no code
         is left with a stranded in-flight transition.  On *timeout*
-        ``wait_all`` abandons the outstanding futures: when the
-        workers do finish, each future retires its in-flight
-        transition without running its transform (no mirror refresh,
-        no channel I/O on a foreign thread), so the codes unlock
-        instead of staying bricked.
+        the outstanding calls are CANCELLED (withdrawn from the
+        channel pending tables, trackers retired immediately; calls
+        that cannot be withdrawn are abandoned and unlock when their
+        worker answers).  *fault_policy* —
+        :class:`~repro.rpc.taskgraph.FaultPolicy` — lets the group
+        ignore a dead model or transparently respawn its worker
+        (``RESTART``).
         """
-        return wait_all(self.evolve_async(t_end), timeout=timeout)
+        graph = TaskGraph()
+        nodes = self._member_nodes(
+            graph, "evolve_model",
+            lambda member: self._launch(member, t_end),
+        )
+        self._run_graph(graph, timeout, fault_policy)
+        return [node.result for node in nodes]
 
-    def each(self, action, timeout=None):
+    def each(self, action, timeout=None, fault_policy=None):
         """Run ``action(member)`` for every member concurrently.
 
-        Thread-offloaded; returns results in member order.  This is the
+        Thread-offloaded through the same task graph as
+        :meth:`evolve`; returns results in member order.  This is the
         generic overlap primitive for members without an async method
         surface (e.g. CESM components stepping their grids).
         """
         op = getattr(action, "__name__", "action")
-        futures = []
-        try:
-            for member in self.members:
-                futures.append(
-                    self._offload(member, op, action, member)
-                )
-        except BaseException:
-            _join_quietly(futures)
-            raise
-        return wait_all(futures, timeout=timeout)
+        graph = TaskGraph()
+        nodes = self._member_nodes(
+            graph, op,
+            lambda member: self._offload(member, op, action, member),
+        )
+        self._run_graph(graph, timeout, fault_policy)
+        return [node.result for node in nodes]
 
     # -- lifecycle -----------------------------------------------------------
 

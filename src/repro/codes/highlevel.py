@@ -79,12 +79,18 @@ __all__ = [
 
 
 class _ParametersProxy:
-    """Attribute-style access to worker parameters over the channel."""
+    """Attribute-style access to worker parameters over the channel.
 
-    def __init__(self, channel, names, inflight=None):
+    *on_set* (when given) records every successful parameter write —
+    the replay cache :meth:`CommunityCode.restart_worker` pushes onto a
+    respawned worker.
+    """
+
+    def __init__(self, channel, names, inflight=None, on_set=None):
         object.__setattr__(self, "_channel", channel)
         object.__setattr__(self, "_names", tuple(names))
         object.__setattr__(self, "_inflight", inflight)
+        object.__setattr__(self, "_on_set", on_set)
 
     def __getattr__(self, name):
         if name not in self._names:
@@ -101,6 +107,8 @@ class _ParametersProxy:
         if self._inflight is not None:
             self._inflight.require_idle(f"set parameter {name}")
         self._channel.call("set_parameter", name, value)
+        if self._on_set is not None:
+            self._on_set(name, value)
 
     def __repr__(self):
         # ONE batched frame for the full table, not a round trip per
@@ -150,18 +158,34 @@ class CommunityCode:
         # factory across the daemon's loopback socket
         factory = functools.partial(interface_cls, **parameters)
 
+        # retained so restart_worker can respawn through the same
+        # factory (the FaultPolicy.RESTART primitive)
+        self._channel_type = channel_type
+        self._channel_options = dict(channel_options or {})
+        self._interface_factory = factory
+        #: parameters set through the proxy, in write order — replayed
+        #: verbatim onto a respawned worker
+        self._parameter_cache = {}
+        #: the worker's model clock (code units) at the last completed
+        #: evolve — restored on restart so the replay resumes, not
+        #: re-integrates
+        self._model_time_code = 0.0
+
         self.channel = new_channel(
-            channel_type, factory, **(channel_options or {})
+            channel_type, factory, **self._channel_options
         )
         self.converter = convert_nbody
         self._inflight = InflightTracker(type(self).__name__)
         self.parameters = _ParametersProxy(
             self.channel, self.channel.call("parameter_names"),
-            self._inflight,
+            self._inflight, on_set=self._record_parameter,
         )
         self.particles = Particles(0)
         self._ids = np.empty(0, dtype=np.int64)
         self._stopped = False
+
+    def _record_parameter(self, name, value):
+        self._parameter_cache[name] = value
 
     # -- unit plumbing -------------------------------------------------------
 
@@ -240,6 +264,7 @@ class CommunityCode:
 
         def _join(value):
             self.pull_state()
+            self._model_time_code = float(t_code)
             return value
 
         return self._transition_future(
@@ -318,6 +343,53 @@ class CommunityCode:
         self._inflight.resync()
         self._stopped = True
 
+    def restart_worker(self):
+        """Respawn the worker through the original channel factory and
+        replay the script-side state — the RESTART fault-policy
+        primitive (the paper's Sec. 5 "transparently find a
+        replacement machine" future work).
+
+        The dead (or hung) channel is force-closed, the in-flight
+        tracker resynchronized, a fresh worker spawned with the same
+        channel type/options, every parameter ever set through the
+        proxy replayed in write order, and the subclass's
+        :meth:`_replay_state` hook re-uploads the particle mirror and
+        restores the model clock.  The code is usable immediately —
+        typically relaunched by
+        :meth:`~repro.rpc.taskgraph.TaskGraph.run` resuming its graph.
+        """
+        try:
+            self.channel.stop()
+        except ProtocolError:
+            # the worker is already gone (ConnectionLostError from a
+            # SIGKILLed child) or the channel is beyond an orderly
+            # stop; respawning is the whole point
+            pass
+        self._inflight.resync()
+        self.channel = new_channel(
+            self._channel_type, self._interface_factory,
+            **self._channel_options,
+        )
+        self.parameters = _ParametersProxy(
+            self.channel, self.channel.call("parameter_names"),
+            self._inflight, on_set=self._record_parameter,
+        )
+        for name, value in self._parameter_cache.items():
+            self.channel.call("set_parameter", name, value)
+        self._stopped = False
+        self._replay_state()
+        return self
+
+    def _replay_state(self):
+        """Push the cached script-side state onto a fresh worker.
+
+        The base replay restores the model clock; subclasses that
+        mirror particles re-upload them first (in code units, through
+        the same converter as the original upload, so unit-converted
+        state round-trips exactly).
+        """
+        self.channel.call("set_model_time", self._model_time_code)
+
     def __enter__(self):
         return self
 
@@ -373,6 +445,34 @@ class GravitationalDynamicsCode(CommunityCode):
     def commit_particles(self):
         self._require_edit("commit_particles")
         self.channel.call("ensure_state", "RUN")
+
+    def _replay_state(self):
+        """RESTART replay: re-upload the mirror (converted back to
+        code units exactly like the original ``add_particles``), run
+        the fresh worker up to RUN, and restore the model clock.  The
+        worker assigns new ids; the mirror keeps its keys."""
+        if len(self._ids):
+            mass = self._to_code(self.particles.mass, self._MASS_UNIT)
+            pos = self._to_code(
+                self.particles.position, self._LENGTH_UNIT
+            )
+            vel = self._to_code(
+                self.particles.velocity, self._SPEED_UNIT
+            )
+            ids = self.channel.call(
+                "new_particle", mass,
+                pos[:, 0], pos[:, 1], pos[:, 2],
+                vel[:, 0], vel[:, 1], vel[:, 2],
+                *self._replay_extra_columns(),
+            )
+            self._ids = np.asarray(ids, dtype=np.int64)
+            self.channel.call("ensure_state", "RUN")
+        self.channel.call("set_model_time", self._model_time_code)
+
+    def _replay_extra_columns(self):
+        """Extra ``new_particle`` columns for the replay upload (the
+        Gadget subclass adds internal energy)."""
+        return ()
 
     #: worker getter -> (mirror attribute, unit factory) for pull_state;
     #: subclasses extend this to sync extra attributes in the same frame
@@ -614,6 +714,9 @@ class Gadget(GravitationalDynamicsCode):
         ("get_internal_energy", "u", lambda self: self._SPEED_UNIT ** 2),
     )
 
+    def _replay_extra_columns(self):
+        return (self._to_code(self.particles.u, self._SPEED_UNIT ** 2),)
+
     def inject_energy(self, subset_indices, du):
         """Add specific internal energy *du* to the given particles —
         the supernova/wind feedback path of the embedded-cluster run."""
@@ -659,6 +762,19 @@ class SSE(CommunityCode):
         )
         self.pull_state()
         return self.particles
+
+    def _replay_state(self):
+        """RESTART replay: re-seed the fresh worker from the mirror's
+        current masses and restore the evolution clock.  (The mirror
+        holds evolved masses, not ZAMS values — replaying them keeps
+        the script-visible state continuous across the respawn.)"""
+        if len(self._ids):
+            ids = self.channel.call(
+                "new_particle", self.particles.mass.value_in(u.MSun)
+            )
+            self._ids = np.asarray(ids, dtype=np.int64)
+            self.channel.call("ensure_state", "RUN")
+        self.channel.call("set_model_time", self._model_time_code)
 
     @remote_method
     def pull_state(self):

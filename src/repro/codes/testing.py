@@ -43,6 +43,8 @@ __all__ = [
     "ArrayEchoInterface",
     "SleepInterface",
     "SleepCode",
+    "PhasedSleepInterface",
+    "PhasedSleepCode",
     "NumpyKernelInterface",
     "NumpyKernelCode",
     "CrashingInterface",
@@ -91,6 +93,56 @@ class SleepCode(CommunityCode):
 
     INTERFACE = SleepInterface
     _TIME_UNIT = nbody_system.time
+
+
+class PhasedSleepInterface(CodeInterface):
+    """Model code with SEPARATE known costs for its drift and kick.
+
+    The measurement surface for schedule-shape benchmarks
+    (``benchmarks/bench_taskgraph.py``): a kick–drift–kick step over
+    codes with unequal ``drift_s``/``kick_s`` makes the difference
+    between a barrier schedule (every phase waits for the slowest
+    code) and a DAG schedule (each code's chain pipelines
+    independently) directly measurable in wall clock.
+    """
+
+    PARAMETERS = {
+        "drift_s": (0.1, "wall-clock seconds per evolve_model call"),
+        "kick_s": (0.05, "wall-clock seconds per apply_kick call"),
+    }
+
+    def evolve_model(self, end_time):
+        self.ensure_state("RUN")
+        time.sleep(self.drift_s)
+        self.model_time = float(end_time)
+        self.step_count += 1
+        return 0
+
+    def apply_kick(self, dt):
+        self.ensure_state("RUN")
+        time.sleep(self.kick_s)
+        return 0
+
+
+class PhasedSleepCode(CommunityCode):
+    """High-level wrapper: async evolve + async kick with pinned costs."""
+
+    INTERFACE = PhasedSleepInterface
+    _TIME_UNIT = nbody_system.time
+
+    def kick(self, dt):
+        """Blocking kick; ``kick_async`` is the overlapping form."""
+        return self.kick_async(dt).result()
+
+    def kick_async(self, dt):
+        self._begin_transition("kick")
+        request = self._launch_guarded(
+            "kick",
+            lambda: self.channel.async_call("apply_kick", float(dt)),
+        )
+        return self._transition_future(
+            "kick", request, transform=lambda _v: None
+        )
 
 
 class NumpyKernelInterface(CodeInterface):

@@ -8,10 +8,20 @@ kicks ("p-kicks") computed by the *coupling model* (Octgrav on a GPU or
 Fi on a CPU).
 
 :class:`Bridge` implements that second-order kick–drift–kick operator
-splitting (Fujii et al. 2007), with the drift phase issued as
-*asynchronous* channel calls so the models genuinely overlap — this is
-the inter-model parallelism that makes the paper's jungle scenario 4
-faster than any single-resource scenario.
+splitting (Fujii et al. 2007).  In async mode each step runs as a
+:class:`~repro.rpc.taskgraph.TaskGraph` with *per-edge* joins instead
+of three phase barriers: per system the chain is ``kick1 → drift →
+kick2``, and a system's second kick additionally waits only for the
+drifts of the systems that SOURCE its coupling fields.  Systems whose
+partner graphs are disjoint therefore pipeline independently — a fast
+code's kicks ride the slack of the slowest drift (paper Fig. 7's
+uneven per-model costs) instead of queueing at a global barrier.  The
+numerics are identical to the barrier schedule: every field
+evaluation still reads exactly the mirror state the operator
+splitting prescribes, because the graph edges encode precisely those
+data dependencies.  This is the inter-model parallelism that makes
+the paper's jungle scenario 4 faster than any single-resource
+scenario.
 
 :class:`CouplingField` wraps a tree code as the field solver: before
 every kick it uploads the current source-particle configuration and
@@ -24,7 +34,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..codes.group import EvolveGroup
-from ..rpc import AggregateRequestError, remote_method, wait_all
+from ..rpc import (
+    AggregateRequestError,
+    Future,
+    TaskGraph,
+    remote_method,
+    wait_all,
+)
 from ..units import nbody as nbody_system
 from ..units.core import Quantity
 
@@ -86,14 +102,20 @@ class Bridge:
     timestep : Quantity (time)
         The bridge (outer) step; models sub-cycle internally.
     use_async : bool
-        Issue drift calls asynchronously (parallel models, as in the
-        paper).  Synchronous mode exists for the coupler-bottleneck
-        ablation benchmark.
+        Schedule each step as a dependency-aware
+        :class:`~repro.rpc.taskgraph.TaskGraph` (parallel models with
+        per-edge joins, as in the paper).  Synchronous mode exists for
+        the coupler-bottleneck ablation benchmark.
+    fault_policy : FaultPolicy, optional
+        Passed to the step graph: ``RESTART`` lets a step survive a
+        dying worker (respawn + replay + resume), ``IGNORE`` drops the
+        failed model's contribution for the step.  Default RAISE.
     """
 
-    def __init__(self, timestep, use_async=True):
+    def __init__(self, timestep, use_async=True, fault_policy=None):
         self.timestep = timestep
         self.use_async = use_async
+        self.fault_policy = fault_policy
         self.systems = []          # (code, partners)
         self.time = None
         #: wall-clock style accounting for the monitoring displays
@@ -236,6 +258,182 @@ class Bridge:
                 code.evolve_model(t_end)
         self.drift_count += 1
 
+    # -- DAG-scheduled step ------------------------------------------------
+
+    def _system_names(self):
+        """Stable unique display name per registered system."""
+        names = []
+        seen = {}
+        for code, _partners in self.systems:
+            base = type(code).__name__
+            count = seen.get(base, 0)
+            seen[base] = count + 1
+            names.append(base if count == 0 else f"{base}#{count}")
+        return names
+
+    def _partner_source_codes(self, partner):
+        """The system codes whose DRIFT must complete before *partner*
+        can evaluate a post-drift field: a CouplingField reads its
+        source systems' mirrors at launch time; a system code used
+        directly as field provider reads its own worker state."""
+        sources = getattr(partner, "sources", None)
+        if sources is not None:
+            return list(sources)
+        return [partner]
+
+    @staticmethod
+    def _partner_queried_workers(partner):
+        """The codes whose WORKER the partner's field evaluation
+        queries: a CouplingField queries its field code, a system code
+        used directly as provider queries itself.  A first-kick query
+        against a registered system's worker must therefore order
+        BEFORE that system's drift (the barrier schedule's kick phase
+        invariant)."""
+        field_code = getattr(partner, "code", None)
+        if field_code is not None and hasattr(partner, "sources"):
+            return [field_code]
+        return [partner]
+
+    def _launch_fields(self, code, partners, dt):
+        """Launch every partner's field evaluation for *code*; returns
+        a future resolving to the summed velocity delta for *dt*.
+
+        A launch failing partway (a stopped partner) joins the futures
+        already launched, so no sibling field query is left dangling.
+        """
+        softening = Quantity(0.0, nbody_system.length)
+        pos = code.particles.position
+        eps = self._eps_for(code, softening)
+        futures = []
+        try:
+            for partner in partners:
+                futures.append(
+                    partner.get_gravity_at_point.async_(eps, pos)
+                )
+        except BaseException:
+            for future in futures:
+                future.exception()
+            raise
+
+        def _sum(accelerations):
+            total = accelerations[0]
+            for acc in accelerations[1:]:
+                total = total + acc
+            return total * dt
+
+        return Future(
+            requests=futures, transform=_sum,
+            description=f"{type(code).__name__} field sum",
+        )
+
+    def _launch_kick(self, code, field_node):
+        """Launch the kick for the dv computed by *field_node*; the
+        join keeps the local mirror coherent with the worker."""
+        dv = field_node.result
+        kick_future = code.kick.async_(dv)
+
+        def _apply(_value):
+            code.particles.velocity = code.particles.velocity + dv
+            return None
+
+        return Future(
+            request=kick_future, transform=_apply,
+            description=f"{type(code).__name__}.kick",
+        )
+
+    def _step_graph(self, dt):
+        """One kick–drift–kick step as a TaskGraph with per-edge joins.
+
+        Per system ``s``: ``kick1:s`` (field eval + kick) has no
+        dependencies (it reads the pre-drift mirrors, exactly like the
+        barrier schedule's first phase); ``drift:s`` follows its own
+        first kick plus any sibling's first-kick field query against
+        ``s``'s worker (so a pre-drift field read can never race the
+        drift on a shared worker); ``kick2:s`` follows its own drift
+        plus the drifts of every system sourcing its coupling fields —
+        the minimal edges under which first kicks read pre-drift state
+        and second kicks read post-drift state, so the numerics match
+        the barrier schedule while a fast chain never waits for an
+        unrelated slow one.
+        """
+        half = dt * 0.5
+        names = self._system_names()
+        graph = TaskGraph()
+        drift_nodes = {}
+        first_kicks = {}
+        worker_queries = {}     # system code id -> kick1 field nodes
+                                # querying that system's worker
+        kicked = [
+            bool(partners) and len(code.particles)
+            for code, partners in self.systems
+        ]
+        for (code, partners), name, kicks in zip(
+            self.systems, names, kicked
+        ):
+            if not kicks:
+                continue
+            field = graph.add(
+                f"kick1:{name}:field",
+                (lambda code=code, partners=partners:
+                 self._launch_fields(code, partners, half)),
+            )
+            first_kicks[id(code)] = graph.add(
+                f"kick1:{name}",
+                (lambda code=code, field=field:
+                 self._launch_kick(code, field)),
+                after=[field], code=code,
+            )
+            for partner in partners:
+                for queried in self._partner_queried_workers(partner):
+                    worker_queries.setdefault(
+                        id(queried), []
+                    ).append(field)
+        for (code, _partners), name in zip(self.systems, names):
+            # a drift waits for the system's own first kick AND for
+            # every first-kick field query against this system's
+            # worker — otherwise an unkicked system's drift could
+            # overtake a sibling's pre-drift field evaluation on the
+            # shared worker (order-dependent numerics)
+            deps = []
+            if id(code) in first_kicks:
+                deps.append(first_kicks[id(code)])
+            for field in worker_queries.get(id(code), ()):
+                if field not in deps:
+                    deps.append(field)
+            drift_nodes[id(code)] = graph.add(
+                f"drift:{name}",
+                (lambda code=code:
+                 code.evolve_model.async_(self.time + dt)),
+                after=deps, code=code,
+            )
+        for (code, partners), name, kicks in zip(
+            self.systems, names, kicked
+        ):
+            if not kicks:
+                continue
+            deps = [drift_nodes[id(code)]]
+            for partner in partners:
+                for source in self._partner_source_codes(partner):
+                    node = drift_nodes.get(id(source))
+                    if node is not None and node not in deps:
+                        deps.append(node)
+            field = graph.add(
+                f"kick2:{name}:field",
+                (lambda code=code, partners=partners:
+                 self._launch_fields(code, partners, half)),
+                after=deps,
+            )
+            graph.add(
+                f"kick2:{name}",
+                (lambda code=code, field=field:
+                 self._launch_kick(code, field)),
+                after=[field], code=code,
+            )
+        graph.run(fault_policy=self.fault_policy)
+        self.kick_count += 2
+        self.drift_count += 1
+        return graph
+
     # -- main loop --------------------------------------------------------------
 
     def evolve_model(self, t_end):
@@ -247,9 +445,12 @@ class Bridge:
             remaining = t_end - self.time
             if remaining < dt:
                 dt = remaining
-            self.kick_systems(dt * 0.5)
-            self.drift_systems(self.time + dt)
-            self.kick_systems(dt * 0.5)
+            if self.use_async:
+                self._step_graph(dt)
+            else:
+                self.kick_systems(dt * 0.5)
+                self.drift_systems(self.time + dt)
+                self.kick_systems(dt * 0.5)
             self.time = self.time + dt
         return self.time
 

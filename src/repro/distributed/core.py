@@ -304,17 +304,21 @@ class JungleRunner:
     paper-shaped while the physics output stays real.
 
     Concurrency-aware accounting (paper Sec. 6.2): when the wrapped
-    simulation drifts its models asynchronously (the async-first
-    bridge, ``bridge.use_async``), the modeled per-iteration time
-    charges ``max()`` over the concurrently evolving codes instead of
-    ``sum()`` — the jungle scenario's win.  ``overlap_drift=None``
-    (default) infers this from the simulation's bridge; pass
-    True/False to force either accounting (e.g. to reproduce the
-    paper's serialized-prototype numbers with an async simulation).
+    simulation drifts its models asynchronously (the TaskGraph bridge,
+    ``bridge.use_async``), the modeled per-iteration time charges the
+    schedule's CRITICAL PATH — per-model kick→drift→kick chains joined
+    per edge (``schedule="dag"``) — instead of kick-barrier plus one
+    drift barrier; the serialized prototype keeps barrier accounting
+    with ``sum()`` over the drifts.  ``overlap_drift=None`` (default)
+    infers this from the simulation's bridge; pass True/False to force
+    either accounting (True = barrier-with-overlap ``max()``, the
+    pre-DAG async coupler), and *schedule* to pin the schedule
+    explicitly (e.g. to reproduce the paper's numbers with an async
+    simulation).
     """
 
     def __init__(self, simulation, damuse, workload=None,
-                 overlap_drift=None):
+                 overlap_drift=None, schedule=None):
         self.simulation = simulation
         self.damuse = damuse
         self.workload = workload or IterationWorkload()
@@ -322,6 +326,7 @@ class JungleRunner:
         #: None = infer live from the bridge on every read, so
         #: toggling bridge.use_async mid-run (ablations) is honored
         self._overlap_override = overlap_drift
+        self._schedule_override = schedule
         self.iteration_costs = []
 
     @property
@@ -331,6 +336,19 @@ class JungleRunner:
         bridge = getattr(self.simulation, "bridge", None)
         return bool(getattr(bridge, "use_async", False))
 
+    @property
+    def schedule(self):
+        """Coupling-point accounting: "dag" (critical path over
+        per-model chains) when the bridge schedules its steps on a
+        TaskGraph, "barrier" otherwise.  An explicit
+        ``overlap_drift=`` override pins the pre-DAG barrier
+        accounting it historically selected."""
+        if self._schedule_override is not None:
+            return self._schedule_override
+        if self._overlap_override is not None:
+            return "barrier"
+        return "dag" if self.overlap_drift else "barrier"
+
     def run_iteration(self):
         """One outer iteration; returns the cost breakdown."""
         self.damuse.check_alive()
@@ -339,6 +357,7 @@ class JungleRunner:
         costs = self.cost_model.iteration_time(
             self.workload, self.damuse.placement(),
             overlap_drift=self.overlap_drift,
+            schedule=self.schedule,
         )
         env = self.damuse.jungle.env
         env.run(until=env.now + costs["total_s"])

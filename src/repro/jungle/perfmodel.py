@@ -31,10 +31,13 @@ paper's prototype issues evolve calls through the central coupler, which
 is the bottleneck Sec. 4.1/7 flags; the async-overlap variant
 (``overlap_drift=True``: drift charges ``max()`` over the concurrently
 evolving codes instead of ``sum()``) quantifies the improvement
-(ablation A3).  Since the async-first API redesign,
+(ablation A3), and ``schedule="dag"`` charges the CRITICAL PATH of the
+TaskGraph bridge — per-model kick→drift→kick chains joined per edge,
+so each model's share of the coupling work rides the slack of the
+slowest drift.  Since the async-first API redesign,
 :class:`~repro.distributed.core.JungleRunner` selects the variant from
-the wrapped simulation's bridge: an async bridge gets concurrent
-accounting automatically.
+the wrapped simulation's bridge: an async (TaskGraph) bridge gets
+critical-path accounting automatically.
 """
 
 from __future__ import annotations
@@ -226,7 +229,7 @@ class CostModel:
     # -- iteration ------------------------------------------------------------------
 
     def iteration_time(self, workload, placement, overlap_drift=False,
-                       direct_model_comm=False):
+                       direct_model_comm=False, schedule=None):
         """Modeled seconds per outer iteration, with a breakdown.
 
         ``overlap_drift=False`` (default) reproduces the paper's
@@ -237,7 +240,27 @@ class CostModel:
         coupling model exchanges state with gravity/hydro directly
         instead of through the central coupler, so its traffic sees
         model-to-model latency rather than two coupler hops.
+
+        *schedule* selects the coupling-point accounting:
+
+        * ``"barrier"`` (default) — the pre-DAG bridge: the kick
+          phases serialize with the drift phase, which charges
+          ``sum()`` (sequential) or ``max()`` (*overlap_drift*) over
+          the models at ONE barrier.
+        * ``"dag"`` — the TaskGraph bridge: per-model chains
+          ``kick-share → drift → kick-share`` joined per edge, so the
+          iteration costs the CRITICAL PATH ``max_r(kick_r + drift_r)``
+          — each model's share of the coupling model's field work
+          rides the slack of the slowest drift instead of serializing
+          in front of it.  Implies overlapped drifts.
         """
+        if schedule is None:
+            schedule = "barrier"
+        if schedule not in ("barrier", "dag"):
+            raise ValueError(
+                f"unknown schedule {schedule!r}; "
+                "known: ['barrier', 'dag']"
+            )
         coupler = placement.coupler_host
         breakdown = {}
         for role in placement.roles():
@@ -275,7 +298,6 @@ class CostModel:
                 "nodes": nodes,
                 "channel": channel,
             }
-        # kicks (coupling) always serialise with the drifts
         kick_s = (
             breakdown["coupling"]["compute_s"]
             + breakdown["coupling"]["comm_s"]
@@ -285,8 +307,22 @@ class CostModel:
             breakdown[r]["compute_s"] + breakdown[r]["comm_s"]
             for r in drift_roles
         ]
-        drift_s = max(drift_parts) if overlap_drift else sum(drift_parts)
-        total = kick_s + drift_s + self.coupler_python_s
+        if schedule == "dag":
+            # critical path over per-model chains: each drifting model
+            # carries its share of the coupling model's field work
+            # (both half-kicks), and chains only join per edge — the
+            # iteration costs the slowest CHAIN, not kick-barrier +
+            # drift-barrier
+            kick_share = kick_s / max(len(drift_parts), 1)
+            chains = [kick_share + drift for drift in drift_parts]
+            drift_s = max(chains) if chains else 0.0
+            total = drift_s + self.coupler_python_s
+            overlap_drift = True
+        else:
+            # the kick phases serialise with the single drift barrier
+            drift_s = max(drift_parts) if overlap_drift \
+                else sum(drift_parts)
+            total = kick_s + drift_s + self.coupler_python_s
         return {
             "total_s": total,
             "kick_s": kick_s,
@@ -294,4 +330,5 @@ class CostModel:
             "coupler_python_s": self.coupler_python_s,
             "breakdown": breakdown,
             "overlap_drift": overlap_drift,
+            "schedule": schedule,
         }

@@ -19,6 +19,7 @@ from .futures import (
 )
 from .protocol import (
     PROTOCOL_VERSION,
+    CancelledError,
     ConnectionLostError,
     ProtocolError,
     RemoteError,
@@ -28,14 +29,19 @@ from .protocol import (
     send_frame,
     send_frame_v2,
 )
+from .taskgraph import FaultPolicy, TaskGraph, TaskNode
 __all__ = [
     "AggregateRequestError",
     "AsyncRequest",
+    "CancelledError",
     "Channel",
     "ConnectionLostError",
     "DirectChannel",
+    "FaultPolicy",
     "Future",
     "QuantityFuture",
+    "TaskGraph",
+    "TaskNode",
     "ShmArena",
     "ShmChannel",
     "SocketChannel",

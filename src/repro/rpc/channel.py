@@ -36,6 +36,7 @@ hello with an error frame and the channel transparently stays on v1.
 
 from __future__ import annotations
 
+import collections
 import inspect
 import itertools
 import os
@@ -46,6 +47,7 @@ import warnings
 
 from .protocol import (
     PROTOCOL_VERSION,
+    CancelledError,
     ConnectionLostError,
     ProtocolError,
     RemoteError,
@@ -53,6 +55,7 @@ from .protocol import (
     accept_capabilities,
     recv_frame,
     resolve_compress_offer,
+    send_cancel_frame,
     send_frame,
     send_frame_v2,
 )
@@ -85,6 +88,10 @@ class AsyncRequest:
         self._error = None
         self._callbacks = []
         self._callback_lock = threading.Lock()
+        # wired by stream channels: withdraws the in-flight wire call
+        self._canceller = None
+        #: worker acknowledgement of a sent AMCX frame (set by cancel)
+        self.cancel_ack = None
 
     def _resolve(self, value=None, error=None):
         self._value = value
@@ -118,6 +125,24 @@ class AsyncRequest:
     def wait(self, timeout=None):
         if not self._event.wait(timeout):
             raise TimeoutError("async request did not complete in time")
+
+    def cancel(self):
+        """Withdraw the in-flight call if its reply has not arrived.
+
+        Returns True when the call was removed from the channel's
+        pending table — the request then resolves with
+        :class:`~repro.rpc.protocol.CancelledError` and, on a
+        connection that negotiated the cancel capability, an AMCX
+        frame asks the worker to drop/abandon the call (the ack lands
+        on :attr:`cancel_ack`).  Returns False when the reply already
+        arrived (join it instead) or the request is not cancellable
+        (completed-at-birth requests, calls queued inside a batch
+        frame).
+        """
+        canceller = self._canceller
+        if canceller is None or self._event.is_set():
+            return False
+        return canceller()
 
     def result(self, timeout=None):
         self.wait(timeout)
@@ -164,6 +189,20 @@ class _BatchedRequest(AsyncRequest):
         if not self._event.is_set() and self._channel._batch_entries:
             self._channel._drain_batch()
         super().wait(timeout)
+
+    def cancel(self):
+        """A call still queued in the batch is simply withdrawn before
+        the frame is built; once flushed it travels inside one mcall
+        frame and can no longer be cancelled individually."""
+        entries = self._channel._batch_entries
+        for index, (_m, _a, _k, request) in enumerate(entries):
+            if request is self:
+                del entries[index]
+                self._resolve(error=CancelledError(
+                    "batched call cancelled before the batch flushed"
+                ))
+                return True
+        return super().cancel()
 
 
 def fail_all(requests, error):
@@ -410,10 +449,44 @@ class StreamChannel(Channel):
     def _dispatch_call(self, method, args, kwargs):
         request = AsyncRequest()
         call_id = self._register_pending(request)
+        request._canceller = \
+            lambda: self._cancel_call(call_id, request)
         self._send_frame_locked(
             self._call_message(call_id, method, args, kwargs)
         )
         return request
+
+    def _cancel_call(self, call_id, request):
+        """Client half of cancellation: atomically remove the call from
+        the pending table (losing the race against a completing reply
+        returns False — the reply wins), resolve the request with
+        :class:`CancelledError`, and — when the peer negotiated the
+        cancel capability — send the AMCX frame so the worker drops or
+        abandons the call instead of computing a reply nobody reads.
+        The ack is exposed on ``request.cancel_ack``; a channel that
+        died in the meantime degrades to the client-side abandon
+        already performed.
+        """
+        with self._pending_lock:
+            if self._pending.get(call_id) is not request:
+                return False    # reply arrived first (or already gone)
+            del self._pending[call_id]
+        request._resolve(error=CancelledError(
+            f"call {call_id} on {self._describe()} was cancelled"
+        ))
+        if self._wire.cancel and not self._stopped:
+            ack = AsyncRequest()
+            try:
+                ack_id = self._register_pending(ack)
+                with self._send_lock:
+                    self.bytes_sent += send_cancel_frame(
+                        self._sock, ack_id, call_id
+                    )
+            except (ProtocolError, OSError):
+                pass            # peer is gone; local abandon suffices
+            else:
+                request.cancel_ack = ack
+        return True
 
     def _connection_lost_error(self):
         """Build the error delivered to every stranded request when the
@@ -454,12 +527,20 @@ class StreamChannel(Channel):
     # -- capability negotiation --------------------------------------------
 
     def _offer_capabilities(self, compress=None, compress_min=None,
-                            shm_segment_size=None, shm_min=None):
+                            shm_segment_size=None, shm_min=None,
+                            cancellable=True):
         """Build the hello capability dict (and create the shm segment
         pair it names).  Returns None when there is nothing to offer —
         the hello then stays byte-identical to the pre-capability one.
+
+        Cancellation is offered by default: it costs nothing on the
+        wire, and a peer that cannot honour it (plain v2, v1, the
+        daemon) simply leaves it out of the ack, downgrading
+        ``Future.cancel()`` to client-side abandon.
         """
         caps = {}
+        if cancellable:
+            caps["cancel"] = True
         offer = resolve_compress_offer(compress)
         if offer:
             caps["compress"] = offer
@@ -488,6 +569,7 @@ class StreamChannel(Channel):
         """Configure the wire from the peer's capability ack; anything
         the peer did not ack is torn down (shm segments released)."""
         caps = self.wire_caps
+        self._wire.cancel = bool(caps.get("cancel"))
         codec_name = caps.get("compress")
         if codec_name:
             from .protocol import CODECS_BY_NAME
@@ -532,6 +614,7 @@ class StreamChannel(Channel):
             "wire_version": wire.version,
             "codec": wire.codec.name if wire.codec else None,
             "shm": wire.shm_active,
+            "cancel": wire.cancel,
             "raw_buffer_bytes": wire.raw_buffer_bytes,
             "wire_buffer_bytes": wire.wire_buffer_bytes,
             "shm_buffer_bytes": wire.shm_buffer_bytes,
@@ -657,6 +740,136 @@ def _run_one(interface, method, args, kwargs):
     return call_entry(lambda: getattr(interface, method)(*args, **kwargs))
 
 
+def _execute_message(interface, kind, call_id, rest):
+    """Execute one call/mcall; returns ``(reply_message, is_stop)``."""
+    if kind == "mcall":
+        calls = rest[0]
+        results = [
+            _run_one(interface, method, args, kwargs)
+            for method, args, kwargs in calls
+        ]
+        return (
+            ("mresult", call_id, results),
+            any(method == "stop" for method, _a, _k in calls),
+        )
+    method, args, kwargs = rest
+    status = _run_one(interface, method, args, kwargs)
+    if status[0] == "ok":
+        return ("result", call_id, status[1]), method == "stop"
+    return ("error", call_id) + status[1:], method == "stop"
+
+
+#: bounded wait for the runner thread when a cancellable worker winds
+#: down — a call wedged past this is left to its daemon thread (the
+#: channel side escalates: warn for thread workers, kill for children)
+_RUNNER_JOIN_S = 5.0
+
+
+def _serve_cancellable(interface, conn, wire):
+    """Serve the rest of a connection whose peer negotiated "cancel".
+
+    A single-threaded loop busy inside a long ``evolve_model`` could
+    never see a cancel frame, so this mode splits the worker in two:
+    calls execute in order on a dedicated *runner* thread while THIS
+    thread keeps reading frames.  An AMCX frame is therefore
+    acknowledged promptly — the target call is dequeued if it has not
+    started, or marked abandoned if it is running (its eventual reply
+    is discarded; Python cannot interrupt it, which is exactly why the
+    RESTART fault policy exists for truly hung workers).  Everything
+    else — execution order, batching, the stop contract — matches the
+    inline loop.
+    """
+    send_lock = threading.Lock()
+
+    def reply(message):
+        with send_lock:
+            if wire.version >= 2:
+                send_frame_v2(conn, message, wire)
+            else:
+                send_frame(conn, message)
+
+    state = threading.Condition()
+    queued = collections.deque()    # (kind, call_id, rest) or None
+    abandoned = set()               # running ids whose reply is dropped
+    running = [None]
+    finished = threading.Event()
+
+    def _runner():
+        try:
+            while True:
+                with state:
+                    while not queued:
+                        state.wait()
+                    item = queued.popleft()
+                    if item is None:
+                        return
+                    running[0] = item[1]
+                message, is_stop = _execute_message(interface, *item)
+                with state:
+                    dropped = running[0] in abandoned
+                    abandoned.discard(running[0])
+                    running[0] = None
+                if not dropped:
+                    reply(message)
+                if is_stop:
+                    return
+        except OSError:
+            pass    # peer vanished mid-reply; nothing left to serve
+        finally:
+            finished.set()
+            try:
+                # unblock the frame reader parked in recv_frame
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+
+    runner = threading.Thread(
+        target=_runner, name="worker-runner", daemon=True
+    )
+    runner.start()
+    try:
+        while not finished.is_set():
+            try:
+                message = recv_frame(conn, wire)
+            except (ProtocolError, OSError):
+                break
+            kind, call_id, *rest = message
+            if kind == "cancel":
+                target = rest[0]
+                with state:
+                    outcome = "done"
+                    for index, item in enumerate(queued):
+                        if item is not None and item[1] == target:
+                            del queued[index]
+                            outcome = "dequeued"
+                            break
+                    else:
+                        if running[0] == target:
+                            abandoned.add(target)
+                            outcome = "abandoned"
+                try:
+                    reply(("result", call_id,
+                           {"cancelled": target, "state": outcome}))
+                except OSError:
+                    break
+                continue
+            if kind in ("call", "mcall"):
+                with state:
+                    queued.append((kind, call_id, rest))
+                    state.notify()
+                continue
+            try:
+                reply(("error", call_id, "ProtocolError",
+                       f"unexpected message kind {kind!r}", ""))
+            except OSError:
+                break
+    finally:
+        with state:
+            queued.append(None)
+            state.notify()
+        runner.join(timeout=_RUNNER_JOIN_S)
+
+
 def worker_loop(interface, conn, max_version=PROTOCOL_VERSION,
                 enable_capabilities=True):
     """Serve RPC requests for *interface* until "stop" or disconnect.
@@ -668,9 +881,12 @@ def worker_loop(interface, conn, max_version=PROTOCOL_VERSION,
     multi-call batches and the version-negotiation hello; replies use
     the negotiated wire version (*max_version* caps it, which lets
     tests exercise a genuine v1 peer).  The hello's capability dict —
-    codec offer, shm segment names — is honoured when
+    codec offer, shm segment names, cancellation — is honoured when
     *enable_capabilities* is true; disabling it emulates a plain-v2
-    peer for downgrade tests.
+    peer for downgrade tests.  A peer that negotiated "cancel" is
+    served by :func:`_serve_cancellable` from the hello onward (calls
+    on a runner thread, frames — including AMCX cancels — read
+    concurrently); everyone else keeps this inline loop.
     """
     wire = WireState()
 
@@ -698,8 +914,16 @@ def worker_loop(interface, conn, max_version=PROTOCOL_VERSION,
                         and isinstance(rest[2], dict)):
                     offered = rest[2].get("caps") or {}
                 if offered:
-                    ack["caps"] = accept_capabilities(offered, wire)
+                    ack["caps"] = accept_capabilities(
+                        offered, wire, allow_cancel=True
+                    )
                 reply(("result", call_id, ack))
+                if wire.cancel:
+                    # the peer may now send AMCX frames at any moment,
+                    # including while a call runs: hand the connection
+                    # to the two-thread serving mode for good
+                    _serve_cancellable(interface, conn, wire)
+                    break
                 continue
             # a max_version=1 worker behaves exactly like a pre-v2 one:
             # hello falls through to the unexpected-kind error reply
@@ -761,7 +985,7 @@ class SocketChannel(StreamChannel):
                  worker_max_version=PROTOCOL_VERSION,
                  stop_timeout=10.0, compress=None, compress_min=None,
                  shm_segment_size=None, shm_min=None,
-                 worker_capabilities=True):
+                 worker_capabilities=True, cancellable=True):
         super().__init__()
         self._stop_timeout = float(stop_timeout)
         self._compress_min = compress_min
@@ -798,6 +1022,7 @@ class SocketChannel(StreamChannel):
             caps = self._offer_capabilities(
                 compress=compress, compress_min=compress_min,
                 shm_segment_size=shm_segment_size, shm_min=shm_min,
+                cancellable=cancellable,
             )
             self._sock = socket.create_connection(self.address)
             self._sock.setsockopt(

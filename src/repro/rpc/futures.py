@@ -10,7 +10,11 @@ on ("multiple simulations ... executed concurrently", Sec. 5):
   *transform* lazily, in the joining thread, the first time ``result()``
   is called.  Unit conversion, mirror refreshes and state-machine
   bookkeeping all live in transforms, so nothing heavy ever runs on a
-  channel's reader thread.
+  channel's reader thread.  ``cancel()`` withdraws the in-flight wire
+  calls (AMCX frame on capability-negotiated connections, client-side
+  abandon otherwise) and retires the cleanup hook immediately — the
+  primitive behind :class:`~repro.rpc.taskgraph.FaultPolicy` RESTART
+  and timed-out ``wait_all`` recovery.
 * :class:`QuantityFuture` — a future whose transform attaches units;
   ``value_in(unit)`` is the blocking convenience accessor.
 * :func:`wait_all` — join a set of futures with a shared deadline; when
@@ -31,9 +35,11 @@ import threading
 import time
 
 from .channel import AsyncRequest
+from .protocol import CancelledError
 
 __all__ = [
     "AggregateRequestError",
+    "CancelledError",
     "Future",
     "QuantityFuture",
     "as_completed",
@@ -293,6 +299,55 @@ class Future:
         self._join(timeout)
         return self._error
 
+    def cancel(self):
+        """Cancel the future: withdraw its in-flight wire calls and
+        retire the cleanup hook NOW.
+
+        Unlike :meth:`abandon` — which waits for the responses to
+        arrive before retiring — a successful cancel removes the calls
+        from the channel's pending table immediately (and, on a
+        connection that negotiated the cancel capability, tells the
+        worker to drop or abandon them), so the in-flight transition
+        unlocks without waiting for the worker.  Returns True when the
+        future is now cancelled: ``result()`` raises
+        :class:`CancelledError` and the transform never runs.  Returns
+        False when it was too late — every response had already
+        arrived, or another thread is already materializing — in which
+        case the caller should join (or :meth:`abandon`) instead.
+        """
+        with self._lock:
+            if self._state != "new":
+                return False
+        cancelled = False
+        for request in self._requests:
+            if request.is_result_available():
+                continue
+            request_cancel = getattr(request, "cancel", None)
+            if request_cancel is not None and request_cancel():
+                cancelled = True
+        if not cancelled:
+            # nothing was withdrawn: either all responses arrived (the
+            # caller should join) or the requests are uncancellable
+            # mid-batch entries (abandon covers those)
+            return False
+        with self._lock:
+            if self._state != "new":
+                # a racing join claimed materialization; it will see
+                # the CancelledError the requests now resolve to
+                return True
+            self._state = "done"
+        self._error = CancelledError(
+            f"{self.description or 'future'} was cancelled"
+        )
+        try:
+            if self._cleanup is not None:
+                self._cleanup()
+        finally:
+            # a raising cleanup must not leave the future 'done' but
+            # unfinished — that would hang every concurrent joiner
+            self._finished.set()
+        return True
+
     def abandon(self):
         """Discard the result: once the responses arrive, retire the
         cleanup hook WITHOUT running the transform.
@@ -308,7 +363,7 @@ class Future:
                     return      # a join got there first (or is running)
                 self._state = "done"
             try:
-                self._error = RuntimeError(
+                self._error = CancelledError(
                     f"{self.description or 'future'} was abandoned "
                     "before its result was consumed"
                 )
@@ -381,18 +436,30 @@ class QuantityFuture(Future):
 
 
 def _retire_on_timeout(requests):
-    """No future may be left with a stranded cleanup hook when a
-    wait_all deadline expires: pending futures are abandoned (their
+    """No future may be left with a stranded cleanup hook — or a stale
+    pending-table entry — when a wait_all deadline expires.
+
+    Pending calls are CANCELLED first: a successful ``cancel()``
+    withdraws the call from the channel's pending table (and tells a
+    capability-negotiated worker to drop it), so the pending table and
+    the code's :class:`~repro.codes.base.InflightTracker` stay
+    consistent immediately instead of whenever the worker happens to
+    answer.  Calls that cannot be cancelled (mid-batch entries, thread
+    offloads already running) fall back to ``abandon()`` — their
     cleanup retires when the response lands, without running the
-    transform), already-resolved ones are joined for their side
+    transform.  Already-resolved futures are joined for their side
     effects."""
     for request in requests:
-        abandon = getattr(request, "abandon", None)
-        if abandon is None:
-            continue            # raw AsyncRequest: nothing to retire
         if request.is_result_available():
-            request.exception()
-        else:
+            exception = getattr(request, "exception", None)
+            if exception is not None:
+                exception()     # join the future for its side effects
+            continue
+        cancel = getattr(request, "cancel", None)
+        if cancel is not None and cancel():
+            continue            # withdrawn; cleanup already retired
+        abandon = getattr(request, "abandon", None)
+        if abandon is not None:
             abandon()
 
 
@@ -401,8 +468,10 @@ def wait_all(requests, timeout=None):
 
     *timeout* (seconds) is a shared deadline for the whole set — a
     TimeoutError names the calls still pending when it expires, and
-    every future is retired (joined if resolved, abandoned if not) so
-    no cleanup hook is left stranded.  If any calls failed, an
+    every future is retired (joined if resolved, cancelled if the wire
+    call can be withdrawn, abandoned otherwise) so neither a cleanup
+    hook nor a pending-table entry is left stranded.  If any calls
+    failed, an
     :class:`AggregateRequestError` naming every failed call is raised
     after all of them have been joined.
     """

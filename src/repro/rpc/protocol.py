@@ -63,11 +63,32 @@ the pool with zero extra round trips::
            <metadata bytes>
     <inline buffer bytes ...>
 
+**cancel** — ``b"AMCX"`` — in-flight call cancellation, the control
+frame behind ``Future.cancel()`` and the RESTART fault policy.  A tiny
+fixed-size frame naming the call to withdraw plus its own ack id::
+
+    <4s magic "AMCX"> <u32 block_len=16>
+    block: <u64 ack_id> <u64 target_call_id>
+
+The worker acknowledges with a normal ``("result", ack_id, {...})``
+frame reporting what happened to the target: ``"dequeued"`` (the call
+had not started and never will run), ``"abandoned"`` (it is running;
+its eventual result will be discarded instead of sent) or ``"done"``
+(too late — the reply was already sent).  Because a single-threaded
+worker busy in a long call could never see the frame, a worker that
+negotiated this capability serves calls on a dedicated runner thread
+while its main thread keeps reading frames (see
+:func:`repro.rpc.channel.worker_loop`).
+
 **Capability negotiation** rides the existing hello frame: the client's
 ``("hello", 0, max_version, (), {"caps": {...}})`` may offer a codec
-preference list (``"compress"``) and/or shared-memory segment names
-(``"shm"``); the peer's ack dict answers with the first offered codec
-it can load and ``"shm": True`` once it attached the named segments.
+preference list (``"compress"``), shared-memory segment names
+(``"shm"``) and/or in-flight cancellation (``"cancel"``); the peer's
+ack dict answers with the first offered codec it can load, ``"shm":
+True`` once it attached the named segments, and ``"cancel": True``
+when it will honour AMCX frames (only :func:`worker_loop` peers do —
+the daemon never acks it, so distributed channels degrade to
+client-side abandon).
 Peers that predate capabilities ignore the kwargs slot and answer with
 a bare version — the client then runs plain v2 — and v1 peers still
 answer the hello with an error frame, downgrading all the way.  A
@@ -108,6 +129,7 @@ __all__ = [
     "MAGIC2",
     "MAGIC_COMPRESS",
     "MAGIC_SHM",
+    "MAGIC_CANCEL",
     "HEADER",
     "PROTOCOL_VERSION",
     "COMPRESS_MIN_DEFAULT",
@@ -122,19 +144,23 @@ __all__ = [
     "encode_frame_v2",
     "send_frame",
     "send_frame_v2",
+    "send_cancel_frame",
     "recv_frame",
     "encode_payload",
     "decode_payload",
     "RemoteError",
     "ProtocolError",
     "ConnectionLostError",
+    "CancelledError",
 ]
 
 MAGIC = b"AMSE"                       # v1 frames
 MAGIC2 = b"AMS2"                      # v2 frames (out-of-band buffers)
 MAGIC_COMPRESS = b"AMSC"              # v2 + per-buffer compression
 MAGIC_SHM = b"AMSH"                   # v2 + shared-memory buffer blocks
+MAGIC_CANCEL = b"AMCX"                # in-flight call cancellation
 HEADER = struct.Struct("<4sI")        # magic + payload/block length
+CANCEL_BODY = struct.Struct("<QQ")    # ack id + target call id (AMCX)
 BLOCK_COUNT = struct.Struct("<I")     # buffer count (start of v2 block)
 BUFFER_LEN = struct.Struct("<Q")      # per-buffer length (v2 table)
 COMPRESS_HEAD = struct.Struct("<IB")  # buffer count + codec id (AMSC)
@@ -178,6 +204,16 @@ class ConnectionLostError(ProtocolError):
         super().__init__(message)
         self.returncode = returncode
         self.stderr_tail = stderr_tail
+
+
+class CancelledError(RuntimeError):
+    """An in-flight call or future was cancelled before it completed.
+
+    Deliberately an ``Exception`` (unlike
+    :class:`concurrent.futures.CancelledError`, which is a
+    ``BaseException``): cancellation is an expected recovery outcome
+    that aggregate joins and cleanup paths must be able to absorb.
+    """
 
 
 class RemoteError(RuntimeError):
@@ -324,6 +360,8 @@ class WireState:
         self.tx_arena = tx_arena
         self.rx_arena = rx_arena
         self.shm_min = shm_min
+        #: peer honours AMCX cancel frames (hello "cancel" capability)
+        self.cancel = False
         self._free_lock = threading.Lock()
         self._pending_free = []
         #: transport statistics (raw payload vs wire bytes; shm bytes
@@ -351,7 +389,7 @@ class WireState:
         return self.tx_arena is not None
 
 
-def accept_capabilities(offered, wire):
+def accept_capabilities(offered, wire, allow_cancel=False):
     """Server half of the hello capability negotiation.
 
     Mutates *wire* with whatever this side can honour and returns the
@@ -359,8 +397,17 @@ def accept_capabilities(offered, wire):
     this process cannot attach (wrong host, dead creator) — is silently
     dropped, which IS the downgrade: the client reads the ack and keeps
     the plain v2 path for everything missing from it.
+
+    *allow_cancel* is passed True only by servers that actually honour
+    AMCX frames (:func:`~repro.rpc.channel.worker_loop`); the daemon
+    keeps the default so distributed clients fall back to client-side
+    abandon instead of sending cancel frames into a loop that would
+    reject them.
     """
     accepted = {}
+    if allow_cancel and offered.get("cancel"):
+        wire.cancel = True
+        accepted["cancel"] = True
     codec_name = negotiate_codec(offered.get("compress") or ())
     if codec_name:
         wire.codec = CODECS_BY_NAME[codec_name]
@@ -417,6 +464,20 @@ def pack_frame(message):
 def send_frame(sock, message):
     """Send one v1 frame; returns the byte count."""
     data = pack_frame(message)
+    sock.sendall(data)
+    return len(data)
+
+
+def send_cancel_frame(sock, ack_id, target_call_id):
+    """Send one AMCX cancel frame; returns the byte count.
+
+    Only valid on a connection whose peer acked the "cancel"
+    capability — any other peer would reject the magic.
+    """
+    data = (
+        HEADER.pack(MAGIC_CANCEL, CANCEL_BODY.size)
+        + CANCEL_BODY.pack(ack_id, target_call_id)
+    )
     sock.sendall(data)
     return len(data)
 
@@ -679,6 +740,16 @@ def recv_frame(sock, wire=None):
         return _recv_frame_compressed(sock, header)
     if magic == MAGIC_SHM:
         return _recv_frame_shm(sock, header, wire)
+    if magic == MAGIC_CANCEL:
+        (block_len,) = struct.unpack("<I", header[4:])
+        if block_len != CANCEL_BODY.size:
+            raise ProtocolError(
+                f"bad cancel frame length {block_len}"
+            )
+        ack_id, target = CANCEL_BODY.unpack(
+            _recv_exact(sock, CANCEL_BODY.size)
+        )
+        return ("cancel", ack_id, target)
     raise ProtocolError(f"bad frame magic {magic!r}")
 
 

@@ -144,7 +144,7 @@ class SubprocessChannel(StreamChannel):
                  spawn_timeout=30.0, stop_timeout=10.0,
                  kill_timeout=5.0, compress=None, compress_min=None,
                  shm_segment_size=None, shm_min=None,
-                 worker_capabilities=True):
+                 worker_capabilities=True, cancellable=True):
         super().__init__()
         self._spawn_timeout = float(spawn_timeout)
         self._stop_timeout = float(stop_timeout)
@@ -193,6 +193,7 @@ class SubprocessChannel(StreamChannel):
             caps = self._offer_capabilities(
                 compress=compress, compress_min=compress_min,
                 shm_segment_size=shm_segment_size, shm_min=shm_min,
+                cancellable=cancellable,
             )
             self.wire_version = self._negotiate_hello(max_version, caps)
             self._apply_negotiated_caps()

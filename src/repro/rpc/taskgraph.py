@@ -1,0 +1,460 @@
+"""TaskGraph — the dependency-aware DAG scheduler with fault policies.
+
+The paper's jungle runs are bounded by the slowest model at each
+coupling point (Fig. 7's uneven per-model costs), yet a barrier
+scheduler — :class:`~repro.codes.group.EvolveGroup` joining everything
+at once — makes EVERY code wait for the slowest one at EVERY phase
+boundary.  :class:`TaskGraph` replaces the barrier with per-edge joins:
+nodes are ``async_`` launches (or thread offloads), edges are
+completion dependencies, and a node launches the moment its own
+dependencies finish.  A fast code's kick or stellar-evolution exchange
+therefore rides the *slack* of the slowest drift instead of queueing
+behind a global join — the overlap structure of extreme-scale ABM
+platforms (arXiv:2503.10796) and DES models of distributed
+infrastructures (arXiv:1106.6122) applied to the coupled-simulation
+step.
+
+Execution model
+---------------
+
+``run()`` drives the graph from the calling thread: it launches every
+ready node (launch callables issue ``async_`` channel calls and return
+immediately), then joins node futures *as their wire responses arrive*
+— transforms (unit conversion, mirror refreshes) run in this thread,
+preserving the future layer's contract that nothing heavy runs on a
+channel reader thread.  Completion of a node immediately launches any
+dependent whose remaining dependencies are all done.
+
+Fault policies
+--------------
+
+:class:`FaultPolicy` decides what a node failure does to the run:
+
+* ``RAISE`` (default) — dependents of the failed node are skipped, the
+  rest of the graph still completes (no stranded in-flight
+  transitions), then one
+  :class:`~repro.rpc.futures.AggregateRequestError` names every
+  failure.
+* ``IGNORE`` — the failure is recorded on the node, dependents run
+  anyway (they see ``node.result is None``).
+* ``RESTART`` — for nodes bound to a code (``code=`` at :meth:`add`
+  time): on :class:`~repro.rpc.protocol.ConnectionLostError` (the
+  worker died — e.g. a SIGKILLed subprocess child) or
+  :class:`~repro.rpc.protocol.CancelledError` (a hung call was
+  cancelled on timeout), the worker is respawned through the code's
+  original channel factory, cached parameters and mirror state are
+  replayed (:meth:`~repro.codes.highlevel.CommunityCode.
+  restart_worker`), and the node is relaunched — the graph resumes
+  where it stopped.  This is the "transparently find a replacement
+  machine" future work of paper Sec. 5, made real by cancellation.
+
+Usage::
+
+    graph = TaskGraph()
+    k1 = graph.add("kick1", lambda: fast.kick.async_(dv))
+    d1 = graph.add("drift", lambda: fast.evolve_model.async_(t),
+                   after=[k1], code=fast)
+    graph.add("kick2", lambda: fast.kick.async_(dv2), after=[d1])
+    results = graph.run(fault_policy=FaultPolicy.RESTART)
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import time
+
+from .futures import AggregateRequestError
+from .protocol import CancelledError, ConnectionLostError
+
+__all__ = ["FaultPolicy", "TaskGraph", "TaskNode"]
+
+
+class FaultPolicy(enum.Enum):
+    """What a node failure does to a :meth:`TaskGraph.run`."""
+
+    #: collect failures, skip dependents, raise an aggregate at the end
+    RAISE = "raise"
+    #: record the failure on the node, let dependents proceed
+    IGNORE = "ignore"
+    #: respawn the node's code worker (replaying parameters + state)
+    #: and relaunch the node on worker death or a cancelled hung call
+    RESTART = "restart"
+
+
+#: exceptions the RESTART policy treats as "the worker is gone/hung" —
+#: anything else (a genuine model error) is never retried
+_RESTARTABLE = (ConnectionLostError, CancelledError)
+
+
+class TaskNode:
+    """One schedulable unit: a launch callable plus its dependencies.
+
+    ``launch()`` is called (with no arguments) once every dependency is
+    done; it may return a future-like object (anything with
+    ``add_done_callback``/``result`` — a channel
+    :class:`~repro.rpc.channel.AsyncRequest`, a
+    :class:`~repro.rpc.futures.Future`, …) which the graph joins when
+    its responses arrive, or a plain value, which completes the node
+    immediately.  Dependency results are read off the dependency nodes
+    themselves (``node.result``), so launch closures stay trivial.
+    """
+
+    __slots__ = (
+        "name", "launch", "deps", "dependents", "code", "state",
+        "future", "result", "error", "restarts", "_remaining",
+    )
+
+    def __init__(self, name, launch, deps, code=None):
+        self.name = name
+        self.launch = launch
+        self.deps = list(deps)
+        self.dependents = []
+        self.code = code
+        #: pending -> launched -> done | failed | skipped | cancelled
+        self.state = "pending"
+        self.future = None
+        self.result = None
+        self.error = None
+        self.restarts = 0
+        self._remaining = 0
+
+    def done(self):
+        return self.state == "done"
+
+    def cancel(self):
+        """Cancel this node.
+
+        A node that has not launched yet simply never will (its
+        dependents are then skipped under RAISE, or proceed under
+        IGNORE); a launched node's future is cancelled — withdrawing
+        the wire call — falling back to abandon when the responses
+        already arrived.  Returns True when the node ends cancelled.
+        """
+        if self.state == "pending":
+            self.state = "cancelled"
+            self.error = CancelledError(
+                f"task {self.name!r} was cancelled before it launched"
+            )
+            return True
+        if self.state == "launched" and self.future is not None:
+            future_cancel = getattr(self.future, "cancel", None)
+            if future_cancel is not None and future_cancel():
+                self.state = "cancelled"
+                self.error = CancelledError(
+                    f"task {self.name!r} was cancelled in flight"
+                )
+                return True
+        return False
+
+    def __repr__(self):
+        return f"<TaskNode {self.name} {self.state}>"
+
+
+class TaskGraph:
+    """A DAG of async launches joined per edge instead of per phase."""
+
+    def __init__(self):
+        self.nodes = {}
+
+    def add(self, name, launch, after=(), code=None):
+        """Add a node; *after* lists dependencies (nodes or their
+        names), *code* optionally binds the node to a community code so
+        ``FaultPolicy.RESTART`` can respawn its worker."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate task name {name!r}")
+        if not callable(launch):
+            raise TypeError(f"launch for {name!r} is not callable")
+        deps = []
+        for dep in after:
+            if dep is None:
+                continue
+            node = self.nodes.get(dep) if not isinstance(dep, TaskNode) \
+                else dep
+            if node is None or node.name not in self.nodes or \
+                    self.nodes[node.name] is not node:
+                raise ValueError(
+                    f"unknown dependency {dep!r} for task {name!r}"
+                )
+            deps.append(node)
+        node = TaskNode(name, launch, deps, code=code)
+        for dep in deps:
+            dep.dependents.append(node)
+        self.nodes[name] = node
+        return node
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __getitem__(self, name):
+        return self.nodes[name]
+
+    def _check_acyclic(self):
+        """Kahn's algorithm; raises ValueError naming a cycle member."""
+        remaining = {
+            node.name: len(node.deps) for node in self.nodes.values()
+        }
+        ready = [n for n, count in remaining.items() if count == 0]
+        seen = 0
+        while ready:
+            name = ready.pop()
+            seen += 1
+            for dependent in self.nodes[name].dependents:
+                remaining[dependent.name] -= 1
+                if remaining[dependent.name] == 0:
+                    ready.append(dependent.name)
+        if seen != len(self.nodes):
+            stuck = sorted(
+                name for name, count in remaining.items() if count
+            )
+            raise ValueError(
+                f"task graph has a dependency cycle through {stuck}"
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, timeout=None, fault_policy=FaultPolicy.RAISE,
+            max_restarts=1, on_restart=None):
+        """Execute the graph; returns ``{name: result}`` for the nodes
+        that completed.
+
+        *timeout* is a shared deadline: on expiry, in-flight nodes are
+        cancelled (wire calls withdrawn, trackers retired — under
+        ``RESTART`` a cancelled hung node with a bound code is instead
+        respawned and relaunched, once per *max_restarts*, with the
+        deadline extended by the original timeout) and a TimeoutError
+        names every unfinished node.  *on_restart* is called with the
+        node just before its relaunch — the hook for logging or for
+        clearing whatever made the worker hang.
+
+        Failures follow *fault_policy* (see the class docstring); under
+        ``RAISE``/``RESTART`` the run always joins every launched node
+        before raising, so no code is left with a stranded in-flight
+        transition.
+        """
+        self._check_acyclic()
+        deadline = None if timeout is None else \
+            time.monotonic() + timeout
+        events = queue.SimpleQueue()
+        unfinished = 0
+        failures = []
+
+        for node in self.nodes.values():
+            node._remaining = len(node.deps)
+            if node.state == "pending":
+                unfinished += 1
+
+        def _launch(node):
+            node.state = "launched"
+            try:
+                outcome = node.launch()
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                node.future = None
+                events.put(("failed", node, exc))
+                return
+            if outcome is not None and \
+                    hasattr(outcome, "add_done_callback"):
+                node.future = outcome
+                # the event names the future it announces, so a stale
+                # completion of a cancelled-then-relaunched node can
+                # never be mistaken for the relaunch finishing
+                outcome.add_done_callback(
+                    lambda _request, future=outcome:
+                    events.put(("ready", node, future))
+                )
+            else:
+                node.future = None
+                node.result = outcome
+                events.put(("completed", node, None))
+
+        def _finish(node):
+            """Mark done and launch any dependent that became ready."""
+            nonlocal unfinished
+            node.state = "done"
+            unfinished -= 1
+            _release_dependents(node)
+
+        def _release_dependents(node):
+            for dependent in node.dependents:
+                dependent._remaining -= 1
+                if dependent._remaining == 0 and \
+                        dependent.state == "pending":
+                    _launch(dependent)
+
+        def _skip(node, dep):
+            """RAISE policy: a failed dependency poisons the subtree."""
+            nonlocal unfinished
+            if node.state != "pending":
+                return
+            node.state = "skipped"
+            node.error = CancelledError(
+                f"task {node.name!r} skipped: dependency "
+                f"{dep.name!r} {dep.state}"
+            )
+            unfinished -= 1
+            for dependent in node.dependents:
+                _skip(dependent, dep)
+
+        def _try_restart(node):
+            """Respawn the node's worker and relaunch it.  A failing
+            respawn fails THAT node (dependents skipped) and returns
+            False — it never escapes to strand the rest of the run."""
+            nonlocal unfinished
+            node.restarts += 1
+            try:
+                node.code.restart_worker()
+                if on_restart is not None:
+                    on_restart(node)
+            except Exception as exc:  # noqa: BLE001 - give up
+                node.state = "failed"
+                node.error = exc
+                unfinished -= 1
+                failures.append((
+                    f"{node.name} (restart failed)", exc
+                ))
+                for dependent in node.dependents:
+                    _skip(dependent, node)
+                return False
+            _launch(node)
+            return True
+
+        def _fail(node, error):
+            nonlocal unfinished
+            restartable = (
+                fault_policy is FaultPolicy.RESTART
+                and isinstance(error, _RESTARTABLE)
+                and node.code is not None
+                and hasattr(node.code, "restart_worker")
+                and node.restarts < max_restarts
+            )
+            if restartable:
+                _try_restart(node)
+                return
+            node.state = "failed"
+            node.error = error
+            unfinished -= 1
+            if fault_policy is FaultPolicy.IGNORE:
+                failures.append((node.name, error))
+                _release_dependents(node)
+                return
+            failures.append((node.name, error))
+            for dependent in node.dependents:
+                _skip(dependent, node)
+
+        # seed: cancelled-before-run nodes poison dependents like a
+        # failure; everything with no (live) dependencies launches
+        for node in list(self.nodes.values()):
+            if node.state == "cancelled":
+                failures.append((node.name, node.error))
+                if fault_policy is FaultPolicy.IGNORE:
+                    _release_dependents(node)
+                else:
+                    for dependent in node.dependents:
+                        _skip(dependent, node)
+        for node in list(self.nodes.values()):
+            if node.state == "pending" and node._remaining == 0:
+                _launch(node)
+
+        restart_grace_used = False
+        while unfinished > 0:
+            remaining = None if deadline is None else \
+                deadline - time.monotonic()
+            try:
+                if remaining is not None and remaining <= 0:
+                    # past the deadline, but completions already
+                    # delivered must still be consumed — work that
+                    # finished AT the deadline is not hung
+                    kind, node, payload = events.get_nowait()
+                else:
+                    kind, node, payload = events.get(timeout=remaining)
+            except queue.Empty:
+                hung = [
+                    n for n in self.nodes.values()
+                    if n.state == "launched"
+                ]
+                if (fault_policy is FaultPolicy.RESTART
+                        and not restart_grace_used
+                        and hung
+                        and all(
+                            n.code is not None
+                            and hasattr(n.code, "restart_worker")
+                            and n.restarts < max_restarts
+                            for n in hung
+                        )):
+                    # cancel the hung calls (withdrawing the wire
+                    # calls), respawn their workers and try once more
+                    # on a fresh deadline; one respawn failing fails
+                    # that node only — the rest still restart
+                    restart_grace_used = True
+                    for node in hung:
+                        future_cancel = getattr(
+                            node.future, "cancel", None
+                        )
+                        if future_cancel is not None:
+                            future_cancel()
+                        _try_restart(node)
+                    deadline = time.monotonic() + timeout
+                    continue
+                pending = sorted(
+                    n.name for n in self.nodes.values()
+                    if n.state in ("pending", "launched")
+                )
+                self._cancel_unfinished()
+                raise TimeoutError(
+                    f"{len(pending)} task(s) unfinished after "
+                    f"{timeout}s: {', '.join(pending)}"
+                ) from None
+            if node.state != "launched":
+                continue        # stale event (e.g. a cancelled node)
+            if kind == "failed":
+                _fail(node, payload)
+                continue
+            if kind == "ready" and payload is not node.future:
+                continue        # completion of a superseded launch
+            if kind == "ready":
+                # the wire responses arrived; materialize HERE so the
+                # transform (unit conversion, mirror refresh) runs in
+                # the scheduling thread, never on a channel reader
+                try:
+                    node.result = node.future.result()
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    _fail(node, exc)
+                    continue
+            _finish(node)
+
+        if failures and fault_policy is not FaultPolicy.IGNORE:
+            raise AggregateRequestError(
+                failures, total=len(self.nodes)
+            )
+        return {
+            name: node.result for name, node in self.nodes.items()
+            if node.state == "done"
+        }
+
+    def _cancel_unfinished(self):
+        """Timeout cleanup: withdraw what can be withdrawn, abandon the
+        rest — no node future may be left with a stranded cleanup."""
+        for node in self.nodes.values():
+            if node.state == "pending":
+                node.cancel()
+            elif node.state == "launched" and node.future is not None:
+                if not node.cancel():
+                    abandon = getattr(node.future, "abandon", None)
+                    if abandon is not None:
+                        abandon()
+
+    # -- introspection -------------------------------------------------------
+
+    def states(self):
+        """``{name: state}`` snapshot (monitoring/test surface)."""
+        return {name: node.state for name, node in self.nodes.items()}
+
+    def __repr__(self):
+        states = self.states()
+        summary = ", ".join(
+            f"{state}={sum(1 for s in states.values() if s == state)}"
+            for state in ("pending", "launched", "done", "failed",
+                          "skipped", "cancelled")
+            if any(s == state for s in states.values())
+        )
+        return f"<TaskGraph {len(self.nodes)} nodes ({summary})>"

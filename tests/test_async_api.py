@@ -600,20 +600,24 @@ class TestEvolveGroup:
         group.stop()
 
     @pytest.mark.network
-    def test_timeout_abandons_futures_and_unlocks_codes(self):
-        """After a timeout the workers keep running, but once they
-        finish the abandoned futures retire their transitions — the
-        code unlocks instead of staying bricked forever."""
+    def test_timeout_cancels_futures_and_unlocks_codes(self):
+        """A timeout CANCELS the outstanding evolve: the wire call is
+        withdrawn from the pending table and the in-flight tracker
+        retires immediately — the code unlocks without waiting for the
+        worker to answer (the pre-cancel API could only abandon and
+        wait)."""
         code = SleepCode(channel_type="sockets")
         group = EvolveGroup([code])
         with pytest.raises(TimeoutError):
             group.evolve(1.0 | nbody_system.time, timeout=0.02)
-        assert code._inflight.inflight == "evolve_model"
-        deadline = time.monotonic() + 5.0
-        while code._inflight.inflight is not None and \
-                time.monotonic() < deadline:
-            time.sleep(0.01)
+        # unlocked NOW, not whenever the worker finishes its sleep
         assert code._inflight.inflight is None
+        # the pending table stays consistent: only the cancel ack may
+        # still be in flight, and it drains promptly
+        deadline = time.monotonic() + 5.0
+        while code.channel._pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not code.channel._pending
         code.stop()   # orderly stop works again
 
     def test_failed_launch_joins_already_launched(self, converter,
