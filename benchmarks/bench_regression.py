@@ -52,6 +52,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 # one methodology for echo throughput: the regression gate measures
 # exactly what the bench_channels acceptance test asserts
 from bench_channels import echo_throughput_gbit_s          # noqa: E402
+# for the warm-pool payoff, exactly what the bench_sessions
+# acceptance test asserts
+from bench_sessions import measure_warm_vs_cold            # noqa: E402
 # and for the DAG-vs-barrier schedule ratio, exactly what the
 # bench_taskgraph acceptance test asserts
 from bench_taskgraph import measure_taskgraph_vs_barrier   # noqa: E402
@@ -60,10 +63,7 @@ from repro.codes.testing import (                           # noqa: E402
     ArrayEchoInterface,
     SleepCode,
 )
-from repro.distributed import (                             # noqa: E402
-    DistributedChannel,
-    IbisDaemon,
-)
+from repro.distributed import IbisDaemon, connect           # noqa: E402
 from repro.rpc import new_channel                           # noqa: E402
 from repro.units import nbody_system                        # noqa: E402
 
@@ -119,13 +119,9 @@ def measure(quick=False):
 
     # -- daemon loopback + negotiated compression + batching -----------
     compressible = np.zeros(1 << 17, dtype=np.float64)
-    with IbisDaemon() as daemon:
-        local = DistributedChannel(
-            ArrayEchoInterface, daemon=daemon, resource="local"
-        )
-        wan = DistributedChannel(
-            ArrayEchoInterface, daemon=daemon, resource="DAS-4 (VU)"
-        )
+    with IbisDaemon() as daemon, connect(daemon) as session:
+        local = session.code(ArrayEchoInterface, resource="local")
+        wan = session.code(ArrayEchoInterface, resource="DAS-4 (VU)")
         try:
             daemon_gbit = echo_throughput_gbit_s(local, payload, rounds=rounds)
             before = wan.bytes_sent
@@ -181,6 +177,17 @@ def measure(quick=False):
     group.stop()
     add("async_overlap_two_codes_ratio", overlap_s / single_s, "x",
         False, gate=True)
+
+    # -- warm pool vs cold spawn (session tentpole): time from pilot
+    # placement to the first evolve returning.  The ratio compares the
+    # same host against itself, so it gates; the hard acceptance bound
+    # (warm <= 0.5x cold) lives in bench_sessions.py and the
+    # daemon-sessions CI lane.
+    warm_s, cold_s = measure_warm_vs_cold(rounds=2 if quick else 3)
+    add("warm_vs_cold_first_evolve_ratio", warm_s / cold_s, "x",
+        False, gate=True)
+    add("warm_first_evolve_s", warm_s, "s", False, gate=False)
+    add("cold_first_evolve_s", cold_s, "s", False, gate=False)
 
     # -- DAG schedule vs barrier schedule (taskgraph tentpole): the
     # ratio is host-independent (same workers, same host, two

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Session benchmark: warm-pool vs cold-spawn time-to-first-evolve.
+
+The multi-session daemon keeps a pool of pre-spawned, parked
+subprocess workers (``IbisDaemon(warm_pool=N)``).  Claiming one skips
+the interpreter start + numpy import that dominate a cold spawn; the
+pilot only replays capability negotiation and ships its interface
+factory at claim time.  This bench pins the headline number: the
+wall-clock from ``session.code(...)`` to the first ``evolve_model``
+returning, warm vs cold.
+
+The acceptance gate (also enforced by the ``daemon-sessions`` CI lane
+and the BENCH trajectory) is **warm <= 0.5x cold**: if claiming a
+parked worker is not at least twice as fast as spawning one, the pool
+is dead weight.
+
+Usage::
+
+    python benchmarks/bench_sessions.py            # measure + gate
+    BENCH_QUICK=1 python benchmarks/bench_sessions.py
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.codes.testing import SleepCode        # noqa: E402
+from repro.distributed import IbisDaemon, connect  # noqa: E402
+from repro.units import nbody_system              # noqa: E402
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ROUNDS = 2 if QUICK else 3
+#: warm pool must deliver first-evolve in at most this fraction of cold
+WARM_GATE_RATIO = 0.5
+
+
+def _median(samples):
+    samples = sorted(samples)
+    return samples[len(samples) // 2]
+
+
+def first_evolve_s(daemon):
+    """Wall-clock from pilot placement to the first evolve returning.
+
+    One fresh session per sample; the pilot is a zero-cost SleepCode
+    so the measurement is pure placement + negotiation + one RPC.
+    """
+    with connect(daemon) as session:
+        t0 = time.perf_counter()
+        code = session.code(
+            SleepCode, channel_type="subprocess", cost_s=0.0
+        )
+        code.evolve_model(0.001 | nbody_system.time)
+        elapsed = time.perf_counter() - t0
+        code.stop()
+    return elapsed
+
+
+def measure_warm_vs_cold(rounds=ROUNDS):
+    """Median ``(warm_s, cold_s)`` time-to-first-evolve.
+
+    A fresh daemon per sample keeps the pool state deterministic:
+    the warm daemon has exactly one parked worker ready before the
+    clock starts, the cold daemon has none.
+    """
+    warm_samples, cold_samples = [], []
+    for _ in range(rounds):
+        with IbisDaemon(warm_pool=1) as daemon:
+            assert daemon.warm_pool.ready(1, timeout=60)
+            warm_samples.append(first_evolve_s(daemon))
+        with IbisDaemon() as daemon:
+            cold_samples.append(first_evolve_s(daemon))
+    return _median(warm_samples), _median(cold_samples)
+
+
+@pytest.mark.network
+def test_warm_pool_halves_time_to_first_evolve():
+    """Acceptance: warm claim <= 0.5x a cold spawn, and both agree."""
+    warm_s, cold_s = measure_warm_vs_cold()
+    assert warm_s <= WARM_GATE_RATIO * cold_s, (
+        f"warm pool did not pay off: warm {warm_s * 1e3:.0f} ms vs "
+        f"cold {cold_s * 1e3:.0f} ms "
+        f"(ratio {warm_s / cold_s:.2f} > {WARM_GATE_RATIO})"
+    )
+
+
+@pytest.mark.network
+def test_warm_pool_accounting_is_attributed():
+    """The session that claims a warm worker is the one billed for it."""
+    with IbisDaemon(warm_pool=1) as daemon:
+        assert daemon.warm_pool.ready(1, timeout=60)
+        with connect(daemon) as session:
+            code = session.code(
+                SleepCode, channel_type="subprocess", cost_s=0.0
+            )
+            code.evolve_model(0.001 | nbody_system.time)
+            acct = session.status()["session"]["accounting"]
+            assert acct["warm_hits"] == 1
+            assert acct["cold_spawns"] == 0
+            code.stop()
+
+
+def main():
+    warm_s, cold_s = measure_warm_vs_cold()
+    ratio = warm_s / cold_s
+    print(f"time-to-first-evolve ({ROUNDS} rounds, median):")
+    print(f"  cold spawn        {cold_s * 1e3:8.1f} ms")
+    print(f"  warm pool claim   {warm_s * 1e3:8.1f} ms")
+    print(f"  warm/cold ratio   {ratio:8.3f}x  (gate: <= "
+          f"{WARM_GATE_RATIO}x)")
+    if ratio > WARM_GATE_RATIO:
+        print("FAIL: warm pool does not halve time-to-first-evolve")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

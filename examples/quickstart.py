@@ -25,6 +25,12 @@ channel_type   worker runs                    pick it when
                per-buffer compression         shrinks transfers)
 =============  =============================  =========================
 
+For a shared daemon (``python -m repro.distributed.daemon``), don't
+pick a channel_type at all — ``connect()`` to it and place pilots
+through a :class:`~repro.distributed.Session`: each script gets an
+isolated pilot namespace, fair admission, per-session accounting, and
+warm-pool spawns (demonstrated at the end of this example).
+
 Run:  python examples/quickstart.py
 """
 
@@ -167,6 +173,58 @@ def main():
         f"node restarted {graph['drift'].restarts}x"
     )
     survivor.stop()
+
+    # -- the jungle as a service: daemon CLI + sessions ---------------
+    # `python -m repro.distributed.daemon` runs the Ibis gateway as a
+    # standalone service.  Scripts attach with connect() and get an
+    # isolated Session: a private pilot namespace (other tenants
+    # cannot address these workers), fair admission control, and
+    # per-session accounting on status().  --warm-pool pre-spawns
+    # parked subprocess workers, so the session's first pilot claims
+    # one instead of paying the interpreter + numpy spawn cost
+    # (warm <= 0.5x cold time-to-first-evolve, gated by
+    # benchmarks/bench_sessions.py).
+    import re
+    import subprocess
+    import sys
+
+    from repro.distributed import connect
+
+    src_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (src_dir, env.get("PYTHONPATH")) if path
+    )
+    service = subprocess.Popen(
+        [sys.executable, "-m", "repro.distributed.daemon",
+         "--port", "0", "--warm-pool", "1", "--idle-timeout", "300"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    banner = service.stdout.readline().strip()
+    print(banner)
+    address = re.search(r"listening on (\S+)", banner).group(1)
+
+    with connect(address, name="quickstart") as session:
+        remote = session.code(
+            PhiGRAPE, converter, channel_type="subprocess",
+            kernel="cpu", eta=0.05,
+        )
+        remote.add_particles(stars)
+        remote.evolve_model(0.5 | units.Myr)
+        info = session.status()["session"]
+        acct = info["accounting"]
+        print(
+            f"session {info['id']} evolved to "
+            f"{remote.model_time.value_in(units.Myr):.1f} Myr via the "
+            f"daemon service ({acct['warm_hits']} warm-pool hit, "
+            f"{acct['calls']} calls, {acct['bytes_out']} bytes out)"
+        )
+        remote.stop()
+    service.send_signal(signal.SIGINT)   # daemon drains and exits 0
+    service.wait(timeout=30)
 
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)

@@ -148,11 +148,19 @@ class CommunityCode:
     INTERFACE = None
 
     def __init__(self, convert_nbody=None, channel_type="direct",
-                 channel_options=None, **parameters):
+                 channel_options=None, session=None, **parameters):
         interface_cls = self.INTERFACE
         if interface_cls is None:
             raise TypeError(
                 f"{type(self).__name__} does not define an interface"
+            )
+        if session is not None:
+            # place this code's pilot inside a daemon session (the
+            # repro.distributed.connect surface); channel_type then
+            # names the daemon-side pilot mode, not a channel factory
+            channel_type, channel_options = session._channel_spec(
+                None if channel_type == "direct" else channel_type,
+                channel_options,
             )
         # partial (not a closure) so the ibis channel can pickle the
         # factory across the daemon's loopback socket
@@ -744,10 +752,11 @@ class SSE(CommunityCode):
     _TIME_UNIT = u.Myr
 
     def __init__(self, channel_type="direct", channel_options=None,
-                 **parameters):
+                 session=None, **parameters):
         super().__init__(
             convert_nbody=None, channel_type=channel_type,
-            channel_options=channel_options, **parameters,
+            channel_options=channel_options, session=session,
+            **parameters,
         )
 
     def add_particles(self, particles):

@@ -5,14 +5,29 @@ spawning a worker locally over MPI/sockets, the coupler asks the local
 Ibis daemon to start the worker on a (possibly remote) resource and
 routes every RPC through the daemon's loopback socket.
 
-:class:`DistributedChannel` is a real client of
-:class:`~repro.distributed.daemon.IbisDaemon`: frames flow through the
-genuine TCP loopback (with the extra daemon hop the paper discusses),
-and the worker itself runs daemon-side.  Usage from a script is the
-single-line change the paper advertises::
+Two layers live here:
 
-    gravity = PhiGRAPE(conv, channel_type="ibis", channel_options={
-        "daemon": daemon, "resource": "LGM (LU)", "node_count": 1})
+* :class:`_DaemonLink` — the control-plane connection: TCP connect,
+  hello negotiation (wire version, compression codecs, session
+  membership), echo/status/close_session requests.  A link that was
+  granted a session carries ``session_id``/``session_token``; the
+  token is the credential a second connection presents to join the
+  same daemon-side namespace.
+* :class:`DistributedChannel` — the pilot channel: a link that also
+  starts a worker and routes ``call``/``mcall`` frames to it.  Frames
+  carry the session id once one is granted, so the daemon can verify
+  a tenant never addresses another tenant's pilots.
+
+The SUPPORTED way to build pilot channels is now::
+
+    session = repro.distributed.connect(daemon_address)
+    gravity = session.code(PhiGRAPE, conv, channel_type="shm")
+
+Constructing :class:`DistributedChannel` directly (or via
+``channel_type="ibis"`` with a ``daemon``/``address`` option) still
+works — each such channel becomes its own single-tenant session — but
+emits a :class:`DeprecationWarning` once per process, as do the old
+``daemon_host``/``daemon_port`` kwargs.
 
 Requests can be pipelined like the sockets channel (async calls), and
 batched (``with channel.batch(): ...`` coalesces queued async calls
@@ -40,6 +55,7 @@ from __future__ import annotations
 import pickle
 import socket
 import threading
+import warnings
 
 from ..rpc.channel import (
     AsyncRequest,
@@ -60,32 +76,54 @@ __all__ = ["DistributedChannel"]
 #: faster than any codec, so auto compression stays off for them
 _LOCAL_RESOURCES = frozenset({"local", "localhost"})
 
+#: deprecation shims warn exactly once per process per shim
+_DEPRECATION_SEEN = set()
 
-class DistributedChannel(StreamChannel):
-    """Channel from the coupler to a daemon-managed (remote) worker."""
+
+def _warn_deprecated(key, message):
+    if key in _DEPRECATION_SEEN:
+        return
+    _DEPRECATION_SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+class _DaemonLink(StreamChannel):
+    """Control-plane connection to an Ibis daemon (no pilot attached).
+
+    Handles connect, hello negotiation and the daemon-surface requests
+    shared by the control link of a :class:`~repro.distributed.
+    session.Session` and every pilot channel.
+    """
 
     kind = "ibis"
     _lost_message = "daemon connection lost"
 
-    def __init__(self, interface_factory, daemon=None, address=None,
-                 resource="local", node_count=1,
-                 max_version=PROTOCOL_VERSION, worker_mode=None,
-                 compress="auto", compress_min=None):
+    def __init__(self, daemon=None, address=None, resource=None,
+                 max_version=PROTOCOL_VERSION, compress="auto",
+                 compress_min=None, session=None, session_name=None,
+                 require_session=False):
         super().__init__()
         if daemon is not None:
             address = daemon.address
+        self._join_token = None
+        if session is not None:
+            if address is None:
+                address = session.address
+            self._join_token = session.token
         if address is None:
             raise ValueError(
-                "DistributedChannel needs a daemon or its address; "
+                "daemon link needs a daemon or its address; "
                 "start an IbisDaemon first (paper Sec. 5 step 3)"
             )
         self.resource = resource
-        self.node_count = int(node_count)
-        self.worker_mode = worker_mode
         self._compress = compress
         self._compress_min = compress_min
+        self._session_name = session_name
+        self._require_session = require_session or session is not None
+        self.session_id = None
+        self.session_token = None
 
-        self._sock = socket.create_connection(address)
+        self._sock = socket.create_connection(tuple(address))
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = threading.Thread(
             target=self._read_responses, daemon=True
@@ -93,15 +131,6 @@ class DistributedChannel(StreamChannel):
         self._reader.start()
 
         self.wire_version = self._negotiate(max_version)
-
-        factory_bytes = pickle.dumps(interface_factory, protocol=5)
-        # worker_mode=None keeps the pre-subprocess 3-tuple shape, so
-        # this client still talks to older daemons (which then apply
-        # their own default mode)
-        start = ("start_worker", factory_bytes, resource, node_count)
-        if worker_mode is not None:
-            start += (worker_mode,)
-        self.worker_id = self._request(start).result()
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -115,55 +144,156 @@ class DistributedChannel(StreamChannel):
             return available_codecs()
         return resolve_compress_offer(self._compress)
 
-    def _negotiate(self, max_version):
-        """Hello handshake; a v1 daemon answers with an error frame,
-        which is the downgrade signal.  A pre-capability daemon ignores
-        the offer slot and acks a bare version — compression then
-        stays off."""
-        if max_version < 2:
-            return 1
-        offer = self._compress_offer()
+    def _hello_caps(self):
         caps = {}
+        offer = self._compress_offer()
         if offer:
             caps["compress"] = offer
             if self._compress_min is not None:
                 caps["compress_min"] = int(self._compress_min)
+        session = {}
+        if self._join_token is not None:
+            session["join"] = self._join_token
+        if self._session_name is not None:
+            session["name"] = self._session_name
+        if session:
+            caps["session"] = session
+        return caps
+
+    def _negotiate(self, max_version):
+        """Hello handshake; a v1 daemon answers with an error frame,
+        which is the downgrade signal.  A pre-capability daemon ignores
+        the offer slot and acks a bare version — compression then
+        stays off and no session is granted.
+
+        A link that REQUIRES a session (join token or ``connect()``)
+        must not downgrade: the daemon's rejection (bad token, session
+        limit) surfaces as the :class:`RemoteError` it is."""
+        if max_version < 2:
+            return 1
+        caps = self._hello_caps()
         hello = ("hello", max_version) + ((caps,) if caps else ())
         try:
             ack = self._request(hello).result(timeout=10)
         except RemoteError:
+            if self._require_session:
+                raise
             return 1
         if isinstance(ack.get("caps"), dict):
             self.wire_caps = ack["caps"]
+        granted = ack.get("session")
+        if isinstance(granted, dict):
+            self.session_id = granted.get("id")
+            self.session_token = granted.get("token")
         self._wire.version = min(max_version, ack["version"])
         self._apply_negotiated_caps()
         return self._wire.version
 
     def _request(self, body):
-        """Send a daemon-surface request (echo/start_worker/...)."""
+        """Send a daemon-surface request (echo/status/start_worker/...)."""
         request = AsyncRequest()
         req_id = self._register_pending(request)
         self._send_frame_locked((body[0], req_id) + tuple(body[1:]))
         return request
 
-    def _call_message(self, call_id, method, args, kwargs):
-        return ("call", call_id, self.worker_id, method, args, kwargs)
-
-    def _mcall_message(self, call_id, calls):
-        return ("mcall", call_id, self.worker_id, calls)
+    # -- daemon surface ---------------------------------------------------------
 
     def echo(self, payload):
         """Round-trip *payload* through the daemon (bench surface)."""
         return self._request(("echo", payload)).result()
 
+    def status(self):
+        """The daemon's per-session status dict for this connection."""
+        return self._request(("status",)).result(timeout=10)
+
+    def close_session(self):
+        """Ask the daemon to stop this session's pilots and drop it."""
+        try:
+            return self._request(("close_session",)).result(timeout=10)
+        except (ProtocolError, RemoteError, TimeoutError):
+            return False
+
+    def close(self):
+        """Drop the connection (the daemon reaps an empty session)."""
+        self._stopped = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    stop = close
+
+
+class DistributedChannel(_DaemonLink):
+    """Channel from the coupler to a daemon-managed (remote) worker."""
+
+    def __init__(self, interface_factory, daemon=None, address=None,
+                 resource="local", node_count=1,
+                 max_version=PROTOCOL_VERSION, worker_mode=None,
+                 compress="auto", compress_min=None, session=None,
+                 daemon_host=None, daemon_port=None,
+                 _from_session=False):
+        if daemon_host is not None or daemon_port is not None:
+            _warn_deprecated(
+                "daemon-host-port",
+                "the daemon_host/daemon_port kwargs are deprecated; "
+                "pass address=(host, port) or use "
+                "repro.distributed.connect()",
+            )
+            if address is None and daemon is None:
+                address = (daemon_host or "127.0.0.1", int(daemon_port))
+        if session is not None:
+            _from_session = True
+        if not _from_session:
+            _warn_deprecated(
+                "direct-distributed-channel",
+                "constructing DistributedChannel directly is "
+                "deprecated; use repro.distributed.connect() and "
+                "Session.code() to place pilots",
+            )
+        super().__init__(
+            daemon=daemon, address=address, resource=resource,
+            max_version=max_version, compress=compress,
+            compress_min=compress_min, session=session,
+        )
+        self.node_count = int(node_count)
+        self.worker_mode = worker_mode
+
+        factory_bytes = pickle.dumps(interface_factory, protocol=5)
+        # worker_mode=None keeps the pre-subprocess 3-tuple shape, so
+        # this client still talks to older daemons (which then apply
+        # their own default mode); a granted session id rides after the
+        # mode so the daemon can pin the pilot to this tenant
+        start = ("start_worker", factory_bytes, resource, node_count)
+        if worker_mode is not None or self.session_id is not None:
+            start += (worker_mode,)
+        if self.session_id is not None:
+            start += (self.session_id,)
+        self.worker_id = self._request(start).result()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _call_message(self, call_id, method, args, kwargs):
+        message = ("call", call_id, self.worker_id, method, args, kwargs)
+        if self.session_id is not None:
+            message += (self.session_id,)
+        return message
+
+    def _mcall_message(self, call_id, calls):
+        message = ("mcall", call_id, self.worker_id, calls)
+        if self.session_id is not None:
+            message += (self.session_id,)
+        return message
+
     def stop(self):
         # _stopped may already be set by the reader's loss cleanup;
         # the socket still needs releasing in that case
         if not self._stopped:
+            stop = ("stop_worker", self.worker_id)
+            if self.session_id is not None:
+                stop += (self.session_id,)
             try:
-                self._request(("stop_worker", self.worker_id)).result(
-                    timeout=10
-                )
+                self._request(stop).result(timeout=10)
             except (ProtocolError, RemoteError, TimeoutError):
                 pass
             self._stopped = True

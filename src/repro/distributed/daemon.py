@@ -10,35 +10,46 @@ connection is over 8Gbit/second even on a modest laptop, has a[n]
 extremely small latency." (paper Sec. 5)
 
 This daemon is a REAL loopback TCP server speaking the AMUSE frame
-protocol.  The coupler-side :class:`DistributedChannel` starts workers
-through it and routes every RPC through the daemon socket — the extra
-hop whose cost the paper measures (and ``benchmarks/bench_loopback.py``
-reproduces).  Workers run in daemon-side threads by default, standing in
-for the remote proxy+worker pair (the *modeled* wide-area side lives in
-:mod:`repro.distributed.core`); with ``worker_mode="subprocess"`` each
-pilot spawns a real child process instead, so daemon-hosted models
-overlap real compute.
+protocol — and, beyond the paper's single-script assumption, a
+**multi-session scheduler**: every connection is attached to a session
+minted (or joined, via its unguessable token) at hello time, pilots
+live in per-session namespaces, pilot calls pass fair admission
+control (FIFO within a session, round-robin across sessions), per
+-session accounting is served on a ``status`` endpoint, idle sessions
+are reaped, and a warm pool of pre-spawned subprocess workers cuts
+time-to-first-evolve for subprocess/shm pilots.  Start it as a real
+service::
+
+    python -m repro.distributed.daemon --port 7654 --warm-pool 2 \
+        --max-sessions 8 --idle-timeout 300
+
+and connect with :func:`repro.distributed.connect`.
 
 Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
 
 * ``("hello", req_id, max_version[, caps])`` — wire-version
   negotiation; the optional *caps* dict may offer per-buffer
-  compression codecs, which the daemon acks with the first one it can
-  load (WAN-profile clients use this to shrink the transfers whose
-  modeled link is the bottleneck)
+  compression codecs and a ``session`` entry (``{"join": token}`` to
+  attach to an existing session, ``{"name": ...}`` to label a new
+  one).  The ack carries the granted ``{"id", "token"}`` pair.
 * ``("start_worker", req_id, factory_bytes, resource, node_count
-  [, worker_mode])`` — *worker_mode* ("thread", "subprocess" or
-  "shm") overrides the daemon's default; "subprocess" pilots spawn a
-  REAL child process per worker (its own interpreter and GIL) driven
-  through a :class:`~repro.rpc.subproc.SubprocessChannel`, and "shm"
-  pilots drive that child over shared-memory segments (zero wire
-  copies on the daemon→worker leg)
-* ``("call", req_id, worker_id, method, args, kwargs)``
-* ``("mcall", req_id, worker_id, [(method, args, kwargs), ...])`` —
-  pipelined batch, executed in order, answered with one mresult frame
+  [, worker_mode[, session_id]])`` — *worker_mode* ("thread",
+  "subprocess" or "shm") overrides the daemon's default; subprocess
+  and shm pilots are claimed from the warm pool when one is parked
+* ``("call", req_id, worker_id, method, args, kwargs[, session_id])``
+* ``("mcall", req_id, worker_id, [(method, args, kwargs), ...]
+  [, session_id])`` — pipelined batch, one mresult frame
 * ``("echo", req_id, payload)`` — the loopback benchmark message
-* ``("stop_worker", req_id, worker_id)`` / ``("list_workers", req_id)``
-* ``("shutdown", req_id)``
+  (ungated by admission: it measures the wire, not the scheduler)
+* ``("stop_worker", req_id, worker_id[, session_id])``
+* ``("list_workers", req_id)`` — this session's pilots only
+* ``("status", req_id)`` — session accounting + daemon load
+* ``("close_session", req_id)`` / ``("shutdown", req_id)``
+
+A frame-carried ``session_id`` must match the session the connection
+authenticated into at hello — the id alone is no credential, the join
+token is; worker ids are resolved ONLY inside the owning session's
+namespace, so cross-tenant addressing fails even with a guessed id.
 
 Connections start on v1 framing; a hello upgrades the connection to the
 zero-copy v2 framing (out-of-band buffers, scatter-gather send) when
@@ -49,9 +60,11 @@ without re-pickling their contents into an intermediate payload.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import socket
 import threading
+import time
 import traceback
 
 from ..rpc.channel import call_entry
@@ -65,8 +78,11 @@ from ..rpc.protocol import (
     send_frame_v2,
 )
 from ..rpc.subproc import SubprocessChannel
+from .session import AdmissionController, SessionState, WarmWorkerPool
 
-__all__ = ["IbisDaemon"]
+__all__ = ["IbisDaemon", "main"]
+
+logger = logging.getLogger("repro.distributed.daemon")
 
 #: pilot modes a start_worker frame may ask for
 _WORKER_MODES = ("thread", "subprocess", "shm")
@@ -79,6 +95,7 @@ class _ThreadWorker:
 
     mode = "thread"
     pid = None
+    warm_hit = False
 
     def __init__(self, interface):
         self.interface = interface
@@ -98,17 +115,37 @@ class _SubprocessWorker:
     proxy+worker pair: the daemon forwards calls to a child that owns
     its interpreter (and its GIL).  ``shm=True`` is the per-pilot
     transport upgrade: the daemon→child leg moves array payloads
-    through shared-memory segments instead of the socket."""
+    through shared-memory segments instead of the socket.
 
-    def __init__(self, factory, shm=False):
+    When a *warm_pool* is passed, the worker first tries to claim a
+    parked pre-spawned child and activate it with the tenant's factory
+    — skipping interpreter startup and the preloaded imports; a pool
+    miss (or a failed activation) falls back to the cold spawn."""
+
+    def __init__(self, factory, shm=False, warm_pool=None):
         options = {}
         if shm:
             from ..rpc.shm import DEFAULT_SEGMENT_SIZE
 
             options["shm_segment_size"] = DEFAULT_SEGMENT_SIZE
         self.mode = "shm" if shm else "subprocess"
-        self.channel = SubprocessChannel(factory, **options)
-        self.pid = self.channel.pid
+        self.warm_hit = False
+        channel = None
+        if warm_pool is not None:
+            channel = warm_pool.claim()
+        if channel is not None:
+            try:
+                channel.activate(factory, **options)
+                self.warm_hit = True
+            except Exception:  # noqa: BLE001 - warm claim best-effort
+                logger.exception(
+                    "warm worker activation failed; cold-spawning"
+                )
+                channel = None
+        if channel is None:
+            channel = SubprocessChannel(factory, **options)
+        self.channel = channel
+        self.pid = channel.pid
 
     def call(self, method, *args, **kwargs):
         return self.channel.call(method, *args, **kwargs)
@@ -118,67 +155,218 @@ class _SubprocessWorker:
 
 
 class IbisDaemon:
-    """Loopback TCP daemon hosting AMUSE workers.
+    """Loopback TCP daemon hosting AMUSE workers for many sessions.
 
-    Start once per user machine::
+    Start once per machine::
 
-        daemon = IbisDaemon()
+        daemon = IbisDaemon(warm_pool=2, idle_timeout=300)
         daemon.start()
         ...
         daemon.shutdown()
+
+    *warm_pool* pre-spawns that many parked subprocess workers;
+    *max_sessions* bounds concurrent tenants (hello past the limit is
+    rejected); *idle_timeout* reaps sessions (stopping their pilots
+    via the stop→terminate→kill escalation) after that many idle
+    seconds; *max_active* caps concurrently-executing pilot calls
+    (defaults to the core count).
     """
 
-    def __init__(self, host="127.0.0.1", max_version=PROTOCOL_VERSION,
-                 worker_mode="thread"):
+    def __init__(self, host="127.0.0.1", port=0,
+                 max_version=PROTOCOL_VERSION, worker_mode="thread",
+                 warm_pool=0, max_sessions=None, idle_timeout=None,
+                 max_active=None, drain_timeout=5.0):
         if worker_mode not in _WORKER_MODES:
             raise ValueError(
                 f"unknown worker mode {worker_mode!r}; "
                 f"known: {sorted(_WORKER_MODES)}"
             )
         self._host = host
+        self._port = int(port)
         self._max_version = max_version
         self._worker_mode = worker_mode
+        self._warm_size = int(warm_pool)
+        self._max_sessions = max_sessions
+        self._idle_timeout = idle_timeout
+        self._max_active = max_active
+        self._drain_timeout = float(drain_timeout)
         self._listener = None
         self._accept_thread = None
-        self._workers = {}
-        self._worker_meta = {}
+        self._reaper_thread = None
+        self._sessions = {}
+        self._by_token = {}
         self._worker_ids = iter(range(1, 1 << 30))
         self._lock = threading.Lock()
+        self._conns = set()
+        self._serve_threads = set()
         self._running = False
+        self._started_at = None
+        self.admission = None
+        self.warm_pool = None
+        self.reaped_sessions = 0
         self.address = None
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self):
+        return self._running
 
     def start(self):
         self._listener = socket.socket(
             socket.AF_INET, socket.SOCK_STREAM
         )
-        self._listener.bind((self._host, 0))
-        self._listener.listen(8)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind((self._host, self._port))
+        self._listener.listen(16)
         self.address = self._listener.getsockname()
+        self._started_at = time.monotonic()
         self._running = True
+        self.admission = AdmissionController(slots=self._max_active)
+        if self._warm_size > 0:
+            self.warm_pool = WarmWorkerPool(self._warm_size)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True
         )
         self._accept_thread.start()
+        if self._idle_timeout is not None:
+            self._reaper_thread = threading.Thread(
+                target=self._reap_loop, daemon=True
+            )
+            self._reaper_thread.start()
         return self.address
 
     def shutdown(self):
-        self._running = False
+        """Deterministic teardown: stop admitting pilot calls, DRAIN
+        the in-flight ones (bounded), then stop pools/workers and close
+        the client connections — the order that makes shutdown during
+        an in-flight call race-free instead of best-effort."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
         try:
             self._listener.close()
         except OSError:
             pass
+        if self.admission is not None:
+            drained = self.admission.close(self._drain_timeout)
+            if not drained:
+                logger.warning(
+                    "shutdown: pilot calls still running after "
+                    "%.1fs drain", self._drain_timeout,
+                )
+        if self.warm_pool is not None:
+            self.warm_pool.stop()
         with self._lock:
-            for worker in self._workers.values():
-                try:
-                    worker.stop()
-                except Exception:  # noqa: BLE001
-                    pass
-            self._workers.clear()
-            self._worker_meta.clear()
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._by_token.clear()
+        for session in sessions:
+            self._stop_session_workers(session)
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        current = threading.current_thread()
+        with self._lock:
+            threads = list(self._serve_threads)
+        for thread in threads:
+            if thread is not current:
+                thread.join(timeout=2.0)
+        if self._accept_thread is not None \
+                and self._accept_thread is not current:
+            self._accept_thread.join(timeout=2.0)
 
-    # -- serving -----------------------------------------------------------------
+    # -- session management ------------------------------------------------
+
+    def _attach_session(self, state, request):
+        """Attach this connection to a session: join by token, or mint
+        a new one (subject to --max-sessions)."""
+        if state["session"] is not None:
+            return state["session"]
+        name = token = None
+        if isinstance(request, dict):
+            name = request.get("name")
+            token = request.get("join")
+        with self._lock:
+            if token is not None:
+                session = self._by_token.get(token)
+                if session is None:
+                    raise ProtocolError("unknown session token")
+            else:
+                if self._max_sessions is not None \
+                        and len(self._sessions) >= self._max_sessions:
+                    raise ProtocolError(
+                        f"session limit reached "
+                        f"({self._max_sessions})"
+                    )
+                session = SessionState(name=name)
+                self._sessions[session.sid] = session
+                self._by_token[session.token] = session
+            session.connections += 1
+        state["session"] = session
+        return session
+
+    def _drop_session_locked(self, session):
+        self._sessions.pop(session.sid, None)
+        self._by_token.pop(session.token, None)
+
+    def _stop_session_workers(self, session):
+        with self._lock:
+            workers = list(session.workers.values())
+            session.workers.clear()
+            session.worker_meta.clear()
+        for worker in workers:
+            try:
+                worker.stop()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    def _reap_loop(self):
+        interval = min(max(self._idle_timeout / 4.0, 0.05), 1.0)
+        while self._running:
+            time.sleep(interval)
+            self.reap_idle_sessions()
+
+    def reap_idle_sessions(self):
+        """Reap sessions idle past the timeout (no in-flight calls):
+        their pilots are stopped via the existing stop→terminate→kill
+        escalation, freeing subprocess children and /dev/shm segments.
+        Returns the number of sessions reaped."""
+        if self._idle_timeout is None or not self._running:
+            return 0
+        with self._lock:
+            expired = [
+                session for session in self._sessions.values()
+                if session.active_calls == 0
+                and session.idle_for() >= self._idle_timeout
+            ]
+            for session in expired:
+                self._drop_session_locked(session)
+        for session in expired:
+            logger.info(
+                "reaping idle session %s (idle %.1fs, %d workers)",
+                session.sid, session.idle_for(), len(session.workers),
+            )
+            self._stop_session_workers(session)
+        self.reaped_sessions += len(expired)
+        return len(expired)
+
+    def _validate_sid(self, session, sid):
+        if sid is not None and sid != session.sid:
+            raise ProtocolError(
+                f"session mismatch: frame carries {sid!r}, "
+                f"connection authenticated as {session.sid!r}"
+            )
+
+    # -- serving -----------------------------------------------------------
 
     def _accept_loop(self):
         while self._running:
@@ -187,44 +375,88 @@ class IbisDaemon:
             except OSError:
                 return
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns.add(conn)
             handler = threading.Thread(
                 target=self._serve, args=(conn,), daemon=True
             )
+            with self._lock:
+                self._serve_threads.add(handler)
             handler.start()
 
     def _serve(self, conn):
         wire = WireState()
+        state = {"session": None}
+        received_mark = 0
 
         def reply_frame(message):
             if wire.version >= 2:
-                send_frame_v2(conn, message, wire)
+                sent = send_frame_v2(conn, message, wire)
             else:
-                send_frame(conn, message)
+                sent = send_frame(conn, message)
+            session = state["session"]
+            if session is not None:
+                session.accounting["bytes_out"] += sent
 
         try:
             while True:
                 try:
                     message = recv_frame(conn, wire)
-                except ProtocolError:
+                except (ProtocolError, OSError):
+                    # peer went away — or shutdown closed this socket
+                    # under us while we blocked in recv
                     return
+                delta_in = wire.bytes_received - received_mark
+                received_mark = wire.bytes_received
+                session = state["session"]
+                if session is not None:
+                    session.accounting["bytes_in"] += delta_in
+                    session.touch()
                 kind, req_id, *rest = message
                 if kind == "hello" and self._max_version >= 2:
                     wire.version = min(int(rest[0]), self._max_version)
                     ack = {"version": wire.version}
-                    if len(rest) >= 2 and isinstance(rest[1], dict):
+                    offer = rest[1] if len(rest) >= 2 \
+                        and isinstance(rest[1], dict) else {}
+                    fresh = state["session"] is None
+                    try:
+                        session = self._attach_session(
+                            state, offer.get("session")
+                        )
+                    except ProtocolError as exc:
+                        reply_frame(
+                            ("error", req_id, type(exc).__name__,
+                             str(exc), traceback.format_exc()),
+                        )
+                        continue
+                    if fresh:
+                        # the top-of-loop accounting ran before this
+                        # connection had a session; backfill the hello
+                        session.accounting["bytes_in"] += delta_in
+                    session.touch()
+                    if offer:
                         # capability offer (codec list): the daemon is
                         # the WAN-relay end, so a negotiated codec
                         # shrinks exactly the modeled-bottleneck hop
-                        ack["caps"] = accept_capabilities(
-                            rest[1], wire
-                        )
+                        ack["caps"] = accept_capabilities(offer, wire)
+                    ack["session"] = {
+                        "id": session.sid, "token": session.token,
+                    }
                     reply_frame(("result", req_id, ack))
                     continue
                 # a max_version=1 daemon behaves exactly like a pre-v2
                 # one: hello falls through to the unknown-kind error
                 try:
-                    reply = self._dispatch(kind, rest)
+                    if session is None:
+                        # v1 / no-hello client: implicit single-tenant
+                        # session, exactly the paper's original model
+                        session = self._attach_session(state, None)
+                        session.accounting["bytes_in"] += delta_in
+                        session.touch()
+                    reply = self._handle(session, kind, rest)
                 except BaseException as exc:  # noqa: BLE001 - to peer
+                    if session is not None:
+                        session.accounting["errors"] += 1
                     reply_frame(
                         ("error", req_id, type(exc).__name__,
                          str(exc), traceback.format_exc()),
@@ -238,37 +470,100 @@ class IbisDaemon:
                     self.shutdown()
                     return
         finally:
+            with self._lock:
+                self._conns.discard(conn)
+                self._serve_threads.discard(
+                    threading.current_thread()
+                )
             try:
                 conn.close()
             except OSError:
                 pass
+            session = state["session"]
+            if session is not None:
+                with self._lock:
+                    session.connections -= 1
+                    if session.connections <= 0 \
+                            and not session.workers:
+                        # a tenant whose every connection is gone and
+                        # that left no pilots behind holds nothing
+                        self._drop_session_locked(session)
 
-    def _run_worker_call(self, worker_id, method, args, kwargs):
+    def _handle(self, session, kind, rest):
+        """Dispatch one non-hello frame; pilot calls pass admission.
+
+        EVERY in-flight frame counts in ``active_calls`` — a session
+        mid-``start_worker`` (a cold spawn takes longer than a short
+        idle timeout) must not look idle to the reaper."""
         with self._lock:
-            worker = self._workers.get(worker_id)
+            session.active_calls += 1
+        try:
+            if kind in ("call", "mcall"):
+                admission = self.admission
+                if admission is None:
+                    raise ProtocolError("daemon not started")
+                try:
+                    delay, overloaded = admission.acquire(session.sid)
+                except RuntimeError as exc:
+                    raise ProtocolError(str(exc)) from None
+                session.accounting["queue_s"] += delay
+                if overloaded:
+                    session.accounting["queue_warnings"] += 1
+                    logger.warning(
+                        "daemon load %.2f above %.2f: session %s "
+                        "queued %.1f ms", admission.load,
+                        admission.warn_load, session.sid, delay * 1e3,
+                    )
+                started = time.monotonic()
+                try:
+                    return self._dispatch(session, kind, rest)
+                finally:
+                    session.accounting["compute_s"] += \
+                        time.monotonic() - started
+                    admission.release()
+            return self._dispatch(session, kind, rest)
+        finally:
+            with self._lock:
+                session.active_calls -= 1
+            session.touch()
+
+    def _run_worker_call(self, session, worker_id, method, args,
+                         kwargs):
+        with self._lock:
+            worker = session.workers.get(worker_id)
         if worker is None:
-            raise KeyError(f"unknown worker {worker_id}")
+            raise KeyError(
+                f"unknown worker {worker_id} in session {session.sid}"
+            )
         return worker.call(method, *args, **kwargs)
 
-    def _dispatch(self, kind, rest):
+    def _dispatch(self, session, kind, rest):
         if kind == "echo":
             (payload,) = rest
             return payload
         if kind == "start_worker":
             # pre-subprocess clients send a 3-tuple (no worker_mode);
-            # they get the daemon's default mode
+            # they get the daemon's default mode.  Session-aware
+            # clients append their sid after the mode.
             factory_bytes, resource, node_count, *opt = rest
             worker_mode = opt[0] if opt and opt[0] is not None else \
                 self._worker_mode
+            self._validate_sid(
+                session, opt[1] if len(opt) >= 2 else None
+            )
             factory = pickle.loads(factory_bytes)
             if worker_mode in ("subprocess", "shm"):
                 worker = _SubprocessWorker(
-                    factory, shm=(worker_mode == "shm")
+                    factory, shm=(worker_mode == "shm"),
+                    warm_pool=self.warm_pool,
                 )
                 code_name = getattr(
                     getattr(factory, "func", factory), "__name__",
                     type(factory).__name__,
                 )
+                key = "warm_hits" if worker.warm_hit else \
+                    "cold_spawns"
+                session.accounting[key] += 1
             elif worker_mode == "thread":
                 worker = _ThreadWorker(factory())
                 code_name = type(worker.interface).__name__
@@ -278,42 +573,93 @@ class IbisDaemon:
                     f"known: {sorted(_WORKER_MODES)}"
                 )
             with self._lock:
-                worker_id = next(self._worker_ids)
-                self._workers[worker_id] = worker
-                self._worker_meta[worker_id] = {
-                    "resource": resource,
-                    "node_count": node_count,
-                    "code": code_name,
-                    "mode": worker.mode,
-                    "pid": worker.pid,
-                }
+                # a session reaped or closed while the worker spawned
+                # must not adopt it — the orphan would outlive every
+                # stop path (and leak its /dev/shm segments)
+                live = session.sid in self._sessions
+                if live:
+                    worker_id = next(self._worker_ids)
+                    session.workers[worker_id] = worker
+                    session.worker_meta[worker_id] = {
+                        "resource": resource,
+                        "node_count": node_count,
+                        "code": code_name,
+                        "mode": worker.mode,
+                        "pid": worker.pid,
+                        "warm": worker.warm_hit,
+                    }
+            if not live:
+                try:
+                    worker.stop()
+                except Exception:  # noqa: BLE001 - teardown best-effort
+                    pass
+                raise ProtocolError(
+                    f"session {session.sid} expired while the worker "
+                    "was starting"
+                )
             return worker_id
         if kind == "call":
-            worker_id, method, args, kwargs = rest
-            return self._run_worker_call(worker_id, method, args, kwargs)
+            worker_id, method, args, kwargs, *opt = rest
+            self._validate_sid(session, opt[0] if opt else None)
+            session.accounting["calls"] += 1
+            return self._run_worker_call(
+                session, worker_id, method, args, kwargs
+            )
         if kind == "mcall":
-            worker_id, calls = rest
+            worker_id, calls, *opt = rest
+            self._validate_sid(session, opt[0] if opt else None)
+            session.accounting["calls"] += len(calls)
             return [
                 call_entry(
                     lambda m=method, a=args, k=kwargs:
-                    self._run_worker_call(worker_id, m, a, k)
+                    self._run_worker_call(session, worker_id, m, a, k)
                 )
                 for method, args, kwargs in calls
             ]
         if kind == "stop_worker":
-            (worker_id,) = rest
+            worker_id, *opt = rest
+            self._validate_sid(session, opt[0] if opt else None)
             with self._lock:
-                worker = self._workers.pop(worker_id, None)
-                self._worker_meta.pop(worker_id, None)
+                worker = session.workers.pop(worker_id, None)
+                session.worker_meta.pop(worker_id, None)
             if worker is not None:
                 worker.stop()
             return True
         if kind == "list_workers":
             with self._lock:
-                return dict(self._worker_meta)
+                return dict(session.worker_meta)
+        if kind == "status":
+            return self._status(session)
+        if kind == "close_session":
+            with self._lock:
+                self._drop_session_locked(session)
+            self._stop_session_workers(session)
+            return True
         if kind == "shutdown":
             return True
         raise ProtocolError(f"unknown daemon message kind {kind!r}")
+
+    def _status(self, session):
+        with self._lock:
+            n_sessions = len(self._sessions)
+        uptime = 0.0 if self._started_at is None else \
+            time.monotonic() - self._started_at
+        return {
+            "session": session.snapshot(),
+            "daemon": {
+                "sessions": n_sessions,
+                "reaped_sessions": self.reaped_sessions,
+                "worker_mode": self._worker_mode,
+                "idle_timeout": self._idle_timeout,
+                "max_sessions": self._max_sessions,
+                "uptime_s": round(uptime, 3),
+                "admission": self.admission.stats()
+                if self.admission is not None else None,
+                "warm_pool": self.warm_pool.stats()
+                if self.warm_pool is not None
+                else {"size": 0, "idle": 0, "claimed": 0},
+            },
+        }
 
     # -- convenience ---------------------------------------------------------------
 
@@ -324,3 +670,81 @@ class IbisDaemon:
     def __exit__(self, *exc):
         self.shutdown()
         return False
+
+
+def main(argv=None):
+    """Run the daemon as a service: ``python -m
+    repro.distributed.daemon --port 7654 --warm-pool 2``.
+
+    Prints the bound ``host:port`` on stdout (port 0 picks a free
+    one), then serves until a client sends ``shutdown`` or SIGINT."""
+    import argparse
+
+    from .. import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro.distributed.daemon",
+        description="Ibis daemon: multi-session loopback gateway "
+                    "hosting AMUSE workers (paper Sec. 5).",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--warm-pool", type=int, default=0, metavar="N",
+        help="pre-spawn N parked subprocess workers",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None, metavar="M",
+        help="reject hello past M concurrent sessions",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="reap sessions idle for S seconds",
+    )
+    parser.add_argument(
+        "--max-active", type=int, default=None,
+        help="concurrently executing pilot calls "
+             "(default: core count)",
+    )
+    parser.add_argument(
+        "--worker-mode", default="thread", choices=_WORKER_MODES,
+        help="default pilot mode for start_worker frames",
+    )
+    args = parser.parse_args(argv)
+
+    daemon = IbisDaemon(
+        host=args.host, port=args.port, worker_mode=args.worker_mode,
+        warm_pool=args.warm_pool, max_sessions=args.max_sessions,
+        idle_timeout=args.idle_timeout, max_active=args.max_active,
+    )
+    host, port = daemon.start()
+    if daemon.warm_pool is not None:
+        # announce only once the pool is filled: the first client to
+        # race in after the banner deserves a warm hit, not a cold
+        # spawn with a pool still mid-fill behind it
+        daemon.warm_pool.ready(timeout=60.0)
+    print(f"ibis daemon listening on {host}:{port}", flush=True)
+    try:
+        while daemon.running:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,10 +1,12 @@
 """RPC layer: wire protocol, channels, async requests and futures."""
 
 from .channel import (
+    TRANSPORT_STAT_KEYS,
     AsyncRequest,
     Channel,
     DirectChannel,
     SocketChannel,
+    merge_transport_stats,
     new_channel,
     register_channel_factory,
     worker_loop,
@@ -46,7 +48,9 @@ __all__ = [
     "ShmChannel",
     "SocketChannel",
     "SubprocessChannel",
+    "TRANSPORT_STAT_KEYS",
     "as_completed",
+    "merge_transport_stats",
     "new_channel",
     "register_channel_factory",
     "remote_method",

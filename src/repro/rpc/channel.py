@@ -65,6 +65,8 @@ __all__ = [
     "Channel",
     "DirectChannel",
     "SocketChannel",
+    "TRANSPORT_STAT_KEYS",
+    "merge_transport_stats",
     "new_channel",
     "register_channel_factory",
     "worker_loop",
@@ -249,6 +251,55 @@ class _BatchContext:
         return False
 
 
+#: the canonical :attr:`Channel.transport_stats` keys — every channel
+#: type (direct/sockets/subprocess/shm/distributed) reports exactly this
+#: set, with zeros/None where a transport feature does not apply, so
+#: monitoring and the session accounting can aggregate without
+#: per-channel special cases
+TRANSPORT_STAT_KEYS = (
+    "channel",
+    "wire_version",
+    "codec",
+    "shm",
+    "cancel",
+    "bytes_sent",
+    "bytes_received",
+    "frames_sent",
+    "frames_received",
+    "raw_buffer_bytes",
+    "wire_buffer_bytes",
+    "compressed_bytes",
+    "shm_buffer_bytes",
+)
+
+
+def merge_transport_stats(stats_iterable):
+    """Sum several channels' :attr:`~Channel.transport_stats` dicts into
+    one aggregate (numeric keys add; descriptive keys collect the set of
+    distinct values).  The session accounting surface."""
+    totals = {key: 0 for key in TRANSPORT_STAT_KEYS
+              if key not in ("channel", "wire_version", "codec",
+                             "shm", "cancel")}
+    channels = []
+    codecs = set()
+    shm = cancel = False
+    count = 0
+    for stats in stats_iterable:
+        count += 1
+        channels.append(stats.get("channel"))
+        if stats.get("codec"):
+            codecs.add(stats["codec"])
+        shm = shm or bool(stats.get("shm"))
+        cancel = cancel or bool(stats.get("cancel"))
+        for key in totals:
+            totals[key] += int(stats.get(key) or 0)
+    totals.update(
+        channels=channels, codecs=sorted(codecs), shm=shm,
+        cancel=cancel, channel_count=count,
+    )
+    return totals
+
+
 class Channel:
     """Abstract worker channel."""
 
@@ -261,6 +312,27 @@ class Channel:
     def __init__(self):
         self._batch_depth = 0
         self._batch_entries = []
+
+    @property
+    def transport_stats(self):
+        """Uniform transport summary: the same keys on EVERY channel
+        type (:data:`TRANSPORT_STAT_KEYS`), zeros where inapplicable.
+        Stream channels override the values, never the shape."""
+        return {
+            "channel": self.kind,
+            "wire_version": self.wire_version,
+            "codec": None,
+            "shm": False,
+            "cancel": False,
+            "bytes_sent": getattr(self, "bytes_sent", 0),
+            "bytes_received": getattr(self, "bytes_received", 0),
+            "frames_sent": 0,
+            "frames_received": 0,
+            "raw_buffer_bytes": 0,
+            "wire_buffer_bytes": 0,
+            "compressed_bytes": 0,
+            "shm_buffer_bytes": 0,
+        }
 
     def call(self, method, *args, **kwargs):
         raise NotImplementedError
@@ -397,6 +469,7 @@ class StreamChannel(Channel):
         self._stop_timeout = 10.0  # subclasses may override
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.frames_sent = 0
         self._sock = None          # set by the subclass __init__
         self._wire = WireState()   # upgraded after the hello handshake
         self.wire_caps = {}        # the peer's capability ack
@@ -445,6 +518,7 @@ class StreamChannel(Channel):
                 )
             else:
                 self.bytes_sent += send_frame(self._sock, message)
+            self.frames_sent += 1
 
     def _dispatch_call(self, method, args, kwargs):
         request = AsyncRequest()
@@ -482,6 +556,7 @@ class StreamChannel(Channel):
                     self.bytes_sent += send_cancel_frame(
                         self._sock, ack_id, call_id
                     )
+                    self.frames_sent += 1
             except (ProtocolError, OSError):
                 pass            # peer is gone; local abandon suffices
             else:
@@ -608,15 +683,22 @@ class StreamChannel(Channel):
 
     @property
     def transport_stats(self):
-        """Negotiated-transport summary (bench/monitoring surface)."""
+        """Negotiated-transport summary (bench/monitoring surface);
+        same keys as every other channel type."""
         wire = self._wire
         return {
+            "channel": self.kind,
             "wire_version": wire.version,
             "codec": wire.codec.name if wire.codec else None,
             "shm": wire.shm_active,
             "cancel": wire.cancel,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": wire.bytes_received,
+            "frames_sent": self.frames_sent,
+            "frames_received": wire.frames_received,
             "raw_buffer_bytes": wire.raw_buffer_bytes,
             "wire_buffer_bytes": wire.wire_buffer_bytes,
+            "compressed_bytes": wire.compressed_bytes,
             "shm_buffer_bytes": wire.shm_buffer_bytes,
         }
 
@@ -638,7 +720,8 @@ class StreamChannel(Channel):
         self.bytes_sent += send_frame(
             self._sock, ("hello", 0, max_version, (), hello_kwargs)
         )
-        reply = recv_frame(self._sock)
+        self.frames_sent += 1
+        reply = recv_frame(self._sock, self._wire)
         if reply[0] == "result":
             ack = reply[2]
             if isinstance(ack.get("caps"), dict):

@@ -120,6 +120,7 @@ from __future__ import annotations
 
 import functools
 import pickle
+import secrets
 import struct
 import threading
 import zlib
@@ -140,6 +141,7 @@ __all__ = [
     "negotiate_codec",
     "resolve_compress_offer",
     "accept_capabilities",
+    "new_session_id",
     "pack_frame",
     "encode_frame_v2",
     "send_frame",
@@ -369,6 +371,13 @@ class WireState:
         self.raw_buffer_bytes = 0
         self.wire_buffer_bytes = 0
         self.shm_buffer_bytes = 0
+        #: post-compression bytes actually written for AMSC frames
+        self.compressed_bytes = 0
+        #: receive-side totals (kept here because only the receive path
+        #: sees the frame sizes; :func:`recv_frame` updates them when
+        #: handed a wire state)
+        self.bytes_received = 0
+        self.frames_received = 0
 
     def add_freed(self, offsets):
         """Record consumed peer-arena offsets for the next send."""
@@ -426,6 +435,16 @@ def accept_capabilities(offered, wire, allow_cancel=False):
                 wire.shm_min = int(shm_offer["shm_min"])
             accepted["shm"] = True
     return accepted
+
+
+def new_session_id():
+    """Mint an unguessable wire identifier.
+
+    Used by the multi-session daemon for session ids and join tokens:
+    a tenant can only address pilots inside a session whose token it
+    was handed at hello time, so ids must not be enumerable.
+    """
+    return secrets.token_hex(8)
 
 
 # -- out-of-band payload helpers (also used by repro.mpi.comm) -------------
@@ -610,6 +629,7 @@ def _send_frame_compressed(sock, wire, meta, buffers):
             f"frame too large: {block_len + payload} bytes"
         )
     wire.wire_buffer_bytes += payload
+    wire.compressed_bytes += payload
     head = HEADER.pack(MAGIC_COMPRESS, block_len)
     codec_head = COMPRESS_HEAD.pack(nbuf, codec.codec_id)
     return _sendmsg_all(sock, [head, codec_head, *table, meta, *parts])
@@ -703,7 +723,8 @@ def recv_frame(sock, wire=None):
 
     Compressed (AMSC) frames are self-describing — the codec id is in
     the block — so *wire* is only needed for shm (AMSH) frames, whose
-    descriptors reference the peer's arena attached on *wire*.
+    descriptors reference the peer's arena attached on *wire* — and for
+    the receive-side byte/frame accounting it accumulates.
     """
     header = _recv_exact(sock, HEADER.size)
     magic = header[:4]
@@ -713,6 +734,7 @@ def recv_frame(sock, wire=None):
             raise ProtocolError(f"frame too large: {length} bytes")
         payload = bytearray(length)
         _recv_exact_into(sock, payload)
+        _count_received(wire, HEADER.size + length)
         return pickle.loads(payload)
     if magic == MAGIC2:
         (block_len,) = struct.unpack("<I", header[4:])
@@ -734,10 +756,11 @@ def recv_frame(sock, wire=None):
             buf = bytearray(length)
             _recv_exact_into(sock, buf)
             buffers.append(buf)
+        _count_received(wire, HEADER.size + total)
         meta = memoryview(block)[table_end:]
         return pickle.loads(meta, buffers=buffers)
     if magic == MAGIC_COMPRESS:
-        return _recv_frame_compressed(sock, header)
+        return _recv_frame_compressed(sock, header, wire)
     if magic == MAGIC_SHM:
         return _recv_frame_shm(sock, header, wire)
     if magic == MAGIC_CANCEL:
@@ -749,8 +772,16 @@ def recv_frame(sock, wire=None):
         ack_id, target = CANCEL_BODY.unpack(
             _recv_exact(sock, CANCEL_BODY.size)
         )
+        _count_received(wire, HEADER.size + CANCEL_BODY.size)
         return ("cancel", ack_id, target)
     raise ProtocolError(f"bad frame magic {magic!r}")
+
+
+def _count_received(wire, nbytes):
+    """Accumulate receive-side accounting on *wire* (no-op without one)."""
+    if wire is not None:
+        wire.bytes_received += nbytes
+        wire.frames_received += 1
 
 
 def _recv_block(sock, header):
@@ -762,7 +793,7 @@ def _recv_block(sock, header):
     return block
 
 
-def _recv_frame_compressed(sock, header):
+def _recv_frame_compressed(sock, header, wire=None):
     block = _recv_block(sock, header)
     nbuffers, codec_id = COMPRESS_HEAD.unpack_from(block)
     table_end = COMPRESS_HEAD.size + COMPRESS_ENTRY.size * nbuffers
@@ -794,6 +825,7 @@ def _recv_frame_compressed(sock, header):
                     f"expected {raw_len}"
                 )
         buffers.append(buf)
+    _count_received(wire, HEADER.size + total)
     meta = memoryview(block)[table_end:]
     return pickle.loads(meta, buffers=buffers)
 
@@ -843,5 +875,6 @@ def _recv_frame_shm(sock, header, wire):
             raise ProtocolError(f"bad shm buffer kind {kind}")
         buffers.append(buf)
     wire.add_freed(consumed)
+    _count_received(wire, HEADER.size + len(block) + total_inline)
     meta = memoryview(block)[table_end:]
     return pickle.loads(meta, buffers=buffers)

@@ -138,24 +138,35 @@ class SubprocessChannel(StreamChannel):
     kind = "subprocess"
     _lost_message = "subprocess worker connection lost"
 
-    def __init__(self, interface_factory, host="127.0.0.1",
+    def __init__(self, interface_factory=None, host="127.0.0.1",
                  max_version=PROTOCOL_VERSION,
                  worker_max_version=PROTOCOL_VERSION,
                  spawn_timeout=30.0, stop_timeout=10.0,
                  kill_timeout=5.0, compress=None, compress_min=None,
                  shm_segment_size=None, shm_min=None,
-                 worker_capabilities=True, cancellable=True):
+                 worker_capabilities=True, cancellable=True,
+                 warm=False, preload=None):
         super().__init__()
+        warm = warm or interface_factory is None
+        if warm and interface_factory is not None:
+            raise ValueError(
+                "warm=True pre-spawns a factory-less worker; pass the "
+                "interface factory to activate() instead"
+            )
         self._spawn_timeout = float(spawn_timeout)
         self._stop_timeout = float(stop_timeout)
         self._kill_timeout = float(kill_timeout)
+        self._max_version = max_version
         self._compress_min = compress_min
         self._shm_min = shm_min
+        self._cancellable = cancellable
         self._escalated = False
+        self._activated = False
         self._proc = None
         self._stderr_buf = bytearray()
         self._stderr_lock = threading.Lock()
         self._stderr_thread = None
+        self._reader_thread = None
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -171,7 +182,10 @@ class SubprocessChannel(StreamChannel):
             ]
             if not worker_capabilities:
                 command += ["--no-capabilities"]
-            spec = _interface_spec(interface_factory)
+            if preload:
+                command += ["--preload", ",".join(preload)]
+            spec = None if interface_factory is None else \
+                _interface_spec(interface_factory)
             if spec is not None:
                 command += ["--interface", spec]
             self._proc = subprocess.Popen(
@@ -184,45 +198,89 @@ class SubprocessChannel(StreamChannel):
             )
             self._stderr_thread.start()
 
+            # the child connects back only after its --preload imports
+            # completed, so a returned accept IS the warm-ready signal
             self._sock, _ = listener.accept()
             self._sock.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
-            self._sock.settimeout(self._spawn_timeout)
-            self._bootstrap(interface_factory)
-            caps = self._offer_capabilities(
-                compress=compress, compress_min=compress_min,
-                shm_segment_size=shm_segment_size, shm_min=shm_min,
-                cancellable=cancellable,
-            )
-            self.wire_version = self._negotiate_hello(max_version, caps)
-            self._apply_negotiated_caps()
-            self._sock.settimeout(None)
         except BaseException as exc:
-            self._abort_spawn(listener)
-            if isinstance(exc, (socket.timeout, OSError, ProtocolError)) \
-                    and not isinstance(exc, ConnectionLostError):
-                raise ConnectionLostError(
-                    "subprocess worker failed to come up: "
-                    f"{type(exc).__name__}: {exc}"
-                    f"{self._stderr_suffix()}",
-                    returncode=self._returncode(),
-                    stderr_tail=self._stderr_tail(),
-                ) from exc
-            raise
+            raise self._wrap_spawn_failure(exc, listener)
         finally:
             try:
                 listener.close()
             except OSError:
                 pass
 
+        if not warm:
+            self.activate(
+                interface_factory, compress=compress,
+                compress_min=compress_min,
+                shm_segment_size=shm_segment_size, shm_min=shm_min,
+            )
+
+    def activate(self, interface_factory, compress=None,
+                 compress_min=None, shm_segment_size=None,
+                 shm_min=None):
+        """Bootstrap a spawned worker: ship the factory, negotiate the
+        wire (compression/shm/cancel), start the reader thread.
+
+        Runs as part of ``__init__`` for a cold spawn; a warm-pool
+        channel (``warm=True``) parks after the spawn — interpreter up,
+        ``--preload`` imports done, child blocked waiting for the
+        factory frame — and is activated here at claim time, skipping
+        everything that makes cold spawns slow.
+        """
+        if self._activated:
+            raise ProtocolError("subprocess channel already activated")
+        self._compress_min = compress_min
+        self._shm_min = shm_min
+        try:
+            self._sock.settimeout(self._spawn_timeout)
+            self._bootstrap(interface_factory)
+            caps = self._offer_capabilities(
+                compress=compress, compress_min=compress_min,
+                shm_segment_size=shm_segment_size, shm_min=shm_min,
+                cancellable=self._cancellable,
+            )
+            self.wire_version = self._negotiate_hello(
+                self._max_version, caps
+            )
+            self._apply_negotiated_caps()
+            self._sock.settimeout(None)
+        except BaseException as exc:
+            raise self._wrap_spawn_failure(exc, None)
+        self._activated = True
         self._reader_thread = threading.Thread(
             target=self._read_responses, name="subproc-reader",
             daemon=True,
         )
         self._reader_thread.start()
+        return self
+
+    def _wrap_spawn_failure(self, exc, listener):
+        """Shared constructor/activate failure path: tear down, enrich
+        transport errors with the child's fate, return what to raise."""
+        self._abort_spawn(listener)
+        if isinstance(exc, (socket.timeout, OSError, ProtocolError)) \
+                and not isinstance(exc, ConnectionLostError):
+            error = ConnectionLostError(
+                "subprocess worker failed to come up: "
+                f"{type(exc).__name__}: {exc}"
+                f"{self._stderr_suffix()}",
+                returncode=self._returncode(),
+                stderr_tail=self._stderr_tail(),
+            )
+            error.__cause__ = exc
+            return error
+        return exc
 
     # -- spawn / bootstrap --------------------------------------------------
+
+    def alive(self):
+        """True while the worker child has not exited (a parked warm
+        worker may die silently; the pool health-checks with this)."""
+        return self._proc is not None and self._proc.poll() is None
 
     @property
     def pid(self):
@@ -341,6 +399,23 @@ class SubprocessChannel(StreamChannel):
         the process and sockets are fully released, so the error never
         costs the cleanup.
         """
+        if not self._activated:
+            # parked warm worker: no reader thread is running, so a
+            # wire stop would wait out its timeout unanswered — closing
+            # the socket is the discard signal (the child exits cleanly
+            # on EOF while awaiting the factory frame)
+            self._stopped = True
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                if self._sock is not None:
+                    self._sock.close()
+            except OSError:
+                pass
+            self._escalate_shutdown()
+            self._release_shm()
+            return
         # an unacknowledged remote stop needs no warning here: the
         # escalation below deals with the child either way
         if not self._begin_stop():
@@ -413,13 +488,34 @@ def main(argv=None):
         help="ignore hello capability offers (emulates a plain-v2 "
              "worker for downgrade tests)",
     )
+    parser.add_argument(
+        "--preload", default=None, metavar="MOD[,MOD...]",
+        help="comma-separated modules imported before connecting back "
+             "(warm-pool spawns pay import cost up front)",
+    )
     args = parser.parse_args(argv)
+
+    # preload BEFORE connecting back: the parent treats its returned
+    # accept() as the warm-ready signal, so the imports must be done
+    if args.preload:
+        for name in args.preload.split(","):
+            if not name:
+                continue
+            try:
+                importlib.import_module(name)
+            except Exception:  # noqa: BLE001 - warm-up is best-effort
+                traceback.print_exc(file=sys.stderr)
 
     host, _, port = args.connect.rpartition(":")
     conn = socket.create_connection((host, int(port)))
     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
-    message = recv_frame(conn)
+    try:
+        message = recv_frame(conn)
+    except (ProtocolError, OSError):
+        # EOF while parked: the spawner discarded this warm worker
+        # before ever activating it — a clean, silent exit
+        return 0
     kind, call_id, *rest = message
     if kind != "factory":
         send_frame(conn, ("error", call_id, "ProtocolError",
