@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Ensemble campaign benchmark: cache-hit resubmission + crash isolation.
+
+Two acceptance gates for the ``repro.ensemble`` subsystem (also run by
+the ``ensemble`` CI lane and folded into the BENCH trajectory):
+
+1. **Cache payoff** — a 24-member sweep fanned across 2 daemon
+   sessions with subprocess pilots, run cold and then resubmitted
+   byte-identically.  The resubmission is served from the
+   content-addressed :class:`~repro.ensemble.cache.ResultCache` and
+   must be **>= 10x faster** than the cold campaign
+   (``warm <= 0.1x cold``).
+2. **Crash isolation** — the same campaign shape with one member whose
+   subprocess worker SIGKILLs itself mid-evolve.  The campaign must
+   finish with **exactly that member failed** and every other member
+   completed (FaultPolicy.RESTART retries it on a fresh pilot first;
+   it dies deterministically every attempt).
+
+Usage::
+
+    python benchmarks/bench_ensemble.py            # measure + gate
+    BENCH_QUICK=1 python benchmarks/bench_ensemble.py
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.distributed import IbisDaemon, connect   # noqa: E402
+from repro.ensemble import (                        # noqa: E402
+    CampaignRunner,
+    CampaignSpec,
+    Member,
+    ResultCache,
+)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+#: the acceptance bound: cached resubmission <= 0.1x the cold campaign
+CACHE_GATE_RATIO = 0.1
+MEMBERS = 8 if QUICK else 24
+SESSIONS = 2
+MAX_INFLIGHT = 4
+
+
+def _sweep(n_members=MEMBERS):
+    """The bench campaign: a seed sweep of the drift workload with a
+    pinned per-step cost, so the cold wall clock has a known floor."""
+    return CampaignSpec.sweep(
+        "bench-ensemble", "drift", seeds=range(n_members),
+        base={"cost_s": 0.02 if QUICK else 0.05, "n_steps": 2},
+    )
+
+
+def _run_campaign(spec, daemon, cache, resume=True):
+    sessions = [
+        connect(daemon, name=f"bench-ensemble-{i}")
+        for i in range(SESSIONS)
+    ]
+    try:
+        runner = CampaignRunner(
+            spec, sessions=sessions, cache=cache,
+            worker_mode="subprocess", max_inflight=MAX_INFLIGHT,
+        )
+        return runner.run(timeout=600)
+    finally:
+        for session in sessions:
+            session.close()
+
+
+def measure_cold_vs_cached(n_members=MEMBERS):
+    """``(cold_s, warm_s)``: the same campaign run twice against one
+    cache — first cold (every member spawns subprocess pilots and
+    integrates), then byte-identically resubmitted (every member a
+    cache hit)."""
+    spec = _sweep(n_members)
+    cache_dir = tempfile.mkdtemp(prefix="bench-ensemble-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        with IbisDaemon() as daemon:
+            cold = _run_campaign(spec, daemon, cache)
+            assert cold.completed == n_members, cold.summary_line()
+            warm = _run_campaign(spec, daemon, cache)
+            assert warm.cached == n_members, warm.summary_line()
+        return cold.wall_s, warm.wall_s
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def run_crash_isolation(n_members=MEMBERS):
+    """Campaign with one self-SIGKILLing member; returns the report."""
+    members = [
+        Member("sleep", seed, {"cost_s": 0.02 if QUICK else 0.05})
+        for seed in range(n_members - 1)
+    ]
+    members.insert(n_members // 2, Member("crash", 0, {"cost_s": 0.4}))
+    spec = CampaignSpec("bench-ensemble-crash", members)
+    with IbisDaemon() as daemon:
+        return _run_campaign(spec, daemon, cache=None)
+
+
+@pytest.mark.network
+def test_cache_hit_resubmission_is_10x_faster():
+    """Acceptance: identical resubmission >= 10x faster via cache."""
+    cold_s, warm_s = measure_cold_vs_cached()
+    assert warm_s <= CACHE_GATE_RATIO * cold_s, (
+        f"cache hits did not pay off: warm {warm_s:.3f}s vs cold "
+        f"{cold_s:.3f}s (ratio {warm_s / cold_s:.3f} > "
+        f"{CACHE_GATE_RATIO})"
+    )
+
+
+@pytest.mark.network
+def test_sigkilled_worker_loses_only_its_member():
+    """Acceptance: a mid-campaign worker SIGKILL fails exactly one
+    member; every other member completes."""
+    report = run_crash_isolation()
+    assert report.failed == 1, report.summary_line()
+    assert report.completed == MEMBERS - 1, report.summary_line()
+    (failure,) = report.failures()
+    assert failure.member.workload == "crash"
+    assert failure.restarts >= 1   # it WAS retried on a fresh pilot
+
+
+def main():
+    cold_s, warm_s = measure_cold_vs_cached()
+    ratio = warm_s / cold_s
+    print(f"campaign resubmission ({MEMBERS} members, "
+          f"{SESSIONS} sessions, subprocess pilots):")
+    print(f"  cold campaign     {cold_s:8.3f} s")
+    print(f"  cached resubmit   {warm_s:8.3f} s")
+    print(f"  warm/cold ratio   {ratio:8.4f}x  (gate: <= "
+          f"{CACHE_GATE_RATIO}x)")
+    status = 0
+    if ratio > CACHE_GATE_RATIO:
+        print("FAIL: cache-hit resubmission is not >= 10x faster")
+        status = 1
+
+    report = run_crash_isolation()
+    print(f"crash isolation: {report.summary_line()}")
+    if report.failed != 1 or report.completed != MEMBERS - 1:
+        print("FAIL: SIGKILLed worker did not lose exactly one member")
+        status = 1
+    else:
+        (failure,) = report.failures()
+        print(f"  lost member: {failure.member.label()} after "
+              f"{failure.restarts} fresh-pilot retr"
+              f"{'y' if failure.restarts == 1 else 'ies'}")
+    if status == 0:
+        print("ok")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

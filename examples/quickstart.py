@@ -226,6 +226,39 @@ def main():
     service.send_signal(signal.SIGINT)   # daemon drains and exits 0
     service.wait(timeout=30)
 
+    # -- campaigns: declarative sweeps with content-addressed reuse ---
+    # repro.ensemble turns "run this model N times over seeds and
+    # parameters" into a CampaignSpec; the CampaignRunner fans members
+    # across sessions (bounded by admission control), crash-isolates
+    # each one (a dead worker costs at most its own member), caches
+    # every result under the member-spec hash, and streams percentile
+    # bands instead of hoarding per-run state.  The same campaign is
+    # scriptable as `python -m repro.ensemble --spec file.json
+    # --resume` — resubmission after an interrupt replays only the
+    # members without a cache entry.
+    import tempfile
+
+    from repro.ensemble import CampaignRunner, CampaignSpec, ResultCache
+
+    campaign = CampaignSpec.sweep(
+        "quickstart-drift", "drift", seeds=range(6),
+        parameters={"drift_scale": [1e-7, 1e-6]},
+        base={"cost_s": 0.0, "n_steps": 3},
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        report = CampaignRunner(
+            campaign, cache=cache, max_inflight=4,
+            on_member_done=lambda m, r: print(
+                f"  member {m.label()} {r.status} "
+                f"({r.wall_s * 1e3:.1f} ms)"
+            ),
+        ).run(timeout=300)
+        print(report.summary_line())
+        print(report.table())
+        resubmit = CampaignRunner(campaign, cache=cache).run(timeout=300)
+        print(f"resubmission: {resubmit.summary_line()}")
+
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)
     channel.copy_attributes(["position", "velocity"])

@@ -41,6 +41,8 @@ from .highlevel import CommunityCode
 
 __all__ = [
     "ArrayEchoInterface",
+    "DriftingInterface",
+    "DriftingCode",
     "SleepInterface",
     "SleepCode",
     "PhasedSleepInterface",
@@ -93,6 +95,70 @@ class SleepCode(CommunityCode):
 
     INTERFACE = SleepInterface
     _TIME_UNIT = nbody_system.time
+
+
+class DriftingInterface(CodeInterface):
+    """Model code with seeded, reproducible conservation errors.
+
+    Each evolve accrues a pseudo-random energy-drift increment and a
+    mass-loss fraction drawn from a generator seeded by ``seed`` —
+    the same seed and step count always produce the same drift, on any
+    host.  That makes it the reference workload for the ensemble
+    campaign layer: sweeps over ``seed`` give member results with a
+    known, reproducible statistical spread, without paying for a real
+    N-body integration.  ``cost_s`` optionally charges wall clock per
+    step so cold-vs-cached campaign timings have a controlled scale.
+    """
+
+    PARAMETERS = {
+        "seed": (0, "generator seed for the per-step drift draws"),
+        "drift_scale": (
+            1e-6, "mean |dE/E| increment accrued per evolve call"),
+        "loss_scale": (
+            1e-4, "mean mass fraction lost per evolve call"),
+        "cost_s": (0.0, "wall-clock seconds charged per evolve call"),
+    }
+
+    def initialize_code(self):
+        self._rng = np.random.default_rng(int(self.seed))
+        self.energy_drift = 0.0
+        self.mass_fraction = 1.0
+        return 0
+
+    def evolve_model(self, end_time):
+        self.ensure_state("RUN")
+        if self.cost_s:
+            time.sleep(self.cost_s)
+        self.energy_drift += float(
+            self.drift_scale * self._rng.exponential()
+        )
+        self.mass_fraction *= 1.0 - float(
+            self.loss_scale * self._rng.random()
+        )
+        self.model_time = float(end_time)
+        self.step_count += 1
+        return 0
+
+    def get_energy_drift(self):
+        return float(self.energy_drift)
+
+    def get_mass_loss(self):
+        return float(1.0 - self.mass_fraction)
+
+
+class DriftingCode(CommunityCode):
+    """High-level wrapper exposing the drift/loss conservation metrics."""
+
+    INTERFACE = DriftingInterface
+    _TIME_UNIT = nbody_system.time
+
+    def metrics(self):
+        """``{energy_drift, mass_loss}`` read back from the worker."""
+        self._require_open("metrics")
+        return {
+            "energy_drift": self.channel.call("get_energy_drift"),
+            "mass_loss": self.channel.call("get_mass_loss"),
+        }
 
 
 class PhasedSleepInterface(CodeInterface):

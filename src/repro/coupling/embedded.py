@@ -157,6 +157,18 @@ class EmbeddedClusterSimulation:
             self.se.particles.stellar_type
         ).copy()
 
+        # conservation baselines for metrics(): the ensemble campaign
+        # layer aggregates drift/loss relative to the initial state
+        self._initial_star_mass_msun = float(
+            stars.mass.value_in(u.MSun).sum()
+        )
+        self._initial_gas_mass_msun = float(
+            gas.mass.value_in(u.MSun).sum()
+        )
+        self._initial_gravity_energy_j = float(
+            self.gravity.total_energy.value_in(u.J)
+        )
+
     # -- time stepping ---------------------------------------------------------
 
     @property
@@ -289,6 +301,35 @@ class EmbeddedClusterSimulation:
             gas_mass_msun=float(gm.sum()),
             stage=_classify_stage(bound_fraction),
         )
+
+    def metrics(self):
+        """Scalar conservation metrics for campaign aggregation.
+
+        Energy drift is measured on the stellar-dynamics code (the
+        bridge's kicks and SN feedback make the *total* energy
+        intentionally non-conserved); mass metrics are fractions of
+        the initial star/gas reservoirs.  Everything is a plain float
+        so the dict feeds straight into
+        :class:`~repro.ensemble.aggregate.StreamingAggregate` and a
+        JSON result cache entry.
+        """
+        d = self.diagnostics()
+        e0 = self._initial_gravity_energy_j
+        e1 = float(self.gravity.total_energy.value_in(u.J))
+        star_loss = 1.0 - (
+            d["total_star_mass_msun"] / self._initial_star_mass_msun
+        )
+        gas_loss = 1.0 - (
+            d["gas_mass_msun"] / self._initial_gas_mass_msun
+        )
+        return {
+            "energy_drift": abs((e1 - e0) / e0) if e0 else 0.0,
+            "mass_loss": star_loss,
+            "gas_mass_loss": gas_loss,
+            "bound_gas_fraction": d["bound_gas_fraction"],
+            "time_myr": d["time_myr"],
+            "n_supernovae": float(d["n_supernovae"]),
+        }
 
     def stop(self):
         EvolveGroup(

@@ -421,6 +421,14 @@ class Session:
         self.default_worker_mode = worker_mode
         self.default_compress = compress
         self._placed = []
+        # closed-pilot accumulator: (channel, last good transport
+        # snapshot) for EVERY channel this session ever observed, so
+        # status() keeps counting pilots that were stopped or replaced
+        # (restart_worker swaps item.channel) mid-session.  The strong
+        # channel ref pins id() uniqueness for the dict key.
+        self._transport_seen = {}
+        #: per-campaign accounting fed by CampaignRunner members
+        self._campaigns = {}
         self._lock = threading.Lock()
         self._closed = False
 
@@ -483,20 +491,63 @@ class Session:
         self._check_open()
         return self._link.echo(payload)
 
+    def note_campaign_member(self, campaign, status, wall_s,
+                             restarts=0):
+        """Bill one ensemble-campaign member outcome to this session.
+
+        Called by :class:`~repro.ensemble.runner.CampaignRunner` as
+        members finish; the totals surface under ``status()``'s
+        ``campaigns`` key so daemon-side accounting and campaign
+        accounting read off the same endpoint.
+        """
+        if status not in ("ok", "failed", "cached"):
+            raise ValueError(f"unknown member status {status!r}")
+        with self._lock:
+            entry = self._campaigns.setdefault(str(campaign), {
+                "members": 0, "ok": 0, "failed": 0, "cached": 0,
+                "wall_s": 0.0, "restarts": 0,
+            })
+            entry["members"] += 1
+            entry[status] += 1
+            entry["wall_s"] += float(wall_s)
+            entry["restarts"] += int(restarts)
+
+    def _transport_snapshots(self):
+        """Refresh and return every channel snapshot, live or retired.
+
+        Live channels are re-polled; a channel whose stats can no
+        longer be read — or that was replaced by ``restart_worker``
+        and is no longer reachable through ``_placed`` — keeps its
+        last good snapshot, so merged totals never go backwards when
+        a pilot stops mid-session.
+        """
+        for item in self._placed:
+            channel = getattr(item, "channel", item)
+            try:
+                snapshot = dict(channel.transport_stats)
+            except Exception:  # noqa: BLE001 - keep last good snapshot
+                continue
+            self._transport_seen[id(channel)] = (channel, snapshot)
+        return [
+            snapshot for _, snapshot in self._transport_seen.values()
+        ]
+
     def status(self):
         """Daemon-side accounting for this session plus the merged
-        client-side transport stats of every channel it opened."""
+        client-side transport stats of every channel it opened —
+        including pilots already stopped or respawned, via the
+        closed-pilot accumulator."""
         self._check_open()
         info = self._link.status()
         with self._lock:
-            placed = list(self._placed)
-        stats = [self._link.transport_stats]
-        for item in placed:
-            channel = getattr(item, "channel", item)
-            try:
-                stats.append(channel.transport_stats)
-            except Exception:  # noqa: BLE001 - stopped channels skipped
-                pass
+            stats = (
+                [self._link.transport_stats]
+                + self._transport_snapshots()
+            )
+            info["campaigns"] = {
+                name: dict(entry)
+                for name, entry in self._campaigns.items()
+            }
         info["client_transport"] = merge_transport_stats(stats)
         return info
 

@@ -1,0 +1,86 @@
+"""Ensemble campaigns: parameter sweeps over daemon sessions.
+
+One run at a time is a demo; a product runs **campaigns**.  This
+package turns the repo's example simulations into a workload
+generator: hundreds of parameterized runs (IC seed x model mix x
+coupling parameters) fanned out across the multi-tenant daemon's
+pilots, with content-addressed result caching, crash isolation and
+streaming statistics — ROADMAP item 4, the scenario-diversity half of
+the paper's jungle-computing pitch.
+
+The moving parts
+----------------
+
+:class:`Member` / :class:`CampaignSpec` (``spec.py``)
+    A member is one deterministic, hashable run spec: a registered
+    workload name, an IC seed and a parameter dict.  Its identity is
+    the sha256 of the canonical JSON — stable across processes, hosts
+    and dict insertion orders.  ``CampaignSpec.sweep`` expands seed x
+    parameter cartesian products; specs round-trip through JSON files
+    for the CLI.
+
+:class:`ResultCache` (``cache.py``)
+    Content-addressed gzip'd store keyed on the member hash:
+    resubmitting an identical member is a cache hit (>= 10x faster
+    than a cold run, gated by ``benchmarks/bench_ensemble.py``), a
+    corrupted entry is a counted miss — never a crash — and
+    ``max_entries`` bounds the store with LRU eviction.
+
+:class:`CampaignRunner` (``runner.py``)
+    Fans members across one or more ``connect() -> Session`` handles
+    (round-robin), scheduling through :class:`~repro.rpc.TaskGraph` +
+    :class:`~repro.rpc.Future` with a sliding ``max_inflight`` window,
+    so admission control keeps ruling fairness.  Members are
+    crash-isolated: a SIGKILLed worker is retried on a fresh pilot
+    (``FaultPolicy.RESTART`` semantics) and, if it keeps dying, fails
+    only its own member.  ``on_member_done(member, result)`` hooks
+    stream post-analysis; member outcomes are billed to each session's
+    ``status()["campaigns"]`` accounting.
+
+:class:`StreamingAggregate` (``aggregate.py``)
+    Online mean/std/min/max and percentile bands (p10/p50/p90) of
+    energy drift, mass loss and wall time — exact (NumPy-matched)
+    while a bounded window is retained, P-square estimators beyond it,
+    never holding full per-run state.
+
+``workloads.py``
+    The registry mapping workload names to run-spec factories over
+    the existing example codes (``sleep``, ``drift``, ``plummer``,
+    ``embedded``, ``cesm``, plus the ``crash`` isolation probe);
+    extend it with :func:`register_workload`.
+
+Command line
+------------
+
+``python -m repro.ensemble --spec campaign.json --resume`` replays a
+campaign, skipping cache hits, and prints the aggregate table; see
+``--help`` and the campaign section of ``examples/quickstart.py``.
+"""
+
+from .aggregate import MetricSummary, StreamingAggregate
+from .cache import ResultCache
+from .runner import CampaignReport, CampaignRunner, MemberResult
+from .spec import CampaignSpec, Member, canonical_json, spec_key
+from .workloads import (
+    WORKLOADS,
+    MemberContext,
+    get_workload,
+    register_workload,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Member",
+    "MemberContext",
+    "MemberResult",
+    "MetricSummary",
+    "ResultCache",
+    "StreamingAggregate",
+    "WORKLOADS",
+    "canonical_json",
+    "get_workload",
+    "register_workload",
+    "spec_key",
+]

@@ -1,0 +1,165 @@
+"""``python -m repro.ensemble`` — run or replay a campaign spec.
+
+Loads a :class:`~repro.ensemble.spec.CampaignSpec` JSON file (either
+the explicit ``members`` list or the compact ``workload``/``seeds``/
+``parameters`` sweep form), runs it and prints the streaming aggregate
+table.  With ``--resume`` members already in the result cache are
+served as cache hits instead of re-running — replaying a finished
+campaign is then near-instant.
+
+Without ``--daemon`` an in-process :class:`IbisDaemon` is started for
+the duration of the run and ``--sessions`` tenant sessions are opened
+against it; point ``--daemon host:port`` at a shared service to ride
+an existing deployment instead.
+
+Exit status: 0 when every member completed (ran or cached), 1 when
+any member failed, 2 on a bad spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .cache import ResultCache
+from .runner import CampaignRunner
+from .spec import CampaignSpec
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ensemble",
+        description="Run an ensemble campaign over daemon sessions.",
+    )
+    parser.add_argument(
+        "--spec", required=True,
+        help="campaign spec JSON (members list or sweep form)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve members already in the cache as hits "
+             "(default: re-run everything, refreshing the cache)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result cache directory (no caching when omitted)",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="LRU bound on the cache store",
+    )
+    parser.add_argument(
+        "--daemon", default=None, metavar="HOST:PORT",
+        help="attach to a running daemon instead of starting one",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=2,
+        help="tenant sessions to fan members across (default: 2)",
+    )
+    parser.add_argument(
+        "--local", action="store_true",
+        help="no daemon at all: members place direct local channels",
+    )
+    parser.add_argument(
+        "--worker-mode", default=None,
+        choices=("thread", "subprocess", "shm"),
+        help="daemon pilot mode for member codes",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="member concurrency window (default: 4)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=1,
+        help="fresh-pilot retries per crashed member (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="campaign-level deadline in seconds",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the table",
+    )
+    return parser.parse_args(argv)
+
+
+def _report_json(report):
+    return json.dumps({
+        "campaign": report.spec.name,
+        "members": len(report.results),
+        "completed": report.completed,
+        "cached": report.cached,
+        "failed": report.failed,
+        "wall_s": round(report.wall_s, 6),
+        "cache": report.cache_stats,
+        "aggregate": report.aggregate.summary(),
+        "results": [r.to_dict() for r in report.results],
+    }, indent=2, sort_keys=True)
+
+
+def main(argv=None):
+    args = _parse_args(argv)
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache:
+        cache = ResultCache(
+            args.cache, max_entries=args.cache_max_entries
+        )
+
+    daemon = None
+    sessions = []
+    try:
+        if not args.local:
+            from ..distributed import IbisDaemon, connect
+
+            if args.daemon:
+                target = args.daemon
+            else:
+                daemon = IbisDaemon()
+                daemon.start()
+                target = daemon
+            sessions = [
+                connect(target, name=f"{spec.name}-{i}")
+                for i in range(max(1, args.sessions))
+            ]
+        runner = CampaignRunner(
+            spec,
+            sessions=sessions or None,
+            cache=cache,
+            worker_mode=args.worker_mode,
+            max_inflight=args.max_inflight,
+            max_restarts=args.max_restarts,
+            resume=args.resume,
+        )
+        report = runner.run(timeout=args.timeout)
+    finally:
+        for session in sessions:
+            try:
+                session.close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+        if daemon is not None:
+            daemon.shutdown()
+
+    if args.json:
+        print(_report_json(report))
+    else:
+        print(report.summary_line())
+        print(report.table())
+        for failure in report.failures():
+            print(
+                f"FAILED {failure.member.label()}: {failure.error}",
+                file=sys.stderr,
+            )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

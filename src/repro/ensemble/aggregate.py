@@ -1,0 +1,261 @@
+"""Streaming statistical aggregation over campaign results.
+
+A campaign with hundreds of members must not hold every run's state in
+memory; :class:`StreamingAggregate` folds each member's scalar metrics
+(energy drift, mass loss, wall time, ...) into O(1)-per-metric state:
+
+* Welford mean/variance plus exact min/max — one pass, numerically
+  stable;
+* percentile bands (p10/p50/p90 by default): **exact** while at most
+  ``retain_limit`` samples have arrived (the retained window is handed
+  to ``numpy.percentile`` — the path the acceptance criterion pins to
+  a NumPy reference within rtol 1e-9), then the window seeds P-square
+  (P²) online estimators (Jain & Chlamtac 1985) and is dropped, so
+  memory stays bounded however long the campaign runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["MetricSummary", "StreamingAggregate"]
+
+#: default percentile bands reported per metric
+PERCENTILES = (10.0, 50.0, 90.0)
+
+
+class _P2Quantile:
+    """P² online quantile estimator for one probability *p*.
+
+    Keeps five markers whose heights converge to the (p/2, p, (1+p)/2)
+    neighborhood of the distribution; each ``add`` is O(1).  Exact for
+    the first five samples, approximate after — the aggregate only
+    consults it past ``retain_limit``, where exactness is already
+    surrendered by design.
+    """
+
+    def __init__(self, p):
+        self.p = float(p)
+        self._heights = []          # marker heights (q_i)
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [
+            1.0, 1.0 + 2.0 * self.p, 1.0 + 4.0 * self.p,
+            3.0 + 2.0 * self.p, 5.0,
+        ]
+        self._increments = [
+            0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0,
+        ]
+        self.count = 0
+
+    def add(self, x):
+        x = float(x)
+        self.count += 1
+        if len(self._heights) < 5:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        q, n = self._heights, self._positions
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # adjust the three interior markers toward desired positions
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or \
+                    (d <= -1 and n[i - 1] - n[i] < -1):
+                d = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, d)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, d)
+                n[i] += d
+
+    def _parabolic(self, i, d):
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i, d):
+        q, n = self._heights, self._positions
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    def value(self):
+        if not self._heights:
+            return math.nan
+        if len(self._heights) < 5:
+            # small-sample fallback: exact linear interpolation
+            return float(np.percentile(self._heights, self.p * 100.0))
+        return float(self._heights[2])
+
+
+class MetricSummary:
+    """Online summary of one scalar metric."""
+
+    def __init__(self, name, percentiles=PERCENTILES, retain_limit=256):
+        self.name = name
+        self.percentiles = tuple(float(p) for p in percentiles)
+        self.retain_limit = int(retain_limit)
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._retained = []
+        self._p2 = None
+
+    @property
+    def exact(self):
+        """True while percentiles come from the retained window."""
+        return self._p2 is None
+
+    def add(self, value):
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self._p2 is not None:
+            for est in self._p2:
+                est.add(value)
+            return
+        self._retained.append(value)
+        if len(self._retained) > self.retain_limit:
+            # hand over: seed the P2 estimators by replaying the
+            # window, then drop it — memory stays O(1) from here on
+            self._p2 = [
+                _P2Quantile(p / 100.0) for p in self.percentiles
+            ]
+            for x in self._retained:
+                for est in self._p2:
+                    est.add(x)
+            self._retained = []
+
+    @property
+    def mean(self):
+        return self._mean if self.count else math.nan
+
+    @property
+    def std(self):
+        if self.count < 2:
+            return 0.0 if self.count else math.nan
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def percentile_values(self):
+        """``{p: value}`` for the configured bands."""
+        if not self.count:
+            return {p: math.nan for p in self.percentiles}
+        if self._p2 is None:
+            window = np.asarray(self._retained)
+            return {
+                p: float(np.percentile(window, p))
+                for p in self.percentiles
+            }
+        return {
+            p: est.value()
+            for p, est in zip(self.percentiles, self._p2)
+        }
+
+    def as_dict(self):
+        out = {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "exact": self.exact,
+        }
+        for p, value in self.percentile_values().items():
+            out[f"p{p:g}"] = value
+        return out
+
+
+class StreamingAggregate:
+    """Online per-metric statistics over a stream of result dicts.
+
+    ``add({"energy_drift": 3e-7, "wall_s": 1.2})`` folds one member's
+    metrics in; metrics appear lazily, so heterogeneous workloads can
+    share one campaign (each metric's count tracks how many members
+    reported it).  Non-finite and non-numeric values are skipped —
+    a diverging member must not poison the campaign statistics.
+    """
+
+    def __init__(self, percentiles=PERCENTILES, retain_limit=256):
+        self.percentiles = tuple(float(p) for p in percentiles)
+        self.retain_limit = int(retain_limit)
+        self.metrics = {}
+        self.samples = 0
+
+    def _metric(self, name):
+        summary = self.metrics.get(name)
+        if summary is None:
+            summary = self.metrics[name] = MetricSummary(
+                name, self.percentiles, self.retain_limit
+            )
+        return summary
+
+    def add(self, metrics):
+        """Fold one member's ``{metric: value}`` dict in."""
+        self.samples += 1
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            if not math.isfinite(value):
+                continue
+            self._metric(name).add(value)
+
+    def summary(self):
+        """``{metric: {count, mean, std, min, max, pXX...}}``."""
+        return {
+            name: self.metrics[name].as_dict()
+            for name in sorted(self.metrics)
+        }
+
+    def table(self):
+        """Fixed-width aggregate table (the CLI's output)."""
+        if not self.metrics:
+            return "(no metrics)"
+        bands = [f"p{p:g}" for p in self.percentiles]
+        header = (
+            f"{'metric':<22} {'count':>5} {'mean':>12} {'std':>12} "
+            + " ".join(f"{b:>12}" for b in bands)
+            + f" {'min':>12} {'max':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.metrics):
+            row = self.metrics[name].as_dict()
+            cells = [
+                f"{name:<22}", f"{row['count']:>5d}",
+                f"{row['mean']:>12.5g}", f"{row['std']:>12.5g}",
+            ]
+            cells += [f"{row[b]:>12.5g}" for b in bands]
+            cells += [f"{row['min']:>12.5g}", f"{row['max']:>12.5g}"]
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<StreamingAggregate {self.samples} samples, "
+            f"{len(self.metrics)} metrics>"
+        )

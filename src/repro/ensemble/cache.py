@@ -1,0 +1,221 @@
+"""Content-addressed result cache for campaign members.
+
+Resubmitting an identical member must be a cache hit, not a re-run:
+the store is keyed on :meth:`Member.key` (sha256 of the canonical run
+spec), so "identical" means *byte-identical spec*, never "same file
+name" or "same object".  Entries are gzip'd JSON documents — the
+JungleWalker ``jwlib/cache.py`` layout (gzip'd keyed store), but keyed
+on the full run spec instead of per-model — laid out two-level
+(``root/ab/abcd....json.gz``) so huge campaigns don't melt a single
+directory.
+
+Robustness contract (exercised by ``tests/test_ensemble.py``):
+
+* a corrupted / truncated / mislabeled entry is treated as a miss,
+  counted in ``stats()['corrupt']`` and unlinked — it never crashes
+  the campaign;
+* writes are atomic (tmp file + ``os.replace``), so a SIGKILLed
+  campaign can never leave a half-written entry that later reads as
+  valid;
+* ``max_entries`` bounds the store with LRU eviction (mtime order,
+  refreshed on hit).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+import threading
+
+from .spec import canonical_json
+
+__all__ = ["ResultCache"]
+
+#: stored document schema version; bumped on incompatible layout change
+_ENTRY_SCHEMA = 1
+
+
+class ResultCache:
+    """Gzip'd keyed store of member results under *root*.
+
+    ``get``/``put`` take the :class:`~repro.ensemble.spec.Member` (or
+    anything with a ``key()``/``to_dict()`` pair) so the stored
+    document carries the full spec alongside the result — an entry is
+    self-describing and can be audited with ``zcat``.
+    """
+
+    def __init__(self, root, max_entries=None):
+        self.root = str(root)
+        self.max_entries = None if max_entries is None else int(max_entries)
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0, "misses": 0, "puts": 0,
+            "evictions": 0, "corrupt": 0,
+        }
+
+    # -- layout --------------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], f"{key}.json.gz")
+
+    def _entries(self):
+        """Every entry path in the store (unordered)."""
+        paths = []
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if len(sub) == 2 and os.path.isdir(subdir):
+                paths.extend(
+                    os.path.join(subdir, name)
+                    for name in os.listdir(subdir)
+                    if name.endswith(".json.gz")
+                )
+        return paths
+
+    def __len__(self):
+        return len(self._entries())
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self):
+        """hit/miss/put/eviction/corrupt counters plus current size."""
+        with self._lock:
+            out = dict(self._stats)
+        out["entries"] = len(self)
+        return out
+
+    def _count(self, name, n=1):
+        with self._lock:
+            self._stats[name] += n
+
+    # -- store surface -------------------------------------------------------
+
+    def contains(self, member):
+        """True when *member* has a readable entry (no counters moved,
+        no mtime refresh) — the planning probe ``--resume`` uses."""
+        return self._read(member, probe=True) is not None
+
+    def get(self, member):
+        """The stored result for *member*, or None (miss).
+
+        A hit refreshes the entry's mtime so LRU eviction tracks use,
+        not insertion.  A corrupted entry is unlinked and reported as a
+        miss.
+        """
+        entry = self._read(member)
+        if entry is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        path = self._path(member.key())
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        return entry["result"]
+
+    def _read(self, member, probe=False):
+        key = member.key()
+        path = self._path(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            # collision / tamper guard: the document must agree that it
+            # IS this spec — a renamed or mis-hashed file never serves
+            # another member's result
+            if entry.get("schema") != _ENTRY_SCHEMA:
+                raise ValueError("unknown entry schema")
+            if entry.get("key") != key:
+                raise ValueError("entry key does not match its path")
+            stored = canonical_json(entry.get("spec"))
+            if stored != canonical_json(member.to_dict()):
+                raise ValueError("entry spec does not match the member")
+            if "result" not in entry:
+                raise ValueError("entry has no result")
+            return entry
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 - any damage means "miss"
+            if not probe:
+                self._count("corrupt")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            return None
+
+    def put(self, member, result):
+        """Store *result* under the member's content address.
+
+        Atomic (tmp + rename): readers either see the old entry, the
+        new one, or nothing — never a torn write.  Returns the key.
+        """
+        key = member.key()
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        document = {
+            "schema": _ENTRY_SCHEMA,
+            "key": key,
+            "spec": member.to_dict(),
+            "result": result,
+        }
+        text = json.dumps(document, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                # fixed mtime=0 inside the gzip header keeps the bytes
+                # deterministic for identical documents
+                with gzip.GzipFile(
+                    fileobj=raw, mode="wb", mtime=0
+                ) as gz:
+                    gz.write(text.encode("utf-8"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._count("puts")
+        self._evict()
+        return key
+
+    def _evict(self):
+        if self.max_entries is None:
+            return
+        paths = self._entries()
+        excess = len(paths) - self.max_entries
+        if excess <= 0:
+            return
+        def _mtime(path):
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+        for path in sorted(paths, key=_mtime)[:excess]:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self._count("evictions")
+
+    def clear(self):
+        """Drop every entry (counters are kept — they are campaign
+        telemetry, not store state)."""
+        for path in self._entries():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def __repr__(self):
+        return (
+            f"<ResultCache {self.root!r}: {len(self)} entries, "
+            f"max={self.max_entries}>"
+        )

@@ -1,0 +1,333 @@
+"""Campaign execution: fan members across daemon sessions.
+
+The :class:`CampaignRunner` turns a declarative
+:class:`~repro.ensemble.spec.CampaignSpec` into a
+:class:`~repro.rpc.taskgraph.TaskGraph` run: one node per member,
+launched as a :meth:`~repro.rpc.futures.Future.submit` thread so the
+member's pilot placement, evolve calls and teardown all overlap across
+the graph's in-flight window.  Concurrency is bounded with
+sliding-window dependencies (node *i* waits on node *i - max_inflight*),
+so the runner never floods the daemon: admission control sees at most
+``max_inflight`` members' calls at once and stays in charge of
+fairness across tenants.
+
+Fault semantics (the crash-isolation contract):
+
+* the graph runs under :class:`~repro.rpc.FaultPolicy.IGNORE`, so one
+  member's failure *never* skips or cancels other members;
+* within a member, :class:`~repro.rpc.FaultPolicy.RESTART` (the
+  default) retries worker-death/cancellation errors on a **fresh
+  pilot** up to ``max_restarts`` times — a SIGKILLed worker costs at
+  most its own member;
+* a genuine model error (anything non-restartable) fails the member
+  immediately; the rest of the campaign completes.
+
+Results stream: each finished member is written to the
+:class:`~repro.ensemble.cache.ResultCache`, folded into the
+:class:`~repro.ensemble.aggregate.StreamingAggregate`, reported to the
+``on_member_done(member, result)`` hooks and billed to its session's
+campaign accounting — nothing waits for the campaign to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+from ..rpc import FaultPolicy, Future, TaskGraph
+from ..rpc.protocol import (
+    CancelledError,
+    ConnectionLostError,
+    RemoteError,
+)
+from .aggregate import StreamingAggregate
+from .spec import CampaignSpec
+from .workloads import MemberContext, get_workload
+
+__all__ = ["CampaignReport", "CampaignRunner", "MemberResult"]
+
+#: worker-is-gone errors; anything else is a genuine model failure
+_RESTARTABLE = (ConnectionLostError, CancelledError)
+
+
+def _is_restartable(exc):
+    """True when *exc* means "the member's worker is gone/hung".
+
+    Direct channels raise :class:`ConnectionLostError` locally; behind
+    a daemon the pilot's death arrives as a :class:`RemoteError` whose
+    remote class names the same worker-loss error — both are the
+    crash-isolation case, never a genuine model exception.
+    """
+    if isinstance(exc, _RESTARTABLE):
+        return True
+    return isinstance(exc, RemoteError) and exc.exc_class in (
+        "ConnectionLostError", "CancelledError"
+    )
+
+
+class MemberResult:
+    """Outcome of one campaign member.
+
+    ``status`` is ``"ok"`` (ran and succeeded), ``"cached"`` (served
+    from the result cache without running) or ``"failed"``.  ``wall_s``
+    is the member's own wall clock — for cached members, the wall
+    clock of the run that produced the entry.
+    """
+
+    __slots__ = (
+        "member", "status", "metrics", "error", "wall_s", "restarts",
+    )
+
+    def __init__(self, member, status, metrics=None, error=None,
+                 wall_s=0.0, restarts=0):
+        self.member = member
+        self.status = status
+        self.metrics = dict(metrics or {})
+        self.error = error
+        self.wall_s = float(wall_s)
+        self.restarts = int(restarts)
+
+    @property
+    def ok(self):
+        return self.status in ("ok", "cached")
+
+    def to_dict(self):
+        return {
+            "member": self.member.to_dict(),
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "error": self.error,
+            "wall_s": self.wall_s,
+            "restarts": self.restarts,
+        }
+
+    def __repr__(self):
+        return (
+            f"<MemberResult {self.member.label()} {self.status} "
+            f"({self.wall_s:.3f}s)>"
+        )
+
+
+class CampaignReport:
+    """Everything a finished campaign hands back."""
+
+    def __init__(self, spec, results, aggregate, wall_s,
+                 cache_stats=None):
+        self.spec = spec
+        self.results = list(results)
+        self.aggregate = aggregate
+        self.wall_s = float(wall_s)
+        self.cache_stats = cache_stats
+
+    def _count(self, status):
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def completed(self):
+        return self._count("ok")
+
+    @property
+    def cached(self):
+        return self._count("cached")
+
+    @property
+    def failed(self):
+        return self._count("failed")
+
+    @property
+    def ok(self):
+        return self.failed == 0
+
+    def failures(self):
+        return [r for r in self.results if r.status == "failed"]
+
+    def summary_line(self):
+        parts = [
+            f"campaign {self.spec.name!r}:",
+            f"{len(self.results)} members",
+            f"({self.completed} ran, {self.cached} cached, "
+            f"{self.failed} failed)",
+            f"in {self.wall_s:.2f}s",
+        ]
+        if self.cache_stats is not None:
+            parts.append(
+                f"[cache: {self.cache_stats['hits']} hits / "
+                f"{self.cache_stats['misses']} misses / "
+                f"{self.cache_stats['evictions']} evicted / "
+                f"{self.cache_stats['corrupt']} corrupt]"
+            )
+        return " ".join(parts)
+
+    def table(self):
+        return self.aggregate.table()
+
+    def __repr__(self):
+        return f"<CampaignReport {self.summary_line()}>"
+
+
+class CampaignRunner:
+    """Run a campaign's members across one or more daemon sessions.
+
+    *sessions* is a :class:`~repro.distributed.Session`, a list of
+    them (members are assigned round-robin), or None — then members
+    place direct local channels instead of daemon pilots.  *cache* is
+    a :class:`~repro.ensemble.cache.ResultCache` or None; with
+    ``resume=True`` (the default) cached members are served without
+    running, with ``resume=False`` every member runs and refreshes its
+    entry.  ``on_member_done(member, result)`` hooks fire for every
+    member — ran, cached or failed — as soon as its outcome is known.
+    """
+
+    def __init__(self, spec, sessions=None, cache=None,
+                 worker_mode=None, max_inflight=4,
+                 fault_policy=FaultPolicy.RESTART, max_restarts=1,
+                 resume=True, on_member_done=None, aggregate=None,
+                 percentiles=None):
+        if not isinstance(spec, CampaignSpec):
+            spec = CampaignSpec.from_dict(spec)
+        self.spec = spec
+        if sessions is None:
+            sessions = [None]
+        elif not isinstance(sessions, (list, tuple)):
+            sessions = [sessions]
+        self.sessions = list(sessions) or [None]
+        self.cache = cache
+        self.worker_mode = worker_mode
+        self.max_inflight = max(1, int(max_inflight))
+        self.fault_policy = fault_policy
+        self.max_restarts = int(max_restarts)
+        self.resume = bool(resume)
+        self._hooks = []
+        if on_member_done is not None:
+            self._hooks.append(on_member_done)
+        self.aggregate = aggregate or StreamingAggregate(
+            percentiles=percentiles or (10.0, 50.0, 90.0)
+        )
+        self._lock = threading.Lock()
+        self._results = {}
+
+    def on_member_done(self, hook):
+        """Register another post-analysis hook (decorator-friendly)."""
+        self._hooks.append(hook)
+        return hook
+
+    # -- per-member plumbing -------------------------------------------------
+
+    def _session_for(self, index):
+        return self.sessions[index % len(self.sessions)]
+
+    def _bill(self, session, status, wall_s, restarts):
+        note = getattr(session, "note_campaign_member", None)
+        if note is not None:
+            note(self.spec.name, status, wall_s, restarts=restarts)
+
+    def _record(self, index, result):
+        with self._lock:
+            self._results[index] = result
+            if result.ok:
+                metrics = dict(result.metrics)
+                metrics["wall_s"] = result.wall_s
+                self.aggregate.add(metrics)
+        self._bill(
+            self._session_for(index), result.status, result.wall_s,
+            result.restarts,
+        )
+        for hook in list(self._hooks):
+            try:
+                hook(result.member, result)
+            except Exception:  # noqa: BLE001 - user hook, reported
+                traceback.print_exc()
+
+    def _run_member(self, index, member):
+        """Execute one member; called on a Future.submit thread."""
+        session = self._session_for(index)
+        restarts = 0
+        started = time.perf_counter()
+        while True:
+            ctx = MemberContext(session, self.worker_mode)
+            try:
+                fn = get_workload(member.workload)
+                metrics = fn(member, ctx)
+            except Exception as exc:
+                ctx.close()
+                if (_is_restartable(exc)
+                        and self.fault_policy is FaultPolicy.RESTART
+                        and restarts < self.max_restarts):
+                    # fresh pilot, same member — the crash never
+                    # leaves this node
+                    restarts += 1
+                    continue
+                self._fail(index, member, exc, started, restarts)
+                raise
+            else:
+                ctx.close()
+                wall_s = time.perf_counter() - started
+                result = MemberResult(
+                    member, "ok", metrics=metrics, wall_s=wall_s,
+                    restarts=restarts,
+                )
+                if self.cache is not None:
+                    self.cache.put(member, {
+                        "metrics": dict(result.metrics),
+                        "wall_s": result.wall_s,
+                    })
+                self._record(index, result)
+                return result
+
+    def _fail(self, index, member, exc, started, restarts):
+        self._record(index, MemberResult(
+            member, "failed",
+            error=f"{type(exc).__name__}: {exc}",
+            wall_s=time.perf_counter() - started,
+            restarts=restarts,
+        ))
+
+    # -- the campaign --------------------------------------------------------
+
+    def run(self, timeout=None):
+        """Run every member; returns a :class:`CampaignReport`.
+
+        Never raises for member failures — inspect
+        ``report.failures()``; the graph itself can still raise on a
+        campaign-level timeout.
+        """
+        t0 = time.perf_counter()
+        self._results.clear()
+        graph = TaskGraph()
+        window = []      # scheduled node handles, in submission order
+        for index, member in enumerate(self.spec.members):
+            if self.resume and self.cache is not None:
+                stored = self.cache.get(member)
+                if stored is not None:
+                    self._record(index, MemberResult(
+                        member, "cached",
+                        metrics=stored.get("metrics", {}),
+                        wall_s=stored.get("wall_s", 0.0),
+                    ))
+                    continue
+            after = []
+            if len(window) >= self.max_inflight:
+                # sliding window: at most max_inflight members in
+                # flight, without ever introducing a global barrier
+                after = [window[len(window) - self.max_inflight]]
+            node = graph.add(
+                f"member-{index}-{member.label()}",
+                (lambda i=index, m=member:
+                 Future.submit(self._run_member, i, m)),
+                after=after,
+            )
+            window.append(node)
+        if len(graph):
+            # IGNORE at the graph level: member isolation (including
+            # RESTART retries) already happened inside _run_member, so
+            # a failed node must release — never cancel — the rest
+            graph.run(timeout=timeout, fault_policy=FaultPolicy.IGNORE)
+        results = [
+            self._results[i] for i in range(len(self.spec.members))
+        ]
+        return CampaignReport(
+            self.spec, results, self.aggregate,
+            time.perf_counter() - t0,
+            None if self.cache is None else self.cache.stats(),
+        )

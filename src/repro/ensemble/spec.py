@@ -1,0 +1,224 @@
+"""Declarative campaign specs: hashable members, sweep expansion.
+
+A :class:`Member` is ONE run of a campaign: a registered workload name,
+an initial-condition seed, and a parameter dict.  Its identity is the
+canonical JSON of those three fields — :meth:`Member.key` hashes that
+text, so the same spec produces the same key in any process, on any
+host, regardless of dict insertion order.  That key is the
+content-address the :class:`~repro.ensemble.cache.ResultCache` stores
+results under.
+
+A :class:`CampaignSpec` is an ordered list of members plus a campaign
+name.  :meth:`CampaignSpec.sweep` expands the cartesian product of
+seeds x parameter axes — the paper's "many models on many resources"
+turned into a declarative workload generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+
+__all__ = ["CampaignSpec", "Member", "canonical_json", "spec_key"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_canonical(value, path="spec"):
+    """Reject values whose JSON form is ambiguous or unstable.
+
+    Only JSON scalars, lists and string-keyed dicts are allowed; NaN
+    and infinities are refused (their JSON encodings are non-standard
+    and would silently split the cache key space across encoders).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return
+    if isinstance(value, int):
+        return
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"{path}: non-finite float {value!r}")
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_canonical(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"{path}: non-string key {key!r} (keys must be str "
+                    "for a canonical spec)"
+                )
+            _check_canonical(item, f"{path}.{key}")
+        return
+    raise ValueError(
+        f"{path}: {type(value).__name__} is not JSON-canonical "
+        "(use str/int/float/bool/None/list/dict)"
+    )
+
+
+def canonical_json(value):
+    """Deterministic JSON text for *value*: sorted keys, no whitespace,
+    no NaN.  Equal specs — whatever their dict insertion order —
+    produce byte-identical text."""
+    _check_canonical(value)
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def spec_key(value):
+    """sha256 hex digest of :func:`canonical_json` — the cache key."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+class Member:
+    """One deterministic run spec inside a campaign.
+
+    ``workload`` names an entry in the
+    :data:`~repro.ensemble.workloads.WORKLOADS` registry, ``seed`` is
+    the IC seed, ``parameters`` the workload's knobs.  Members are
+    value objects: equality and hashing follow the canonical spec, not
+    object identity.
+    """
+
+    __slots__ = ("workload", "seed", "parameters")
+
+    def __init__(self, workload, seed=0, parameters=None):
+        self.workload = str(workload)
+        self.seed = int(seed)
+        self.parameters = dict(parameters or {})
+        _check_canonical(self.parameters, f"member[{self.workload}]")
+
+    def to_dict(self):
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "parameters": dict(self.parameters),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        unknown = set(data) - {"workload", "seed", "parameters"}
+        if unknown:
+            raise ValueError(f"unknown member fields {sorted(unknown)}")
+        return cls(
+            data["workload"], data.get("seed", 0),
+            data.get("parameters"),
+        )
+
+    def key(self):
+        """Content address: stable across processes, hosts and dict
+        insertion orders (pinned by ``tests/test_ensemble.py``)."""
+        return spec_key(self.to_dict())
+
+    def label(self):
+        """Short human-readable id for tables and progress lines."""
+        return f"{self.workload}#{self.seed}:{self.key()[:8]}"
+
+    def __eq__(self, other):
+        if not isinstance(other, Member):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return (
+            f"Member({self.workload!r}, seed={self.seed}, "
+            f"parameters={self.parameters!r})"
+        )
+
+
+class CampaignSpec:
+    """Named, ordered collection of :class:`Member` runs."""
+
+    def __init__(self, name, members=()):
+        self.name = str(name)
+        self.members = [
+            m if isinstance(m, Member) else Member.from_dict(m)
+            for m in members
+        ]
+
+    @classmethod
+    def sweep(cls, name, workload, seeds=(0,), parameters=None,
+              base=None):
+        """Cartesian sweep: seeds x every combination of the value
+        lists in *parameters*, on top of the fixed *base* dict.
+
+        >>> spec = CampaignSpec.sweep(
+        ...     "demo", "drift", seeds=[1, 2],
+        ...     parameters={"eta": [0.05, 0.1]},
+        ... )
+        >>> len(spec)
+        4
+        """
+        axes = dict(parameters or {})
+        names = sorted(axes)
+        combos = list(itertools.product(
+            *(list(axes[name]) for name in names)
+        )) or [()]
+        members = []
+        for seed in seeds:
+            for combo in combos:
+                params = dict(base or {})
+                params.update(zip(names, combo))
+                members.append(Member(workload, seed, params))
+        return cls(name, members)
+
+    def __len__(self):
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def key(self):
+        """Content address of the whole campaign."""
+        return spec_key(self.to_dict())
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "members": [m.to_dict() for m in self.members],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Accept both the explicit member-list form and the compact
+        sweep form (``workload``/``seeds``/``parameters`` at the top
+        level) — the two shapes ``--spec file.json`` understands."""
+        if "members" in data:
+            return cls(data.get("name", "campaign"), data["members"])
+        if "workload" in data:
+            return cls.sweep(
+                data.get("name", "campaign"), data["workload"],
+                seeds=data.get("seeds", (0,)),
+                parameters=data.get("parameters"),
+                base=data.get("base"),
+            )
+        raise ValueError(
+            "campaign spec needs either 'members' or a "
+            "'workload' sweep block"
+        )
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def __repr__(self):
+        return f"<CampaignSpec {self.name!r}: {len(self.members)} members>"

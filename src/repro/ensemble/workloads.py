@@ -1,0 +1,288 @@
+"""Workload registry: run-spec factories for the example simulations.
+
+A workload is a callable ``fn(member, ctx) -> {metric: float}`` looked
+up by the :class:`~repro.ensemble.runner.CampaignRunner` through
+:data:`WORKLOADS`.  The :class:`MemberContext` is how a workload
+places its model codes: through the campaign's daemon
+:class:`~repro.distributed.Session` when one is assigned (pilots ride
+admission control and per-session accounting) or over direct local
+channels when the campaign runs sessionless — the physics code never
+knows the difference, which is exactly the paper's one-line-change
+claim lifted to whole campaigns.
+
+Built-ins turn the repo's example simulations into campaign members:
+
+``sleep``     known-cost no-op pilots (scheduling/caching benches)
+``drift``     seeded synthetic conservation errors (reference sweep)
+``plummer``   real PhiGRAPE N-body energy drift
+``embedded``  the four-code embedded-cluster simulation (Sec. 6)
+``cesm``      the coupled climate demo
+``crash``     a member whose worker SIGKILLs itself mid-evolve —
+              the crash-isolation probe (must fail without taking
+              the campaign down)
+
+Register more with :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import time
+
+__all__ = [
+    "WORKLOADS",
+    "MemberContext",
+    "get_workload",
+    "register_workload",
+]
+
+#: name -> ``fn(member, ctx) -> {metric: float}``
+WORKLOADS = {}
+
+#: daemon pilot mode -> sessionless channel factory name
+_LOCAL_CHANNEL = {
+    "thread": "sockets",
+    "subprocess": "subprocess",
+    "shm": "shm",
+    None: "sockets",
+}
+
+
+def register_workload(name):
+    """Decorator: publish a workload factory under *name*."""
+
+    def deco(fn):
+        WORKLOADS[str(name)] = fn
+        return fn
+
+    return deco
+
+
+def get_workload(name):
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {sorted(WORKLOADS)}"
+        ) from None
+
+
+class MemberContext:
+    """Per-member placement handle given to every workload call.
+
+    ``code()`` places a :class:`~repro.codes.highlevel.CommunityCode`,
+    ``interface()`` a bare interface factory (returning the channel).
+    Both go through the member's assigned session when the campaign
+    has one; everything placed is stopped by ``close()`` whatever the
+    member's outcome, so a failed member never leaks pilots.
+    """
+
+    def __init__(self, session=None, worker_mode=None):
+        self.session = session
+        self.worker_mode = worker_mode
+        self._placed = []
+
+    def _local_type(self, mode):
+        try:
+            return _LOCAL_CHANNEL[mode]
+        except KeyError:
+            return mode
+
+    def code(self, cls, *args, worker_mode=None, **kwargs):
+        mode = worker_mode or self.worker_mode
+        if self.session is not None:
+            placed = self.session.code(
+                cls, *args, channel_type=mode, **kwargs
+            )
+        else:
+            placed = cls(
+                *args, channel_type=self._local_type(mode), **kwargs
+            )
+        self._placed.append(placed)
+        return placed
+
+    def interface(self, factory, *args, worker_mode=None, **kwargs):
+        mode = worker_mode or self.worker_mode
+        if args or kwargs:
+            factory = functools.partial(factory, *args, **kwargs)
+        if self.session is not None:
+            channel = self.session.code(factory, channel_type=mode)
+        else:
+            from ..rpc.channel import new_channel
+
+            channel = new_channel(self._local_type(mode), factory)
+        self._placed.append(channel)
+        return channel
+
+    def close(self):
+        placed, self._placed = self._placed, []
+        for item in reversed(placed):
+            stop = getattr(item, "stop", None)
+            if stop is None:
+                continue
+            try:
+                stop()
+            except Exception:  # noqa: BLE001 - member teardown best-effort
+                pass
+
+
+# -- built-in workloads ------------------------------------------------------
+
+
+@register_workload("sleep")
+def _run_sleep(member, ctx):
+    """Known-cost pilot: ``cost_s`` per step, ``n_steps`` steps."""
+    from ..codes.testing import SleepCode
+    from ..units import nbody_system
+
+    params = member.parameters
+    cost_s = float(params.get("cost_s", 0.05))
+    n_steps = int(params.get("n_steps", 1))
+    code = ctx.code(SleepCode, cost_s=cost_s)
+    for step in range(n_steps):
+        code.evolve_model((step + 1) * 0.1 | nbody_system.time)
+    return {"steps": float(n_steps), "energy_drift": 0.0, "mass_loss": 0.0}
+
+
+@register_workload("drift")
+def _run_drift(member, ctx):
+    """Seeded synthetic conservation errors (DriftingCode)."""
+    from ..codes.testing import DriftingCode
+    from ..units import nbody_system
+
+    params = member.parameters
+    code = ctx.code(
+        DriftingCode,
+        seed=member.seed,
+        drift_scale=float(params.get("drift_scale", 1e-6)),
+        loss_scale=float(params.get("loss_scale", 1e-4)),
+        cost_s=float(params.get("cost_s", 0.0)),
+    )
+    n_steps = int(params.get("n_steps", 4))
+    for step in range(n_steps):
+        code.evolve_model((step + 1) * 0.1 | nbody_system.time)
+    return code.metrics()
+
+
+@register_workload("plummer")
+def _run_plummer(member, ctx):
+    """Real N-body run: PhiGRAPE on a Plummer model, measured drift."""
+    from ..codes import PhiGRAPE
+    from ..ic import new_plummer_model
+    from ..units import nbody_system, units
+
+    params = member.parameters
+    n_stars = int(params.get("n_stars", 32))
+    converter = nbody_system.nbody_to_si(
+        float(params.get("mass_msun", 1000.0)) | units.MSun,
+        float(params.get("radius_pc", 1.0)) | units.parsec,
+    )
+    stars = new_plummer_model(
+        n_stars, convert_nbody=converter, rng=member.seed
+    )
+    gravity = ctx.code(
+        PhiGRAPE, converter,
+        kernel=params.get("kernel", "cpu"),
+        eta=float(params.get("eta", 0.05)),
+    )
+    gravity.add_particles(stars)
+    e0 = gravity.total_energy.value_in(units.J)
+    gravity.evolve_model(
+        float(params.get("t_end_myr", 0.2)) | units.Myr
+    )
+    e1 = gravity.total_energy.value_in(units.J)
+    return {
+        "energy_drift": abs((e1 - e0) / e0),
+        "mass_loss": 0.0,
+        "n_stars": float(n_stars),
+    }
+
+
+@register_workload("embedded")
+def _run_embedded(member, ctx):
+    """The Sec. 6 embedded-cluster simulation as a campaign member."""
+    from ..coupling.embedded import EmbeddedClusterSimulation
+
+    params = member.parameters
+
+    def factory(cls, converter, channel_type, **code_params):
+        if converter is None:
+            return ctx.code(cls, **code_params)
+        return ctx.code(cls, converter, **code_params)
+
+    sim = EmbeddedClusterSimulation(
+        n_stars=int(params.get("n_stars", 8)),
+        n_gas=int(params.get("n_gas", 32)),
+        se_interval=int(params.get("se_interval", 2)),
+        rng=member.seed,
+        code_factory=factory,
+    )
+    sim.run(int(params.get("n_iterations", 1)))
+    return sim.metrics()
+
+
+@register_workload("cesm")
+def _run_cesm(member, ctx):
+    """The coupled climate demo (in-process numpy components)."""
+    from ..cesm.coupler import EarthSystemModel
+
+    params = member.parameters
+    model = EarthSystemModel(
+        land_fraction=float(params.get("land_fraction", 0.3)),
+    )
+    diag = model.run(
+        float(params.get("days", 30.0)),
+        dt_days=float(params.get("dt_days", 5.0)),
+    )
+    return {
+        key: float(value)
+        for key, value in diag.items()
+        if isinstance(value, (int, float))
+    }
+
+
+class VictimInterface:
+    """Off-process worker that can report its own pid.
+
+    Defined module-level so a subprocess worker child can unpickle the
+    factory by reference.  Deliberately NOT a CodeInterface subclass
+    feature set: the crash workload only needs pid + a slow evolve.
+    """
+
+    def __init__(self, cost_s=0.5):
+        self.cost_s = float(cost_s)
+
+    def pid(self):
+        return os.getpid()
+
+    def evolve_model(self, end_time):
+        time.sleep(self.cost_s)
+        return float(end_time)
+
+    def stop(self):
+        return 0
+
+
+@register_workload("crash")
+def _run_crash(member, ctx):
+    """Crash-isolation probe: SIGKILL the member's own worker mid-call.
+
+    Always placed in ``subprocess`` mode (a thread pilot's pid is the
+    daemon — or this very process).  Every attempt dies the same way,
+    so under restarts the member still fails deterministically: the
+    campaign must record exactly this member as failed and finish the
+    rest.
+    """
+    channel = ctx.interface(
+        VictimInterface,
+        cost_s=float(member.parameters.get("cost_s", 0.5)),
+        worker_mode="subprocess",
+    )
+    pid = channel.call("pid")
+    request = channel.async_call("evolve_model", 1.0)
+    time.sleep(0.05)   # let the call genuinely reach the worker
+    os.kill(pid, signal.SIGKILL)
+    request.result()   # raises ConnectionLostError: worker died mid-call
+    return {}          # unreachable

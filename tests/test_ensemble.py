@@ -1,0 +1,523 @@
+"""Ensemble campaign subsystem: specs, cache, aggregation, runner, CLI."""
+
+import gzip
+import json
+import math
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed import IbisDaemon, connect
+from repro.ensemble import (
+    CampaignRunner,
+    CampaignSpec,
+    Member,
+    MemberContext,
+    ResultCache,
+    StreamingAggregate,
+    canonical_json,
+    register_workload,
+    spec_key,
+)
+from repro.ensemble.workloads import WORKLOADS
+
+# -- spec hashing ------------------------------------------------------------
+
+
+def test_member_key_is_stable_across_processes():
+    """The content address is a pure function of the spec text: this
+    literal pins it across interpreter runs, hosts and PYTHONHASHSEED."""
+    member = Member("drift", 1, {"n_steps": 3, "drift_scale": 1e-6})
+    assert member.key() == (
+        "68c5d0c4c89ba7286559aebb57e6dd47"
+        "f2ee5082349bd1ac0740236098968876"
+    )
+
+
+def test_member_key_ignores_dict_insertion_order():
+    a = Member("drift", 7, {"alpha": 1, "beta": 2, "gamma": [1, 2]})
+    b = Member("drift", 7, {"gamma": [1, 2], "beta": 2, "alpha": 1})
+    assert a.key() == b.key()
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_member_keys_never_collide_across_distinct_specs():
+    members = [
+        Member("drift", 1, {"x": 1}),
+        Member("drift", 1, {"x": 2}),
+        Member("drift", 1, {"x": "1"}),        # type matters
+        Member("drift", 1, {"x": 1.0}),        # int vs float matters
+        Member("drift", 1, {"x": True}),       # bool is not 1
+        Member("drift", 2, {"x": 1}),          # seed matters
+        Member("sleep", 1, {"x": 1}),          # workload matters
+        Member("drift", 1, {"x": [1, 2]}),
+        Member("drift", 1, {"x": [2, 1]}),     # list order matters
+        Member("drift", 1, {"x": {"y": 1}}),
+        Member("drift", 1, {}),
+    ]
+    keys = [m.key() for m in members]
+    assert len(set(keys)) == len(keys)
+
+
+def test_member_rejects_non_canonical_parameters():
+    with pytest.raises(ValueError):
+        Member("drift", 0, {"bad": float("nan")})
+    with pytest.raises(ValueError):
+        Member("drift", 0, {"bad": float("inf")})
+    with pytest.raises(ValueError):
+        Member("drift", 0, {1: "non-string key"})
+    with pytest.raises(ValueError):
+        Member("drift", 0, {"bad": object()})
+    with pytest.raises(ValueError):
+        canonical_json({"x": np.float64})
+
+
+def test_sweep_expands_cartesian_product():
+    spec = CampaignSpec.sweep(
+        "demo", "drift", seeds=[1, 2, 3],
+        parameters={"eta": [0.05, 0.1], "n_steps": [2, 4]},
+        base={"cost_s": 0.0},
+    )
+    assert len(spec) == 12
+    assert len({m.key() for m in spec}) == 12
+    assert all(m.parameters["cost_s"] == 0.0 for m in spec)
+
+
+def test_spec_roundtrips_through_json(tmp_path):
+    spec = CampaignSpec.sweep(
+        "demo", "drift", seeds=[1, 2], parameters={"x": [1]}
+    )
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    loaded = CampaignSpec.load(path)
+    assert loaded.name == spec.name
+    assert loaded.key() == spec.key()
+    assert [m.key() for m in loaded] == [m.key() for m in spec]
+    # the compact sweep form loads to the same members
+    compact = CampaignSpec.from_dict({
+        "name": "demo", "workload": "drift", "seeds": [1, 2],
+        "parameters": {"x": [1]},
+    })
+    assert compact.key() == spec.key()
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict({"name": "no-members"})
+
+
+def test_spec_key_helper_matches_member_key():
+    member = Member("drift", 3)
+    assert spec_key(member.to_dict()) == member.key()
+
+
+# -- result cache ------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_accounting(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    member = Member("drift", 1, {"n_steps": 2})
+    assert cache.get(member) is None             # miss
+    cache.put(member, {"metrics": {"energy_drift": 1e-7}, "wall_s": 0.5})
+    assert cache.contains(member)
+    stored = cache.get(member)                   # hit
+    assert stored["metrics"]["energy_drift"] == 1e-7
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["puts"] == 1
+    assert stats["entries"] == 1
+
+
+def test_cache_corrupted_entry_is_a_counted_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    member = Member("drift", 1)
+    cache.put(member, {"metrics": {}, "wall_s": 0.1})
+    path = cache._path(member.key())
+
+    # truncated gzip stream
+    with open(path, "wb") as fh:
+        fh.write(b"\x1f\x8b\x08\x00garbage")
+    assert cache.get(member) is None
+    assert not os.path.exists(path)              # unlinked, not kept
+
+    # valid gzip, invalid JSON
+    cache.put(member, {"metrics": {}, "wall_s": 0.1})
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write("not json at all")
+    assert cache.get(member) is None
+
+    # valid document claiming the wrong key
+    cache.put(member, {"metrics": {}, "wall_s": 0.1})
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        document = json.load(fh)
+    document["key"] = "0" * 64
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    assert cache.get(member) is None
+
+    assert cache.stats()["corrupt"] == 3
+    # the cache still works after every recovery
+    cache.put(member, {"metrics": {"ok": 1.0}, "wall_s": 0.1})
+    assert cache.get(member)["metrics"]["ok"] == 1.0
+
+
+def test_cache_entry_copied_to_another_key_never_serves(tmp_path):
+    """Collision safety on disk: a file renamed onto another member's
+    address is rejected by the stored-spec check."""
+    cache = ResultCache(tmp_path / "cache")
+    m1 = Member("drift", 1)
+    m2 = Member("drift", 2)
+    cache.put(m1, {"metrics": {"energy_drift": 1.0}, "wall_s": 0.1})
+    src = cache._path(m1.key())
+    dst = cache._path(m2.key())
+    os.makedirs(os.path.dirname(dst), exist_ok=True)
+    with open(src, "rb") as fh:
+        blob = fh.read()
+    with open(dst, "wb") as fh:
+        fh.write(blob)
+    assert cache.get(m2) is None
+    assert cache.stats()["corrupt"] == 1
+    # m1's own entry is untouched
+    assert cache.get(m1)["metrics"]["energy_drift"] == 1.0
+
+
+def test_cache_eviction_bound(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=5)
+    members = [Member("drift", seed) for seed in range(12)]
+    for i, member in enumerate(members):
+        cache.put(member, {"metrics": {}, "wall_s": float(i)})
+        assert len(cache) <= 5
+    stats = cache.stats()
+    assert stats["entries"] == 5
+    assert stats["evictions"] == 7
+    # the newest entries survive LRU eviction
+    assert cache.contains(members[-1])
+
+
+def test_cache_rejects_bad_max_entries(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path / "cache", max_entries=0)
+
+
+# -- streaming aggregation ---------------------------------------------------
+
+
+def test_retained_percentiles_match_numpy_reference():
+    """Acceptance criterion: the retained-state path must agree with
+    ``numpy.percentile`` within rtol 1e-9."""
+    rng = np.random.default_rng(42)
+    values = rng.lognormal(mean=-12.0, sigma=1.5, size=200)
+    agg = StreamingAggregate(retain_limit=256)
+    for v in values:
+        agg.add({"energy_drift": float(v)})
+    summary = agg.summary()["energy_drift"]
+    assert summary["exact"] is True
+    assert summary["count"] == 200
+    np.testing.assert_allclose(summary["mean"], values.mean(), rtol=1e-9)
+    np.testing.assert_allclose(
+        summary["std"], values.std(ddof=1), rtol=1e-9
+    )
+    np.testing.assert_allclose(summary["min"], values.min(), rtol=1e-9)
+    np.testing.assert_allclose(summary["max"], values.max(), rtol=1e-9)
+    for p in (10.0, 50.0, 90.0):
+        np.testing.assert_allclose(
+            summary[f"p{p:g}"], np.percentile(values, p), rtol=1e-9
+        )
+
+
+def test_p2_estimators_take_over_past_retain_limit():
+    rng = np.random.default_rng(7)
+    values = rng.normal(loc=10.0, scale=2.0, size=5000)
+    agg = StreamingAggregate(retain_limit=64)
+    for v in values:
+        agg.add({"wall_s": float(v)})
+    summary = agg.summary()["wall_s"]
+    assert summary["exact"] is False            # P2 path engaged
+    assert summary["count"] == 5000
+    # mean/min/max stay exact whatever the percentile path
+    np.testing.assert_allclose(summary["mean"], values.mean(), rtol=1e-9)
+    assert summary["min"] == values.min()
+    assert summary["max"] == values.max()
+    # P2 is approximate: bands must land near the true quantiles
+    for p in (10.0, 50.0, 90.0):
+        reference = np.percentile(values, p)
+        assert abs(summary[f"p{p:g}"] - reference) < 0.2, (p, reference)
+
+
+def test_aggregate_skips_non_numeric_and_non_finite():
+    agg = StreamingAggregate()
+    agg.add({"a": 1.0, "b": "stage-name", "c": float("nan"),
+             "d": True, "e": None})
+    agg.add({"a": 3.0, "c": 2.0})
+    summary = agg.summary()
+    assert summary["a"]["count"] == 2
+    assert summary["a"]["mean"] == 2.0
+    assert summary["c"]["count"] == 1           # the NaN was dropped
+    assert "b" not in summary
+    assert "d" not in summary
+    assert agg.samples == 2
+
+
+def test_aggregate_empty_metric_summary():
+    agg = StreamingAggregate()
+    assert agg.table() == "(no metrics)"
+    agg.add({"x": 1.0})
+    assert "x" in agg.table()
+    single = agg.summary()["x"]
+    assert single["std"] == 0.0
+    assert math.isfinite(single["p50"])
+
+
+# -- runner ------------------------------------------------------------------
+
+
+def _drift_sweep(n=6, **base):
+    base.setdefault("cost_s", 0.0)
+    base.setdefault("n_steps", 3)
+    return CampaignSpec.sweep(
+        "test-campaign", "drift", seeds=range(n), base=base
+    )
+
+
+def test_runner_end_to_end_local():
+    spec = _drift_sweep(6)
+    report = CampaignRunner(spec, max_inflight=3).run(timeout=120)
+    assert report.ok
+    assert report.completed == 6
+    assert report.cached == 0
+    assert len(report.results) == 6
+    # results arrive indexed by member, whatever the completion order
+    for member, result in zip(spec, report.results):
+        assert result.member is member
+        assert result.metrics["energy_drift"] > 0.0
+    summary = report.aggregate.summary()
+    assert summary["energy_drift"]["count"] == 6
+    assert summary["wall_s"]["count"] == 6
+
+
+def test_runner_results_are_deterministic_per_seed():
+    spec = _drift_sweep(4)
+    first = CampaignRunner(spec, max_inflight=2).run(timeout=120)
+    second = CampaignRunner(spec, max_inflight=4).run(timeout=120)
+    for a, b in zip(first.results, second.results):
+        assert a.metrics["energy_drift"] == b.metrics["energy_drift"]
+        assert a.metrics["mass_loss"] == b.metrics["mass_loss"]
+
+
+def test_runner_cache_resubmission_hits(tmp_path):
+    spec = _drift_sweep(5)
+    cache = ResultCache(tmp_path / "cache")
+    cold = CampaignRunner(spec, cache=cache).run(timeout=120)
+    assert cold.completed == 5
+    warm = CampaignRunner(spec, cache=cache).run(timeout=120)
+    assert warm.cached == 5
+    assert warm.completed == 0
+    # cached metrics are the stored ones, bit-for-bit
+    for a, b in zip(cold.results, warm.results):
+        assert a.metrics == b.metrics
+    assert warm.cache_stats["hits"] == 5
+
+
+def test_runner_refresh_mode_reruns_and_rewrites(tmp_path):
+    spec = _drift_sweep(3)
+    cache = ResultCache(tmp_path / "cache")
+    CampaignRunner(spec, cache=cache).run(timeout=120)
+    refreshed = CampaignRunner(
+        spec, cache=cache, resume=False
+    ).run(timeout=120)
+    assert refreshed.completed == 3
+    assert refreshed.cached == 0
+    assert cache.stats()["puts"] == 6
+
+
+def test_runner_isolates_a_failing_member():
+    """A member that raises a genuine model error fails alone."""
+
+    @register_workload("always-fails")
+    def _fail(member, ctx):
+        raise RuntimeError("intentional model error")
+
+    try:
+        members = [Member("drift", s, {"cost_s": 0.0}) for s in (1, 2)]
+        members.insert(1, Member("always-fails", 0))
+        report = CampaignRunner(
+            CampaignSpec("faulty", members), max_inflight=2
+        ).run(timeout=120)
+    finally:
+        WORKLOADS.pop("always-fails", None)
+    assert report.failed == 1
+    assert report.completed == 2
+    (failure,) = report.failures()
+    assert failure.member.workload == "always-fails"
+    assert "intentional model error" in failure.error
+    assert failure.restarts == 0        # model errors are never retried
+
+
+def test_runner_unknown_workload_fails_that_member_only():
+    members = [Member("drift", 1, {"cost_s": 0.0}),
+               Member("no-such-workload", 0)]
+    report = CampaignRunner(CampaignSpec("bad", members)).run(timeout=60)
+    assert report.failed == 1
+    assert report.completed == 1
+
+
+def test_runner_max_inflight_bounds_concurrency():
+    lock = threading.Lock()
+    state = {"now": 0, "peak": 0}
+
+    @register_workload("probe")
+    def _probe(member, ctx):
+        with lock:
+            state["now"] += 1
+            state["peak"] = max(state["peak"], state["now"])
+        time.sleep(0.05)
+        with lock:
+            state["now"] -= 1
+        return {}
+
+    try:
+        spec = CampaignSpec(
+            "window", [Member("probe", s) for s in range(10)]
+        )
+        report = CampaignRunner(spec, max_inflight=3).run(timeout=60)
+    finally:
+        WORKLOADS.pop("probe", None)
+    assert report.completed == 10
+    assert 1 <= state["peak"] <= 3
+
+
+def test_on_member_done_hooks_stream_and_survive_errors(capsys):
+    seen = []
+    runner = CampaignRunner(
+        _drift_sweep(4), max_inflight=2,
+        on_member_done=lambda m, r: seen.append((m.seed, r.status)),
+    )
+
+    @runner.on_member_done
+    def _broken_hook(member, result):
+        raise RuntimeError("hook exploded")
+
+    report = runner.run(timeout=120)
+    assert report.completed == 4            # broken hook cost nothing
+    assert sorted(s for s, _ in seen) == [0, 1, 2, 3]
+    assert all(status == "ok" for _, status in seen)
+
+
+def test_member_context_sessionless_modes():
+    ctx = MemberContext(session=None, worker_mode=None)
+    assert ctx._local_type("thread") == "sockets"
+    assert ctx._local_type(None) == "sockets"
+    assert ctx._local_type("subprocess") == "subprocess"
+    ctx.close()                              # nothing placed: no-op
+
+
+# -- campaigns over daemon sessions ------------------------------------------
+
+
+@pytest.mark.network
+def test_campaign_bills_sessions_and_merges_into_status():
+    spec = _drift_sweep(6)
+    with IbisDaemon() as daemon:
+        with connect(daemon, name="camp-a") as s1, \
+                connect(daemon, name="camp-b") as s2:
+            report = CampaignRunner(
+                spec, sessions=[s1, s2], max_inflight=3
+            ).run(timeout=120)
+            assert report.ok
+            acct1 = s1.status()["campaigns"]["test-campaign"]
+            acct2 = s2.status()["campaigns"]["test-campaign"]
+    # round-robin: 6 members over 2 sessions = 3 each
+    assert acct1["members"] == 3
+    assert acct2["members"] == 3
+    assert acct1["ok"] == 3 and acct1["failed"] == 0
+    assert acct1["wall_s"] > 0.0
+
+
+@pytest.mark.network
+def test_crashed_member_fails_alone_over_sessions():
+    members = [Member("sleep", s, {"cost_s": 0.02}) for s in range(4)]
+    members.insert(2, Member("crash", 0, {"cost_s": 0.3}))
+    spec = CampaignSpec("crashy", members)
+    with IbisDaemon() as daemon:
+        with connect(daemon, name="crash-test") as session:
+            report = CampaignRunner(
+                spec, sessions=session, worker_mode="subprocess",
+                max_inflight=2,
+            ).run(timeout=300)
+            campaigns = session.status()["campaigns"]
+    assert report.failed == 1
+    assert report.completed == 4
+    (failure,) = report.failures()
+    assert failure.member.workload == "crash"
+    assert failure.restarts == 1            # retried on a fresh pilot
+    assert campaigns["crashy"]["failed"] == 1
+    assert campaigns["crashy"]["ok"] == 4
+
+
+def test_session_rejects_unknown_member_status():
+    with IbisDaemon() as daemon:
+        with connect(daemon) as session:
+            with pytest.raises(ValueError):
+                session.note_campaign_member("c", "exploded", 1.0)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _run_cli(args, cwd):
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.ensemble", *args],
+        capture_output=True, text=True, cwd=cwd, env=env, timeout=120,
+    )
+
+
+def test_cli_runs_and_resumes_a_campaign(tmp_path):
+    spec_path = tmp_path / "campaign.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli-demo",
+        "workload": "drift",
+        "seeds": [0, 1, 2],
+        "base": {"cost_s": 0.0, "n_steps": 2},
+    }))
+    cache_dir = tmp_path / "cache"
+
+    cold = _run_cli(
+        ["--spec", str(spec_path), "--cache", str(cache_dir),
+         "--local"],
+        cwd=tmp_path,
+    )
+    assert cold.returncode == 0, cold.stderr
+    assert "3 members" in cold.stdout
+    assert "3 ran" in cold.stdout
+    assert "energy_drift" in cold.stdout
+
+    resumed = _run_cli(
+        ["--spec", str(spec_path), "--cache", str(cache_dir),
+         "--local", "--resume", "--json"],
+        cwd=tmp_path,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    payload = json.loads(resumed.stdout)
+    assert payload["cached"] == 3
+    assert payload["completed"] == 0
+    assert payload["cache"]["hits"] == 3
+
+
+def test_cli_bad_spec_exits_2(tmp_path):
+    spec_path = tmp_path / "broken.json"
+    spec_path.write_text("{not json")
+    result = _run_cli(["--spec", str(spec_path), "--local"], cwd=tmp_path)
+    assert result.returncode == 2
+    assert "bad spec" in result.stderr

@@ -523,6 +523,31 @@ class TestTransportStats:
             assert merged["bytes_received"] > 0
             assert merged["channel_count"] >= 2
 
+    def test_stopped_pilots_stay_in_merged_stats(self, daemon):
+        """The closed-pilot accumulator: ``status()`` keeps the
+        transport stats of pilots that have since been stopped, so
+        merged totals never go backwards over a session's lifetime."""
+        with connect(daemon) as session:
+            ch1 = session.code(ArrayEchoInterface)
+            ch2 = session.code(ArrayEchoInterface)
+            for _ in range(3):
+                ch1.call("scale", 2.0, 2.0)
+            ch2.call("scale", 1.0, 1.0)
+            live = session.status()["client_transport"]
+            ch1.stop()
+            after_stop = session.status()["client_transport"]
+            assert after_stop["bytes_sent"] >= live["bytes_sent"]
+            assert after_stop["frames_sent"] >= live["frames_sent"]
+            assert after_stop["channel_count"] == \
+                live["channel_count"]
+            # the surviving pilot still accumulates on top
+            ch2.call("scale", 3.0, 3.0)
+            final = session.status()["client_transport"]
+            assert final["bytes_sent"] > after_stop["bytes_sent"]
+            ch2.stop()
+            assert session.status()["client_transport"][
+                "bytes_sent"] >= final["bytes_sent"]
+
     def test_merge_transport_stats(self):
         merged = merge_transport_stats([
             {"channel": "a", "bytes_sent": 3, "frames_sent": 1,
