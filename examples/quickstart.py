@@ -259,6 +259,41 @@ def main():
         resubmit = CampaignRunner(campaign, cache=cache).run(timeout=300)
         print(f"resubmission: {resubmit.summary_line()}")
 
+    # -- repro.analysis: the concurrency & protocol invariant checker -
+    # The runtime above leans on locks, reader threads, wire MAGIC
+    # constants and shared-memory segments — all easy to get subtly
+    # wrong.  `python -m repro.analysis src/repro` audits the tree
+    # statically (lock-order cycles, blocking calls on reader threads,
+    # orphaned frame constants, leaked shm/subprocess handles) and is
+    # gated in CI against the justified `analysis-baseline.json`; the
+    # lockwatch companion (REPRO_LOCKWATCH=1) cross-checks the lock
+    # orders real test threads take against that static graph.  The
+    # same rules run programmatically — here against a seeded
+    # lock-order inversion:
+    import pathlib
+
+    from repro.analysis import analyze
+
+    with tempfile.TemporaryDirectory() as src_dir:
+        demo = pathlib.Path(src_dir) / "inverted.py"
+        demo.write_text(
+            "import threading\n"
+            "class Transfer:\n"
+            "    def __init__(self):\n"
+            "        self._debit = threading.Lock()\n"
+            "        self._credit = threading.Lock()\n"
+            "    def forward(self):\n"
+            "        with self._debit:\n"
+            "            with self._credit:\n"
+            "                pass\n"
+            "    def backward(self):\n"
+            "        with self._credit:\n"
+            "            with self._debit:\n"
+            "                pass\n"
+        )
+        for finding in analyze(str(demo), rules=["lock-order"]):
+            print(f"  analysis: {finding.key}")
+
     # pull the final state back into the script-side set
     channel = gravity.particles.new_channel_to(stars)
     channel.copy_attributes(["position", "velocity"])

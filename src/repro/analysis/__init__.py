@@ -1,0 +1,61 @@
+"""Static concurrency & protocol invariant checker.
+
+The hardest bugs in this codebase so far — the reader-exit hang
+(PR 1), the cancel-vs-reply race (PR 5), the reaped-session spawn
+race (PR 6) — were all violations of invariants the code keeps by
+convention: lock acquisition order, "nothing blocks on a reader
+thread", frame kinds matching dispatch arms, every allocation having
+a teardown path.  This package machine-checks those conventions at
+lint time, over the AST, without importing the code under analysis.
+
+Rule families (see each module's docstring for the fine print):
+
+* :mod:`~repro.analysis.locks` — global lock-order graph; fails on
+  cycles and on acquisitions inside a frame-send critical section;
+* :mod:`~repro.analysis.threads` — blocking calls reachable from
+  reader-thread entry points and done-callback bodies;
+* :mod:`~repro.analysis.frames` — MAGIC constants, hello capability
+  names and frame kinds must agree across both peers;
+* :mod:`~repro.analysis.lifecycle` — shm segments, subprocesses and
+  pending futures must have a reachable teardown path;
+* :mod:`~repro.analysis.lockwatch` — the runtime companion: records
+  real acquisition orders under ``REPRO_LOCKWATCH=1`` and
+  cross-validates them against the static graph.
+
+Workflow: ``python -m repro.analysis src/repro`` exits 0 when every
+finding is either fixed or accepted into ``analysis-baseline.json``
+with a justification; CI runs exactly that, so a new finding (or a
+runtime/static divergence) fails the static-analysis lane.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    RULES,
+    Baseline,
+    Finding,
+    Project,
+    Rule,
+    rule,
+    run_rules,
+)
+
+# importing the rule modules registers them in RULES
+from . import frames, lifecycle, locks, threads  # noqa: E402,F401
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "RULES",
+    "Rule",
+    "analyze",
+    "rule",
+    "run_rules",
+]
+
+
+def analyze(*paths: str, rules: list[str] | None = None) -> list[Finding]:
+    """Run the checker programmatically; returns sorted findings."""
+    project = Project(paths or ("src/repro",))
+    return run_rules(project, rules)

@@ -1,0 +1,167 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Runs every registered rule over the given source roots, subtracts the
+committed baseline, and exits nonzero when anything new is found.
+
+Typical invocations::
+
+    # the CI gate (exit 0 on a clean committed tree)
+    python -m repro.analysis src/repro
+
+    # accept the current findings into the baseline, then go edit the
+    # justification fields before committing
+    python -m repro.analysis src/repro --write-baseline
+
+    # cross-validate a lockwatch run (REPRO_LOCKWATCH=1 test run)
+    python -m repro.analysis src/repro --lockwatch-report lockwatch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import RULES, Baseline, Finding, Project, run_rules
+from .locks import build_lock_graph
+from .lockwatch import validate_report
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "concurrency & protocol invariant checker for the repro "
+            "codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="source roots to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "baseline JSON of accepted findings (default: "
+            f"{DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated rule subset (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--lockwatch-report", default=None, metavar="FILE",
+        help=(
+            "JSON report from a REPRO_LOCKWATCH=1 run to cross-"
+            "validate against the static lock-order graph"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable findings on stdout",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name].doc}")
+        return 0
+
+    roots = [Path(p) for p in args.paths]
+    for root in roots:
+        if not root.exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+    project = Project(roots)
+
+    names = args.rules.split(",") if args.rules else None
+    try:
+        findings = run_rules(project, names)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.lockwatch_report is not None:
+        graph = build_lock_graph(project)
+        data = json.loads(Path(args.lockwatch_report).read_text())
+        watch_findings, stats = validate_report(data, graph)
+        findings = sorted(
+            findings + watch_findings,
+            key=lambda f: (f.path, f.line, f.rule, f.key),
+        )
+        print(
+            f"lockwatch: {stats['observed']} observed edges, "
+            f"{stats['matched']} between known locks, "
+            f"{stats['unmodeled']} unmodeled-but-consistent"
+        )
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None
+        else Path(DEFAULT_BASELINE)
+    )
+    if args.write_baseline:
+        previous = (
+            Baseline.load(baseline_path) if baseline_path.exists()
+            else Baseline()
+        )
+        Baseline.write(baseline_path, findings)
+        # keep reviewed justifications across rewrites
+        data = json.loads(baseline_path.read_text())
+        for entry in data["baseline"]:
+            if entry["key"] in previous.entries:
+                entry["justification"] = previous.entries[entry["key"]]
+        baseline_path.write_text(json.dumps(data, indent=2) + "\n")
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}; "
+            "fill in the justification fields before committing"
+        )
+        return 0
+
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path.exists()
+        else Baseline()
+    )
+    new, accepted = baseline.split(findings)
+
+    if args.as_json:
+        print(json.dumps({
+            "new": [f.__dict__ for f in new],
+            "accepted": [f.__dict__ for f in accepted],
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+            print(f"    key: {finding.key}")
+        stale = baseline.stale_keys(findings)
+        summary = (
+            f"{len(new)} new finding(s), {len(accepted)} baselined"
+        )
+        if stale:
+            summary += (
+                f", {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} "
+                "(fixed findings — prune them)"
+            )
+            for key in stale:
+                print(f"stale baseline entry: {key}")
+        print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

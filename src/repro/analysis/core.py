@@ -1,0 +1,378 @@
+"""Core engine for the invariant checker: project model, rule
+registry, findings and the baseline workflow.
+
+The checker never imports the code under analysis — everything is
+derived from the AST (:mod:`ast`), so seeded-bug fixtures and modules
+with missing optional dependencies analyze fine.
+
+Resolution model
+----------------
+
+Rules share one best-effort call/attribute resolver built here:
+
+* bare names resolve through module scope and ``from x import y``
+  imports (project-internal only);
+* ``self.m(...)`` resolves within the enclosing class, then its
+  project-resolvable ancestors; rules that trace *runtime* reachability
+  (the reader-thread lint) additionally widen into subclass overrides;
+* other attribute calls (``obj.m(...)``) resolve only when the method
+  name is unique across the whole project — anything ambiguous is
+  dropped rather than over-approximated, because a false edge in the
+  lock graph manufactures deadlock cycles that do not exist.
+
+Findings carry a *stable key* (no line numbers) so the committed
+baseline file survives unrelated edits.  The baseline is JSON: a list
+of ``{"key": ..., "justification": ...}`` entries; a finding whose key
+is baselined is reported as accepted and does not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "FunctionInfo",
+    "Module",
+    "Project",
+    "RULES",
+    "rule",
+    "run_rules",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker diagnostic.
+
+    ``key`` is the stable fingerprint used for baselining; it must not
+    embed line numbers, so a finding keeps matching its baseline entry
+    while unrelated code moves around.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    key: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method definition, with enough context to walk
+    calls out of it."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: "Module"
+    qualname: str
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def site(self) -> str:
+        return f"{self.module.rel}::{self.qualname}"
+
+
+class Module:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.tree = ast.parse(path.read_text(), filename=str(path))
+        #: local name -> (dotted module, original name) for
+        #: ``from x import y [as z]``; original name None for plain
+        #: ``import x [as z]``
+        self.imports: dict[str, tuple[str, str | None]] = {}
+        #: top-level function name -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class name -> {method name -> FunctionInfo}
+        self.classes: dict[str, dict[str, FunctionInfo]] = {}
+        #: class name -> base-class expressions (unresolved names)
+        self.bases: dict[str, list[str]] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                dotted = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = (dotted, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (alias.name, None)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(
+                    node, self, node.name
+                )
+            elif isinstance(node, ast.ClassDef):
+                methods: dict[str, FunctionInfo] = {}
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        methods[item.name] = FunctionInfo(
+                            item, self, f"{node.name}.{item.name}",
+                            class_name=node.name,
+                        )
+                self.classes[node.name] = methods
+                self.bases[node.name] = [
+                    _expr_name(base) for base in node.bases
+                ]
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+        for methods in self.classes.values():
+            yield from methods.values()
+
+
+def _expr_name(node: ast.expr) -> str:
+    """Best-effort dotted name of an expression (for base classes)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{_expr_name(node.value)}.{node.attr}"
+    return ""
+
+
+class Project:
+    """Every parsed module under the analyzed roots, plus the shared
+    name-resolution indexes the rules use."""
+
+    def __init__(self, roots: Iterable[Path]) -> None:
+        self.roots = [Path(r).resolve() for r in roots]
+        self.modules: list[Module] = []
+        seen: set[Path] = set()
+        for root in self.roots:
+            base = root if root.is_dir() else root.parent
+            paths = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            for path in paths:
+                resolved = path.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                self.modules.append(Module(resolved, base.resolve()))
+        #: method/function name -> every definition in the project
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        for module in self.modules:
+            for info in module.all_functions():
+                self.by_name.setdefault(info.name, []).append(info)
+        #: class name -> defining modules (class names are treated as
+        #: project-unique, which holds for this codebase)
+        self.class_home: dict[str, Module] = {}
+        for module in self.modules:
+            for cls in module.classes:
+                self.class_home.setdefault(cls, module)
+        #: class name -> direct project subclasses
+        self.subclasses: dict[str, list[str]] = {}
+        for module in self.modules:
+            for cls, bases in module.bases.items():
+                for base in bases:
+                    leaf = base.split(".")[-1]
+                    if leaf in self.class_home:
+                        self.subclasses.setdefault(leaf, []).append(cls)
+
+    # -- name resolution ----------------------------------------------------
+
+    def find(self, rel_suffix: str) -> Module | None:
+        """The module whose repo-relative path ends with *rel_suffix*."""
+        for module in self.modules:
+            if module.rel.endswith(rel_suffix):
+                return module
+        return None
+
+    def _class_methods(self, cls: str) -> dict[str, FunctionInfo]:
+        home = self.class_home.get(cls)
+        if home is None:
+            return {}
+        return home.classes.get(cls, {})
+
+    def method_on(self, cls: str, name: str,
+                  widen: bool = False) -> list[FunctionInfo]:
+        """Resolve ``self.name`` on class *cls*: the class itself,
+        then ancestors; with *widen*, subclass overrides too (runtime
+        dispatch may land there)."""
+        found = []
+        info = self._class_methods(cls).get(name)
+        if info is not None:
+            found.append(info)
+        else:
+            for base in self._ancestors(cls):
+                info = self._class_methods(base).get(name)
+                if info is not None:
+                    found.append(info)
+                    break
+        if widen:
+            for sub in self._descendants(cls):
+                info = self._class_methods(sub).get(name)
+                if info is not None and info not in found:
+                    found.append(info)
+        return found
+
+    def _ancestors(self, cls: str) -> list[str]:
+        out: list[str] = []
+        queue = [cls]
+        while queue:
+            current = queue.pop()
+            home = self.class_home.get(current)
+            if home is None:
+                continue
+            for base in home.bases.get(current, []):
+                leaf = base.split(".")[-1]
+                if leaf in self.class_home and leaf not in out:
+                    out.append(leaf)
+                    queue.append(leaf)
+        return out
+
+    def _descendants(self, cls: str) -> list[str]:
+        out: list[str] = []
+        queue = [cls]
+        while queue:
+            current = queue.pop()
+            for sub in self.subclasses.get(current, []):
+                if sub not in out:
+                    out.append(sub)
+                    queue.append(sub)
+        return out
+
+    def resolve_call(self, call: ast.Call, scope: FunctionInfo,
+                     widen: bool = False) -> list[FunctionInfo]:
+        """Project-internal definitions a call may land on (see the
+        module docstring for the resolution policy)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            info = scope.module.functions.get(func.id)
+            if info is not None:
+                return [info]
+            imported = scope.module.imports.get(func.id)
+            if imported is not None:
+                _, orig = imported
+                for candidate in self.by_name.get(orig or func.id, []):
+                    if candidate.class_name is None:
+                        return [candidate]
+            return []
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and scope.class_name is not None):
+                return self.method_on(
+                    scope.class_name, func.attr, widen=widen
+                )
+            if func.attr in _BUILTIN_METHOD_NAMES:
+                return []
+            candidates = self.by_name.get(func.attr, [])
+            if len(candidates) == 1:
+                return candidates
+        return []
+
+
+#: method names shared with builtin containers/primitives — a call
+#: like ``self._pending.clear()`` must never resolve to a project
+#: method that happens to reuse the name, so these are excluded from
+#: the unique-name fallback (self.m and imported-name resolution are
+#: unaffected)
+_BUILTIN_METHOD_NAMES = frozenset({
+    "add", "append", "clear", "close", "copy", "count", "discard",
+    "extend", "flush", "get", "index", "insert", "items", "join",
+    "keys", "pop", "popleft", "put", "read", "remove", "send", "set",
+    "sort", "split", "start", "update", "values", "wait", "write",
+})
+
+#: rule id -> implementation; populated by the @rule decorator in each
+#: rule module (importing repro.analysis registers them all)
+RULES: dict[str, "Rule"] = {}
+
+
+@dataclass
+class Rule:
+    name: str
+    doc: str
+    fn: Callable[[Project], list[Finding]]
+
+
+def rule(name: str, doc: str) -> Callable[
+    [Callable[[Project], list[Finding]]],
+    Callable[[Project], list[Finding]],
+]:
+    def register(
+        fn: Callable[[Project], list[Finding]],
+    ) -> Callable[[Project], list[Finding]]:
+        RULES[name] = Rule(name, doc, fn)
+        return fn
+    return register
+
+
+def run_rules(project: Project,
+              names: Iterable[str] | None = None) -> list[Finding]:
+    selected = list(names) if names is not None else sorted(RULES)
+    findings: list[Finding] = []
+    for name in selected:
+        if name not in RULES:
+            raise KeyError(f"unknown rule {name!r}; have {sorted(RULES)}")
+        findings.extend(RULES[name].fn(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.key))
+    return findings
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings.
+
+    Every entry needs a justification — the baseline is a reviewed
+    list of "yes, we know, and here is why it is safe", not a mute
+    button.
+    """
+
+    path: Path | None = None
+    entries: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        entries: dict[str, str] = {}
+        for entry in data.get("baseline", []):
+            entries[entry["key"]] = entry.get("justification", "")
+        return cls(path=path, entries=entries)
+
+    def split(
+        self, findings: list[Finding],
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, accepted)."""
+        new = [f for f in findings if f.key not in self.entries]
+        accepted = [f for f in findings if f.key in self.entries]
+        return new, accepted
+
+    def stale_keys(self, findings: list[Finding]) -> list[str]:
+        live = {f.key for f in findings}
+        return sorted(k for k in self.entries if k not in live)
+
+    @staticmethod
+    def write(path: Path, findings: list[Finding],
+              justification: str = "accepted pre-existing pattern; "
+              "review before removing") -> None:
+        payload = {
+            "version": 1,
+            "baseline": [
+                {
+                    "key": f.key,
+                    "rule": f.rule,
+                    "where": f"{f.path}:{f.line}",
+                    "justification": justification,
+                }
+                for f in findings
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,178 @@
+"""Resource-lifecycle lint.
+
+Three allocation families, each of which leaks something the OS will
+not clean up for us (or will clean up too late):
+
+* ``SharedMemory(create=True, ...)`` / ``ShmArena(...)`` — a POSIX
+  shm segment outlives the process unless somebody calls ``unlink``;
+  the owning scope must reference an ``unlink``/``close`` teardown
+  path.
+* ``subprocess.Popen(...)`` — a spawned worker must be reachable from
+  the stop→terminate→kill escalation: the owning scope must reference
+  both ``terminate`` and ``kill``.
+* ``_register_pending(...)`` — a request parked in a pending table
+  must be retirable: the owning scope (class, its project bases, or
+  the module) must carry an ``abandon``/``cancel``/``fail_all`` path,
+  or a worker death strands callers on futures nobody will resolve.
+
+"Owning scope" is the enclosing class (plus its project-resolvable
+ancestors) when the allocation happens in a method, else the whole
+module.  This is deliberately coarse — the rule asks "does a teardown
+path *exist* near the allocation", not "is it provably always run";
+the latter needs the runtime half (lockwatch / the test suite).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .core import Finding, FunctionInfo, Module, Project, rule
+
+__all__: list[str] = []
+
+
+@dataclass(frozen=True)
+class _Family:
+    label: str
+    #: callable leaf names whose call is an allocation
+    allocators: frozenset[str]
+    #: names, any of which counts as the teardown path
+    teardown: frozenset[str]
+    #: require every teardown name (True) or any one of them (False)
+    require_all: bool
+    hint: str
+
+
+_FAMILIES = (
+    _Family(
+        "shm",
+        frozenset({"SharedMemory", "ShmArena"}),
+        frozenset({"unlink", "close"}),
+        False,
+        "shared-memory segments must be unlinked or closed",
+    ),
+    _Family(
+        "subprocess",
+        frozenset({"Popen"}),
+        frozenset({"terminate", "kill"}),
+        True,
+        "spawned workers need the stop->terminate->kill escalation",
+    ),
+    _Family(
+        "pending-future",
+        frozenset({"_register_pending"}),
+        frozenset({"abandon", "cancel", "fail_all"}),
+        False,
+        "registered requests need a retire/abandon/cancel path",
+    ),
+)
+
+
+def _call_leaf(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _is_allocation(call: ast.Call, family: _Family) -> bool:
+    leaf = _call_leaf(call)
+    if leaf not in family.allocators:
+        return False
+    if leaf == "SharedMemory":
+        # attaching to an existing segment is not an allocation
+        return any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+    return True
+
+
+def _class_node(module: Module, name: str) -> ast.ClassDef | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _referenced_names(nodes: list[ast.AST]) -> set[str]:
+    names: set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                names.add(node.name)
+    return names
+
+
+def _owning_scope(info: FunctionInfo, project: Project) -> list[ast.AST]:
+    """The AST roots searched for a teardown path."""
+    if info.class_name is None:
+        return [info.module.tree]
+    roots: list[ast.AST] = []
+    node = _class_node(info.module, info.class_name)
+    if node is not None:
+        roots.append(node)
+    for base in project._ancestors(info.class_name):
+        home = project.class_home.get(base)
+        if home is None:
+            continue
+        base_node = _class_node(home, base)
+        if base_node is not None:
+            roots.append(base_node)
+    return roots or [info.module.tree]
+
+
+@rule(
+    "resource-lifecycle",
+    "every shm segment, spawned subprocess and registered pending "
+    "future must have a reachable teardown path in its owning scope",
+)
+def check_lifecycle(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    for module in project.modules:
+        for info in module.all_functions():
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for family in _FAMILIES:
+                    if not _is_allocation(node, family):
+                        continue
+                    key = f"lifecycle:{family.label}:{info.site}"
+                    if key in seen:
+                        continue
+                    scope = _owning_scope(info, project)
+                    present = _referenced_names(scope)
+                    ok = (
+                        family.teardown <= present
+                        if family.require_all
+                        else bool(family.teardown & present)
+                    )
+                    if ok:
+                        continue
+                    seen.add(key)
+                    owner = info.class_name or module.rel
+                    findings.append(Finding(
+                        rule="resource-lifecycle",
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            f"{family.label} allocation in {info.site}"
+                            f" has no teardown path in {owner} "
+                            f"(need {'all' if family.require_all else 'one'}"
+                            f" of {sorted(family.teardown)}): "
+                            f"{family.hint}"
+                        ),
+                        key=key,
+                    ))
+    return findings

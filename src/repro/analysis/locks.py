@@ -1,0 +1,372 @@
+"""Lock-order analysis.
+
+Builds a global lock-order graph from every ``with <lock>:``
+acquisition in the project: a nested acquisition (directly in the
+``with`` body, or inside any strictly-resolved call made from it)
+adds the edge ``outer -> inner``.  Two failure modes:
+
+* a **cycle** in the graph — two threads taking the same locks in
+  opposite orders is the classic deadlock recipe;
+* any acquisition **inside a frame-send critical section** (a lock
+  whose name marks it as a send lock, e.g. ``_send_lock``) — the wire
+  invariant since PR 1 is that nothing slow or blocking happens while
+  a partial frame owns the socket.
+
+Lock identity is the *definition site*: ``module.py::Class.attr`` for
+``self.attr = threading.Lock()``, ``module.py::name`` for module
+globals, ``module.py::func.name`` for locals.  The definition line is
+kept so the lockwatch runtime report (which knows only creation
+file:line) can be joined back onto this graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import Finding, FunctionInfo, Module, Project, rule
+
+__all__ = ["LockDef", "LockGraph", "build_lock_graph"]
+
+#: threading factory callables whose result is an acquirable lock
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: a lock with one of these substrings in its terminal name guards a
+#: frame-send critical section (bytes of one frame own the socket)
+_SEND_LOCK_MARKERS = ("send_lock",)
+
+
+@dataclass(frozen=True)
+class LockDef:
+    name: str       # stable identity, e.g. src/repro/rpc/shm.py::ShmArena._lock
+    rel: str
+    line: int
+    kind: str       # Lock | RLock | Condition
+
+    @property
+    def is_send_lock(self) -> bool:
+        leaf = self.name.rsplit(".", 1)[-1].rsplit("::", 1)[-1]
+        return any(marker in leaf for marker in _SEND_LOCK_MARKERS)
+
+
+@dataclass
+class _Edge:
+    outer: str
+    inner: str
+    rel: str
+    line: int
+    via: str        # human-readable provenance ("direct" or call chain)
+
+
+@dataclass
+class LockGraph:
+    defs: dict[str, LockDef] = field(default_factory=dict)
+    #: (rel, line) of the creation call -> lock name, for lockwatch
+    sites: dict[tuple[str, int], str] = field(default_factory=dict)
+    edges: dict[tuple[str, str], _Edge] = field(default_factory=dict)
+    #: acquisitions made while a send lock is held
+    send_violations: list[_Edge] = field(default_factory=list)
+
+    def add_edge(self, edge: _Edge) -> None:
+        if edge.outer == edge.inner:
+            return  # RLock re-entry, not an ordering constraint
+        self.edges.setdefault((edge.outer, edge.inner), edge)
+
+    def successors(self, name: str) -> list[str]:
+        return [b for (a, b) in self.edges if a == name]
+
+    def reachable(self, start: str, goal: str) -> bool:
+        seen = {start}
+        queue = [start]
+        while queue:
+            for nxt in self.successors(queue.pop()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with more than one lock."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        out: list[list[str]] = []
+        nodes = sorted(
+            {a for a, _ in self.edges} | {b for _, b in self.edges}
+        )
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in self.successors(v):
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    out.append(sorted(component))
+
+        for node in nodes:
+            if node not in index:
+                strongconnect(node)
+        return out
+
+
+def _is_lock_factory(call: ast.Call, module: Module) -> str | None:
+    """The factory kind when *call* creates a threading lock."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        if isinstance(func.value, ast.Name) and func.value.id == "threading":
+            return func.attr
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        imported = module.imports.get(func.id)
+        if imported is not None and imported[0].endswith("threading"):
+            return func.id
+    return None
+
+
+class _Scope:
+    """Per-module lock namespace: class attrs, globals, locals."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.class_attrs: dict[tuple[str, str], LockDef] = {}
+        self.globals: dict[str, LockDef] = {}
+        self.locals: dict[tuple[str, str], LockDef] = {}
+
+
+def _collect_defs(project: Project, graph: LockGraph) -> dict[str, _Scope]:
+    scopes: dict[str, _Scope] = {}
+    for module in project.modules:
+        scope = scopes[module.rel] = _Scope(module)
+        for node in module.tree.body:
+            _collect_assign(node, module, scope, graph, qual=None)
+        for info in module.all_functions():
+            for node in ast.walk(info.node):
+                _collect_assign(node, module, scope, graph,
+                                qual=info.qualname, cls=info.class_name)
+    return scopes
+
+
+def _collect_assign(node: ast.AST, module: Module, scope: _Scope,
+                    graph: LockGraph, qual: str | None,
+                    cls: str | None = None) -> None:
+    if not isinstance(node, ast.Assign) or not isinstance(
+        node.value, ast.Call
+    ):
+        return
+    kind = _is_lock_factory(node.value, module)
+    if kind is None:
+        return
+    for target in node.targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self" and cls is not None):
+            name = f"{module.rel}::{cls}.{target.attr}"
+            lock = LockDef(name, module.rel, node.lineno, kind)
+            scope.class_attrs[(cls, target.attr)] = lock
+        elif isinstance(target, ast.Name) and qual is None:
+            name = f"{module.rel}::{target.id}"
+            lock = LockDef(name, module.rel, node.lineno, kind)
+            scope.globals[target.id] = lock
+        elif isinstance(target, ast.Name) and qual is not None:
+            name = f"{module.rel}::{qual}.{target.id}"
+            lock = LockDef(name, module.rel, node.lineno, kind)
+            scope.locals[(qual, target.id)] = lock
+        else:
+            continue
+        graph.defs[lock.name] = lock
+        graph.sites[(module.rel, node.lineno)] = lock.name
+
+
+class _Resolver:
+    def __init__(self, project: Project, scopes: dict[str, _Scope]) -> None:
+        self.project = project
+        self.scopes = scopes
+        #: attr name -> defs, for unique cross-object resolution
+        self.by_attr: dict[str, list[LockDef]] = {}
+        for scope in scopes.values():
+            for (_, attr), lock in scope.class_attrs.items():
+                self.by_attr.setdefault(attr, []).append(lock)
+
+    def lock_of(self, expr: ast.expr, info: FunctionInfo) -> LockDef | None:
+        scope = self.scopes[info.module.rel]
+        if isinstance(expr, ast.Name):
+            local = scope.locals.get((info.qualname, expr.id))
+            if local is not None:
+                return local
+            return scope.globals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and info.class_name is not None):
+                hit = scope.class_attrs.get((info.class_name, expr.attr))
+                if hit is not None:
+                    return hit
+                for base in self.project._ancestors(info.class_name):
+                    home = self.project.class_home.get(base)
+                    if home is None:
+                        continue
+                    base_scope = self.scopes.get(home.rel)
+                    if base_scope is None:
+                        continue
+                    hit = base_scope.class_attrs.get((base, expr.attr))
+                    if hit is not None:
+                        return hit
+                return None
+            candidates = self.by_attr.get(expr.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+
+@dataclass
+class _FuncFacts:
+    direct: set[str] = field(default_factory=set)
+    #: (held lock name or None, call node) for every call expression
+    calls: list[tuple[str | None, ast.Call]] = field(default_factory=list)
+
+
+def _walk_function(info: FunctionInfo, resolver: _Resolver,
+                   graph: LockGraph) -> _FuncFacts:
+    facts = _FuncFacts()
+
+    def visit(node: ast.AST, held: list[LockDef]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not info.node:
+                return  # nested defs run later, under unknown locks
+        if isinstance(node, ast.With):
+            acquired: list[LockDef] = []
+            for item in node.items:
+                lock = resolver.lock_of(item.context_expr, info)
+                if lock is None:
+                    continue
+                facts.direct.add(lock.name)
+                if held:
+                    graph.add_edge(_Edge(
+                        held[-1].name, lock.name, info.module.rel,
+                        item.context_expr.lineno,
+                        f"nested with in {info.site}",
+                    ))
+                    if held[-1].is_send_lock:
+                        graph.send_violations.append(_Edge(
+                            held[-1].name, lock.name, info.module.rel,
+                            item.context_expr.lineno,
+                            f"direct acquisition in {info.site}",
+                        ))
+                held.append(lock)
+                acquired.append(lock)
+            for child in node.body:
+                visit(child, held)
+            for _ in acquired:
+                held.pop()
+            return
+        if isinstance(node, ast.Call):
+            facts.calls.append((held[-1].name if held else None, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in info.node.body:
+        visit(stmt, [])
+    return facts
+
+
+def build_lock_graph(project: Project) -> LockGraph:
+    graph = LockGraph()
+    scopes = _collect_defs(project, graph)
+    resolver = _Resolver(project, scopes)
+
+    facts: dict[str, _FuncFacts] = {}
+    infos: dict[str, FunctionInfo] = {}
+    for module in project.modules:
+        for info in module.all_functions():
+            facts[info.site] = _walk_function(info, resolver, graph)
+            infos[info.site] = info
+
+    # fixpoint: every lock a function may acquire, transitively
+    reach: dict[str, set[str]] = {
+        site: set(f.direct) for site, f in facts.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for site, fact in facts.items():
+            info = infos[site]
+            for _, call in fact.calls:
+                for callee in project.resolve_call(call, info):
+                    extra = reach.get(callee.site, set())
+                    if not extra <= reach[site]:
+                        reach[site] |= extra
+                        changed = True
+
+    # interprocedural edges: call made while holding a lock, into a
+    # function that (transitively) acquires others
+    for site, fact in facts.items():
+        info = infos[site]
+        for held, call in fact.calls:
+            if held is None:
+                continue
+            for callee in project.resolve_call(call, info):
+                for inner in sorted(reach.get(callee.site, ())):
+                    if inner == held:
+                        continue
+                    edge = _Edge(
+                        held, inner, info.module.rel, call.lineno,
+                        f"call {callee.qualname}() from {info.site}",
+                    )
+                    graph.add_edge(edge)
+                    if graph.defs[held].is_send_lock:
+                        graph.send_violations.append(edge)
+    return graph
+
+
+@rule(
+    "lock-order",
+    "lock-order graph must be acyclic; no acquisitions inside a "
+    "frame-send critical section",
+)
+def check_lock_order(project: Project) -> list[Finding]:
+    graph = build_lock_graph(project)
+    findings: list[Finding] = []
+    for cycle in graph.cycles():
+        anchor = graph.defs[cycle[0]]
+        findings.append(Finding(
+            rule="lock-order",
+            path=anchor.rel,
+            line=anchor.line,
+            message=(
+                "potential deadlock: lock-order cycle "
+                + " -> ".join(cycle + [cycle[0]])
+            ),
+            key="lock-order:cycle:" + "|".join(cycle),
+        ))
+    for violation in graph.send_violations:
+        findings.append(Finding(
+            rule="lock-order",
+            path=violation.rel,
+            line=violation.line,
+            message=(
+                f"{violation.inner} acquired inside frame-send "
+                f"critical section {violation.outer} ({violation.via})"
+            ),
+            key=(
+                "lock-order:send-section:"
+                f"{violation.outer}->{violation.inner}"
+            ),
+        ))
+    return findings

@@ -1,0 +1,319 @@
+"""Runtime lock-order watcher — the dynamic half of the lock rule.
+
+``install()`` replaces the ``threading.Lock`` / ``RLock`` /
+``Condition`` factories with wrappers that tag every lock *created
+from repro source* with its creation site (file, line) and record,
+per thread, the acquisition order actually observed: acquiring B
+while holding A adds the edge ``A -> B``.
+
+The creation site is the join key back to the static analysis:
+:func:`repro.analysis.locks.build_lock_graph` records the definition
+line of every ``self._lock = threading.Lock()`` it finds, so a
+runtime edge between two known sites can be checked against the
+static graph.  Divergence — a runtime order whose *reverse* is
+statically possible, i.e. the union of both graphs has a cycle — is
+exactly a latent deadlock one of the two analyses missed, and fails
+the static-analysis lane.
+
+Enabled by the test harness when ``REPRO_LOCKWATCH=1``; the observed
+edges are dumped as JSON to ``REPRO_LOCKWATCH_OUT`` (default
+``lockwatch.json``) at interpreter exit, then cross-validated with::
+
+    python -m repro.analysis src/repro --lockwatch-report lockwatch.json
+
+Locks created outside repro source (pytest internals, stdlib pools)
+are handed back unwrapped, so instrumentation overhead lands only on
+the code under test.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Any
+
+from .core import Finding
+from .locks import LockGraph
+
+__all__ = [
+    "install", "uninstall", "installed", "report", "reset", "dump",
+    "validate_report",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+#: guard for the edge table; captured before install() ever swaps the
+#: factories, so the watcher never watches itself
+_guard = threading.Lock()
+_edges: dict[tuple[tuple[str, int], tuple[str, int]], str] = {}
+_held = threading.local()
+_installed = False
+
+_TRACK_MARKER = os.sep + "repro" + os.sep
+_SKIP_MARKER = os.sep + "analysis" + os.sep
+
+
+def _caller_site(depth: int = 2) -> tuple[str, int] | None:
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename
+    if _TRACK_MARKER not in filename or _SKIP_MARKER in filename:
+        return None
+    return (filename, frame.f_lineno)
+
+
+def _stack() -> list[tuple[str, int]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def _note_acquire(site: tuple[str, int]) -> None:
+    stack = _stack()
+    if stack and stack[-1] != site:
+        edge = (stack[-1], site)
+        if edge not in _edges:
+            with _guard:
+                _edges.setdefault(edge, threading.current_thread().name)
+    stack.append(site)
+
+
+def _note_release(site: tuple[str, int]) -> None:
+    stack = _stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] == site:
+            del stack[index]
+            return
+
+
+class _WatchedLock:
+    """Order-recording proxy around a real lock primitive."""
+
+    __slots__ = ("_inner", "_site")
+
+    def __init__(self, inner: Any, site: tuple[str, int]) -> None:
+        self._inner = inner
+        self._site = site
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            _note_acquire(self._site)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_release(self._site)
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return bool(probe())
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> "_WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # Condition's lock protocol.  These must exist on the wrapper:
+    # Condition's own fallbacks assume a NON-reentrant lock (its
+    # _is_owned probes with acquire(False), which succeeds on an RLock
+    # the current thread holds), so hiding the inner RLock's protocol
+    # would break every wait().  Routing them through the wrapper also
+    # keeps the held-stack honest across wait()'s release/reacquire.
+    def _is_owned(self) -> bool:
+        probe = getattr(self._inner, "_is_owned", None)
+        if probe is not None:
+            return bool(probe())
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self) -> Any:
+        save = getattr(self._inner, "_release_save", None)
+        state = save() if save is not None else self._inner.release()
+        _note_release(self._site)
+        return state
+
+    def _acquire_restore(self, state: Any) -> None:
+        restore = getattr(self._inner, "_acquire_restore", None)
+        if restore is not None:
+            restore(state)
+        else:
+            self._inner.acquire()
+        _note_acquire(self._site)
+
+    def __repr__(self) -> str:
+        return f"<watched {self._inner!r} @ {self._site}>"
+
+
+def _lock_factory() -> Any:
+    site = _caller_site()
+    inner = _REAL_LOCK()
+    if site is None:
+        return inner
+    return _WatchedLock(inner, site)
+
+
+def _rlock_factory() -> Any:
+    site = _caller_site()
+    inner = _REAL_RLOCK()
+    if site is None:
+        return inner
+    return _WatchedLock(inner, site)
+
+
+def _condition_factory(lock: Any = None) -> Any:
+    if lock is None:
+        site = _caller_site()
+        if site is not None:
+            # Condition's fallback _is_owned/_release_save protocol
+            # drives the watched lock through acquire/release, so the
+            # held-stack stays consistent across wait()
+            lock = _WatchedLock(_REAL_RLOCK(), site)
+    return _REAL_CONDITION(lock) if lock is not None \
+        else _REAL_CONDITION()
+
+
+def install() -> None:
+    """Swap the threading lock factories for recording wrappers.
+
+    Idempotent; meant to run before the code under test creates its
+    locks (repro modules call ``threading.Lock()`` at runtime, so
+    installing before channels/daemons are constructed is enough —
+    already-created locks simply go unobserved).
+    """
+    global _installed
+    if _installed:
+        return
+    _installed = True
+    threading.Lock = _lock_factory          # type: ignore[misc]
+    threading.RLock = _rlock_factory        # type: ignore[misc]
+    threading.Condition = _condition_factory  # type: ignore[misc,assignment]
+    out = os.environ.get("REPRO_LOCKWATCH_OUT")
+    if out:
+        atexit.register(dump, out)
+
+
+def uninstall() -> None:
+    global _installed
+    if not _installed:
+        return
+    _installed = False
+    threading.Lock = _REAL_LOCK             # type: ignore[misc]
+    threading.RLock = _REAL_RLOCK           # type: ignore[misc]
+    threading.Condition = _REAL_CONDITION   # type: ignore[misc]
+
+
+def installed() -> bool:
+    return _installed
+
+
+def report() -> list[dict[str, Any]]:
+    with _guard:
+        snapshot = dict(_edges)
+    return [
+        {
+            "outer": list(outer),
+            "inner": list(inner),
+            "thread": thread,
+        }
+        for (outer, inner), thread in sorted(snapshot.items())
+    ]
+
+
+def reset() -> None:
+    with _guard:
+        _edges.clear()
+
+
+def dump(path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps({"version": 1, "edges": report()}, indent=2) + "\n"
+    )
+
+
+def _match_site(site: tuple[str, int],
+                graph: LockGraph) -> str | None:
+    filename, line = site
+    normalized = filename.replace(os.sep, "/")
+    for (rel, def_line), name in graph.sites.items():
+        if def_line == line and normalized.endswith(rel):
+            return name
+    return None
+
+
+def validate_report(data: dict[str, Any],
+                    graph: LockGraph) -> tuple[list[Finding], dict[str, int]]:
+    """Check observed runtime edges against the static lock graph.
+
+    Returns (findings, stats).  A runtime edge whose reverse order is
+    statically reachable — equivalently, one that makes the union of
+    the two graphs cyclic — is a divergence finding.  Edges between
+    locks the static pass never related are merely unmodeled: counted,
+    not failed, since the static graph is an under-approximation by
+    construction.
+    """
+    findings: list[Finding] = []
+    stats = {"observed": 0, "matched": 0, "unmodeled": 0}
+    runtime_pairs: set[tuple[str, str]] = set()
+    for entry in data.get("edges", []):
+        stats["observed"] += 1
+        outer = _match_site(
+            (str(entry["outer"][0]), int(entry["outer"][1])), graph
+        )
+        inner = _match_site(
+            (str(entry["inner"][0]), int(entry["inner"][1])), graph
+        )
+        if outer is None or inner is None or outer == inner:
+            continue
+        stats["matched"] += 1
+        runtime_pairs.add((outer, inner))
+        if graph.reachable(inner, outer):
+            key = f"lockwatch:order:{outer}->{inner}"
+            lock = graph.defs[outer]
+            findings.append(Finding(
+                rule="lockwatch",
+                path=lock.rel,
+                line=lock.line,
+                message=(
+                    f"runtime acquisition order {outer} -> {inner} "
+                    f"(thread {entry.get('thread', '?')}) contradicts "
+                    "the static lock-order graph, which orders them "
+                    "the other way — latent deadlock"
+                ),
+                key=key,
+            ))
+        elif (outer, inner) not in graph.edges:
+            stats["unmodeled"] += 1
+    # two threads observed taking the same pair in opposite orders is
+    # a divergence even when the static pass related neither
+    for outer, inner in sorted(runtime_pairs):
+        if outer < inner and (inner, outer) in runtime_pairs:
+            lock = graph.defs[outer]
+            findings.append(Finding(
+                rule="lockwatch",
+                path=lock.rel,
+                line=lock.line,
+                message=(
+                    f"runtime observed both {outer} -> {inner} and "
+                    f"{inner} -> {outer} — opposite acquisition "
+                    "orders on live threads, deadlock-prone"
+                ),
+                key=f"lockwatch:conflict:{outer}<->{inner}",
+            ))
+    return findings, stats

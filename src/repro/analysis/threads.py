@@ -1,0 +1,215 @@
+"""Reader-thread blocking lint.
+
+The wire layer's core discipline (PR 1, kept by convention since):
+**nothing that waits may run on a channel reader thread**.  The reader
+must stay available to deliver the very reply a blocking call would
+wait for — `.result()` on a reader thread is a self-deadlock with a
+timeout, and a `join`/`wait` stalls every pending request behind it.
+
+Entry points traced:
+
+* reader loop bodies: functions named ``_read_responses`` /
+  ``_reader_loop`` (every channel's reader thread target);
+* completion callbacks: every callable passed to
+  ``add_done_callback(...)`` — lambdas, local defs, methods — because
+  callbacks run on whichever thread resolves the request, which for
+  live channels is the reader (this is how TaskGraph join callbacks
+  are reached as well).
+
+From each entry the rule walks strictly-resolved calls (widened into
+subclass overrides, since readers dispatch through ``self``) and flags
+blocking names: ``result``, ``wait``, ``wait_all``, ``join`` — plus
+``recv``/``sendall``/``sleep`` inside callbacks, which must not do I/O
+at all.  A reader loop's *own* ``recv`` is its job and is not flagged.
+
+Bounded waits (e.g. ``proc.wait(timeout=2.0)`` on the connection-loss
+path) still stall the reader and are flagged; the accepted ones are
+baselined with their justification rather than silenced.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .core import Finding, FunctionInfo, Module, Project, rule
+
+__all__ = ["READER_ENTRY_NAMES"]
+
+READER_ENTRY_NAMES = frozenset({"_read_responses", "_reader_loop"})
+
+_READER_BLOCKING = frozenset({"result", "wait", "wait_all", "join"})
+_CALLBACK_BLOCKING = _READER_BLOCKING | frozenset(
+    {"recv", "recv_into", "recv_frame", "sendall", "sleep"}
+)
+_MAX_DEPTH = 8
+
+
+@dataclass
+class _Entry:
+    node: ast.AST
+    module: Module
+    class_name: str | None
+    label: str
+    kind: str       # "reader" | "callback"
+
+    @property
+    def blocking(self) -> frozenset[str]:
+        return (_READER_BLOCKING if self.kind == "reader"
+                else _CALLBACK_BLOCKING)
+
+
+def _call_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+#: receivers whose .join() concatenates instead of blocking
+_PATH_JOINERS = frozenset({"os.path", "path", "posixpath", "ntpath"})
+
+
+def _is_string_join(call: ast.Call) -> bool:
+    """True for ``"sep".join(...)`` / ``b"".join(...)`` /
+    ``os.path.join(...)`` — name collisions with Thread.join."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "join"):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Constant) and isinstance(
+        receiver.value, (str, bytes)
+    ):
+        return True
+    parts: list[str] = []
+    node: ast.expr = receiver
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    dotted = ".".join(reversed(parts))
+    return dotted in _PATH_JOINERS
+
+
+def _nested_def(root: ast.AST, name: str) -> ast.AST | None:
+    for node in ast.walk(root):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None
+
+
+def _callback_entries(info: FunctionInfo,
+                      project: Project) -> list[_Entry]:
+    entries: list[_Entry] = []
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) != "add_done_callback" or not node.args:
+            continue
+        # label stays line-free so baseline keys survive code motion
+        target = node.args[0]
+        label = f"{info.site} callback"
+        if isinstance(target, ast.Lambda):
+            entries.append(_Entry(
+                target.body, info.module, info.class_name, label,
+                "callback",
+            ))
+        elif isinstance(target, ast.Name):
+            nested = _nested_def(info.node, target.id)
+            if nested is not None:
+                entries.append(_Entry(
+                    nested, info.module, info.class_name, label,
+                    "callback",
+                ))
+            else:
+                local = info.module.functions.get(target.id)
+                if local is not None:
+                    entries.append(_Entry(
+                        local.node, local.module, local.class_name,
+                        label, "callback",
+                    ))
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and info.class_name is not None):
+            for method in project.method_on(
+                info.class_name, target.attr, widen=True
+            ):
+                entries.append(_Entry(
+                    method.node, method.module, method.class_name,
+                    label, "callback",
+                ))
+    return entries
+
+
+def _scan_entry(entry: _Entry, project: Project,
+                findings: dict[str, Finding]) -> None:
+    seen: set[str] = set()
+    queue: list[tuple[ast.AST, Module, str | None, str, int]] = [
+        (entry.node, entry.module, entry.class_name, entry.label, 0),
+    ]
+    while queue:
+        node, module, class_name, where, depth = queue.pop()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub)
+            if name is None:
+                continue
+            if (name in entry.blocking
+                    and not _is_string_join(sub)
+                    and not (entry.kind == "reader"
+                             and name in ("recv", "recv_frame"))):
+                key = (
+                    f"reader-blocking:{entry.label}->"
+                    f"{name}@{where}"
+                )
+                findings.setdefault(key, Finding(
+                    rule="reader-blocking",
+                    path=module.rel,
+                    line=sub.lineno,
+                    message=(
+                        f"blocking call .{name}() reachable from "
+                        f"{entry.kind} entry {entry.label} (via {where})"
+                    ),
+                    key=key,
+                ))
+            if depth >= _MAX_DEPTH:
+                continue
+            scope = FunctionInfo(
+                node=node,  # type: ignore[arg-type]
+                module=module, qualname=where.split("::")[-1],
+                class_name=class_name,
+            )
+            for callee in project.resolve_call(sub, scope, widen=True):
+                if callee.site in seen:
+                    continue
+                seen.add(callee.site)
+                queue.append((
+                    callee.node, callee.module, callee.class_name,
+                    callee.site, depth + 1,
+                ))
+
+
+@rule(
+    "reader-blocking",
+    "no blocking call (.result/.wait/.join/...) may be reachable from "
+    "a reader-thread entry point or a done-callback body",
+)
+def check_reader_blocking(project: Project) -> list[Finding]:
+    entries: list[_Entry] = []
+    for module in project.modules:
+        for info in module.all_functions():
+            if info.name in READER_ENTRY_NAMES:
+                entries.append(_Entry(
+                    info.node, module, info.class_name, info.site,
+                    "reader",
+                ))
+            entries.extend(_callback_entries(info, project))
+    findings: dict[str, Finding] = {}
+    for entry in entries:
+        _scan_entry(entry, project, findings)
+    return list(findings.values())

@@ -347,7 +347,7 @@ class DataComponent(Component):
             self.grid.field_array(name)[...] = values
 
     def import_field(self, name, values):  # data models ignore inputs
-        return None
+        return
 
     def step(self, dt_days):
         # exports stay at climatology; only the clock moves

@@ -121,7 +121,7 @@ class _ParametersProxy:
             ]
         values = wait_all(requests)
         pairs = ", ".join(
-            f"{n}={v!r}" for n, v in zip(names, values)
+            f"{n}={v!r}" for n, v in zip(names, values, strict=True)
         )
         return f"<parameters {pairs}>"
 
@@ -511,7 +511,8 @@ class GravitationalDynamicsCode(CommunityCode):
             ]
 
         def _apply(values):
-            for (attr, unit_of, _request), value in zip(requests, values):
+            for (attr, unit_of, _request), value in zip(requests, values,
+                                                        strict=True):
                 setattr(
                     self.particles, attr,
                     self._from_code(value, unit_of(self)),

@@ -155,7 +155,7 @@ class SSEInterface(CodeInterface):
         m = np.atleast_1d(np.asarray(zams_mass, dtype=float))
         if np.any(m <= 0):
             raise ValueError("stellar masses must be positive")
-        ids = self.storage.add(
+        return self.storage.add(
             zams_mass=m,
             mass=m,
             age=np.zeros_like(m),
@@ -164,7 +164,6 @@ class SSEInterface(CodeInterface):
             temperature=self._teff(zams_luminosity(m), zams_radius(m)),
             stellar_type=np.ones_like(m),
         )
-        return ids
 
     def delete_particle(self, ids):
         self.invalidate_model()

@@ -334,7 +334,7 @@ class Bridge:
 
         def _apply(_value):
             code.particles.velocity = code.particles.velocity + dv
-            return None
+            return
 
         return Future(
             request=kick_future, transform=_apply,
@@ -368,7 +368,7 @@ class Bridge:
             for code, partners in self.systems
         ]
         for (code, partners), name, kicks in zip(
-            self.systems, names, kicked
+            self.systems, names, kicked, strict=True,
         ):
             if not kicks:
                 continue
@@ -388,7 +388,8 @@ class Bridge:
                     worker_queries.setdefault(
                         id(queried), []
                     ).append(field)
-        for (code, _partners), name in zip(self.systems, names):
+        for (code, _partners), name in zip(self.systems, names,
+                                           strict=True):
             # a drift waits for the system's own first kick AND for
             # every first-kick field query against this system's
             # worker — otherwise an unkicked system's drift could
@@ -407,7 +408,7 @@ class Bridge:
                 after=deps, code=code,
             )
         for (code, partners), name, kicks in zip(
-            self.systems, names, kicked
+            self.systems, names, kicked, strict=True,
         ):
             if not kicks:
                 continue
@@ -470,7 +471,7 @@ class Bridge:
             e = code.potential_energy
             total = e if total is None else total + e
         # cross-system potential (each pair counted once via kick fields)
-        for i, (code, partners) in enumerate(self.systems):
+        for code, partners in self.systems:
             if not partners or not len(code.particles):
                 continue
             pos = code.particles.position

@@ -516,8 +516,7 @@ class Particle:
     def __getattr__(self, name):
         if name.startswith("_"):
             raise AttributeError(name)
-        value = self._particles.get_attribute(name, self._index)
-        return value
+        return self._particles.get_attribute(name, self._index)
 
     def __setattr__(self, name, value):
         self._particles.set_attribute(name, value, self._index)

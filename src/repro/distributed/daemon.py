@@ -200,6 +200,7 @@ class IbisDaemon:
         self._conns = set()
         self._serve_threads = set()
         self._running = False
+        self._shutdown_done = threading.Event()
         self._started_at = None
         self.admission = None
         self.warm_pool = None
@@ -242,11 +243,35 @@ class IbisDaemon:
         """Deterministic teardown: stop admitting pilot calls, DRAIN
         the in-flight ones (bounded), then stop pools/workers and close
         the client connections — the order that makes shutdown during
-        an in-flight call race-free instead of best-effort."""
+        an in-flight call race-free instead of best-effort.
+
+        Concurrent callers are safe: exactly one thread performs the
+        teardown, and every other caller blocks until it has finished
+        (bounded by the drain/join timeouts), so "shutdown() returned"
+        always means "the daemon is down" — not "someone else is
+        still tearing it down"."""
         with self._lock:
             if not self._running:
-                return
-            self._running = False
+                already_down = self._shutdown_done
+                wait_needed = True
+            else:
+                self._running = False
+                wait_needed = False
+        if wait_needed:
+            # a started daemon is being (or has been) torn down by
+            # another thread; a never-started one has nothing to wait
+            # for and its event is already unset but irrelevant
+            if self._started_at is not None:
+                already_down.wait(
+                    timeout=self._drain_timeout + 10.0
+                )
+            return
+        try:
+            self._teardown()
+        finally:
+            self._shutdown_done.set()
+
+    def _teardown(self):
         try:
             self._listener.close()
         except OSError:

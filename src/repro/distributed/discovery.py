@@ -95,7 +95,8 @@ def discover_placement(jungle, coupler_host, workload=None,
     ]
     if any(not opts for opts in options):
         missing = [
-            role for role, opts in zip(roles, options) if not opts
+            role for role, opts in zip(roles, options, strict=True)
+            if not opts
         ]
         raise ValueError(
             f"no suitable resources for roles: {missing}"
@@ -115,7 +116,7 @@ def discover_placement(jungle, coupler_host, workload=None,
         if not _slots_available(jungle, roles, combo):
             continue
         placement = Placement(coupler_host=coupler_host)
-        for role, (host, nodes) in zip(roles, combo):
+        for role, (host, nodes) in zip(roles, combo, strict=True):
             placement.assign(
                 role, host, nodes=nodes, channel=channel_for(host)
             )
@@ -136,7 +137,7 @@ def _slots_available(jungle, roles, combo):
     multi-node reservations consume exclusive nodes.
     """
     demand = {}
-    for role, (host, nodes) in zip(roles, combo):
+    for _role, (host, nodes) in zip(roles, combo, strict=True):
         if nodes > 1:
             demand[host.site] = demand.get(host.site, 0) + nodes
     for site_name, wanted in demand.items():

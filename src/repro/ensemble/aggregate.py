@@ -172,7 +172,7 @@ class MetricSummary:
             }
         return {
             p: est.value()
-            for p, est in zip(self.percentiles, self._p2)
+            for p, est in zip(self.percentiles, self._p2, strict=True)
         }
 
     def as_dict(self):

@@ -165,7 +165,7 @@ class CampaignSpec:
         for seed in seeds:
             for combo in combos:
                 params = dict(base or {})
-                params.update(zip(names, combo))
+                params.update(zip(names, combo, strict=True))
                 members.append(Member(workload, seed, params))
         return cls(name, members)
 

@@ -109,9 +109,8 @@ def parse_grid_description(text):
     for section in parser.sections():
         if section == "defaults":
             continue
-        get = lambda key, fallback=None: parser.get(  # noqa: E731
-            section, key, fallback=fallback
-        )
+        get = lambda key, fallback=None, section=section: \
+            parser.get(section, key, fallback=fallback)  # noqa: E731
         clusters.append(
             ClusterDescription(
                 section,

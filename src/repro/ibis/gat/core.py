@@ -129,8 +129,7 @@ class Job:
             done = self.env.event()
             done.succeed(self)
             return done
-        event = self._state_events.setdefault(state, self.env.event())
-        return event
+        return self._state_events.setdefault(state, self.env.event())
 
     def _set_state(self, state):
         self.state = state

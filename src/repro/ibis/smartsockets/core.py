@@ -179,7 +179,7 @@ class VirtualConnection:
         net = self.factory.overlay.jungle.network
         return sum(
             net.transfer_time(a.site, b.site, n_bytes)
-            for a, b in zip(self.route, self.route[1:])
+            for a, b in zip(self.route, self.route[1:], strict=False)
         )
 
     def send(self, n_bytes):
@@ -187,7 +187,7 @@ class VirtualConnection:
         env = self.factory.overlay.jungle.env
         net = self.factory.overlay.jungle.network
         self.bytes_sent += n_bytes
-        for a, b in zip(self.route, self.route[1:]):
+        for a, b in zip(self.route, self.route[1:], strict=False):
             net.traffic.record(a.site, b.site, n_bytes, self.protocol)
         yield env.timeout(self.transfer_time(n_bytes))
         return n_bytes
@@ -315,7 +315,7 @@ class VirtualSocketFactory:
         chain = [src_host] + hubs + [dst_host]
         return sum(
             net.latency(a.site, b.site)
-            for a, b in zip(chain, chain[1:])
+            for a, b in zip(chain, chain[1:], strict=False)
         )
 
     def _route_usable(self, route):
@@ -323,7 +323,7 @@ class VirtualSocketFactory:
         net = self.jungle.network
         return all(
             net.can_accept(a, b) or net.can_accept(b, a)
-            for a, b in zip(route, route[1:])
+            for a, b in zip(route, route[1:], strict=False)
         )
 
     # -- client side ---------------------------------------------------------------

@@ -73,7 +73,8 @@ def new_kroupa_mass_distribution(
     weights = weights / weights.sum()
     counts = rng.multinomial(n, weights)
     samples = []
-    for (lo, hi, alpha, _), count in zip(segments, counts):
+    for (lo, hi, alpha, _), count in zip(segments, counts,
+                                         strict=True):
         if count:
             u = rng.uniform(0.0, 1.0, count)
             samples.append(_power_law_sample(alpha, lo, hi, u))

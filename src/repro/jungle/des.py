@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from types import GeneratorType
 
 __all__ = [
@@ -235,7 +236,7 @@ class Environment:
 class Store:
     """FIFO item channel with blocking ``get``."""
 
-    def __init__(self, env, capacity=float("inf")):
+    def __init__(self, env, capacity=math.inf):
         self.env = env
         self.capacity = capacity
         self.items = []

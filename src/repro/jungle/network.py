@@ -156,7 +156,7 @@ class NetworkModel:
         path = self.path(site_a, site_b)
         return sum(
             self.graph.edges[u, v]["latency"]
-            for u, v in zip(path, path[1:])
+            for u, v in zip(path, path[1:], strict=False)
         )
 
     def bandwidth(self, site_a, site_b):
@@ -166,7 +166,7 @@ class NetworkModel:
         path = self.path(site_a, site_b)
         return min(
             self.graph.edges[u, v]["bandwidth"]
-            for u, v in zip(path, path[1:])
+            for u, v in zip(path, path[1:], strict=False)
         )
 
     def transfer_time(self, site_a, site_b, n_bytes):

@@ -77,8 +77,11 @@ def _unpack_obj(payload):
     kind = payload[0]
     if kind == "obj":
         return decode_payload(payload[1], payload[2])
-    # "ref" (unpicklable fallback / internal unblock) and "buf"
-    return payload[1]
+    if kind in ("ref", "buf"):
+        # unpicklable fallback / internal unblock sentinel, or a raw
+        # array from the Send/Recv buffer protocol — by reference
+        return payload[1]
+    raise MpiError(f"unknown object-protocol kind {kind!r}")
 
 
 class _Mailbox:

@@ -167,7 +167,7 @@ class AsyncRequest:
 
 def resolve_multi(requests, results):
     """Resolve batched *requests* from an mresult entry list."""
-    for req, res in zip(requests, results):
+    for req, res in zip(requests, results, strict=False):
         if res[0] == "ok":
             req._resolve(res[1])
         else:
@@ -773,7 +773,8 @@ class StreamChannel(Channel):
                 self._dispatch_call(method, args, kwargs)
                 for method, args, kwargs, _req in entries
             ]
-            for (_m, _a, _k, req), sent in zip(entries, requests):
+            for (_m, _a, _k, req), sent in zip(entries, requests,
+                                               strict=True):
                 try:
                     req._resolve(sent.result())
                 except Exception as exc:  # noqa: BLE001 - to waiter
@@ -874,6 +875,13 @@ def _serve_cancellable(interface, conn, wire):
     state = threading.Condition()
     queued = collections.deque()    # (kind, call_id, rest) or None
     abandoned = set()               # running ids whose reply is dropped
+    # cancels that targeted an id this loop has never seen: either the
+    # call already completed, or the AMCX frame overtook its own call
+    # frame (cancel() fired between the client's pending-table insert
+    # and the call send).  Ids are never reused, so tombstoning both
+    # cases is safe — a late call whose id is tombstoned must be
+    # dropped, not executed.  Bounded: completed-call entries age out.
+    tombstones = collections.OrderedDict()
     running = [None]
     finished = threading.Event()
 
@@ -930,6 +938,10 @@ def _serve_cancellable(interface, conn, wire):
                         if running[0] == target:
                             abandoned.add(target)
                             outcome = "abandoned"
+                        else:
+                            tombstones[target] = True
+                            while len(tombstones) > 64:
+                                tombstones.popitem(last=False)
                 try:
                     reply(("result", call_id,
                            {"cancelled": target, "state": outcome}))
@@ -938,8 +950,17 @@ def _serve_cancellable(interface, conn, wire):
                 continue
             if kind in ("call", "mcall"):
                 with state:
-                    queued.append((kind, call_id, rest))
-                    state.notify()
+                    overtaken = tombstones.pop(call_id, None)
+                    if overtaken is None:
+                        queued.append((kind, call_id, rest))
+                        state.notify()
+                if overtaken is not None:
+                    try:
+                        reply(("error", call_id, "CancelledError",
+                               f"call {call_id} cancelled before its "
+                               "frame arrived", ""))
+                    except OSError:
+                        break
                 continue
             try:
                 reply(("error", call_id, "ProtocolError",

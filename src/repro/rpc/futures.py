@@ -477,7 +477,7 @@ def wait_all(requests, timeout=None):
     """
     requests = list(requests)
     deadline = None if timeout is None else time.monotonic() + timeout
-    for index, request in enumerate(requests):
+    for request in requests:
         remaining = None if deadline is None else \
             max(0.0, deadline - time.monotonic())
         try:

@@ -205,7 +205,7 @@ class SubprocessChannel(StreamChannel):
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
         except BaseException as exc:
-            raise self._wrap_spawn_failure(exc, listener)
+            raise self._wrap_spawn_failure(exc, listener) from exc
         finally:
             try:
                 listener.close()
@@ -249,7 +249,7 @@ class SubprocessChannel(StreamChannel):
             self._apply_negotiated_caps()
             self._sock.settimeout(None)
         except BaseException as exc:
-            raise self._wrap_spawn_failure(exc, None)
+            raise self._wrap_spawn_failure(exc, None) from exc
         self._activated = True
         self._reader_thread = threading.Thread(
             target=self._read_responses, name="subproc-reader",

@@ -420,6 +420,8 @@ class TaskGraph:
                 except Exception as exc:  # noqa: BLE001 - policy decides
                     _fail(node, exc)
                     continue
+            elif kind != "completed":
+                continue        # unknown event kind: drop, don't wedge
             _finish(node)
 
         if failures and fault_policy is not FaultPolicy.IGNORE:

@@ -126,7 +126,8 @@ class Unit:
         if isinstance(other, Unit):
             return Unit(
                 self.factor * other.factor,
-                tuple(a + b for a, b in zip(self.powers, other.powers)),
+                tuple(a + b for a, b in
+                      zip(self.powers, other.powers, strict=True)),
             )
         if isinstance(other, (int, float)):
             return Unit(self.factor * other, self.powers)
@@ -142,7 +143,8 @@ class Unit:
         if isinstance(other, Unit):
             return Unit(
                 self.factor / other.factor,
-                tuple(a - b for a, b in zip(self.powers, other.powers)),
+                tuple(a - b for a, b in
+                      zip(self.powers, other.powers, strict=True)),
             )
         if isinstance(other, (int, float)):
             return Unit(self.factor / other, self.powers)
@@ -192,7 +194,7 @@ class Unit:
 
     def _power_string(self):
         parts = []
-        for sym, p in zip(BASE_SYMBOLS, self.powers):
+        for sym, p in zip(BASE_SYMBOLS, self.powers, strict=True):
             if p == 0:
                 continue
             if p == 1:

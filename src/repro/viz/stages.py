@@ -106,7 +106,8 @@ def render_profile_ascii(edges, density, width=40, label=""):
     floor = max(density[density > 0].min() if (density > 0).any()
                 else 1.0, 1e-12)
     top = max(density.max(), floor * 10)
-    for lo, hi, rho in zip(edges[:-1], edges[1:], density):
+    for lo, hi, rho in zip(edges[:-1], edges[1:], density,
+                           strict=True):
         if rho <= 0:
             bar = ""
         else:

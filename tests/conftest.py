@@ -1,0 +1,18 @@
+"""Test-harness hooks.
+
+``REPRO_LOCKWATCH=1`` installs the runtime lock-order watcher before
+any code under test creates its locks; the observed acquisition edges
+are dumped to ``REPRO_LOCKWATCH_OUT`` (default ``lockwatch.json``) at
+interpreter exit and cross-validated against the static lock-order
+graph by ``python -m repro.analysis --lockwatch-report`` — see the
+static-analysis CI lane.
+"""
+
+import os
+
+if os.environ.get("REPRO_LOCKWATCH") == "1":
+    from repro.analysis import lockwatch
+
+    if not os.environ.get("REPRO_LOCKWATCH_OUT"):
+        os.environ["REPRO_LOCKWATCH_OUT"] = "lockwatch.json"
+    lockwatch.install()

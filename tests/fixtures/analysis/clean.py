@@ -1,0 +1,55 @@
+"""Negative fixture: exercises every construct the rules look at —
+nested locks, a frame magic, an shm allocation, a reader loop — with
+every invariant intact.  The checker must report nothing here.
+"""
+
+import threading
+from multiprocessing.shared_memory import SharedMemory
+
+MAGIC_OK = b"OKAY"
+
+
+def _emit(magic, payload):
+    return magic + payload
+
+
+def pack(payload):
+    return _emit(MAGIC_OK, payload)
+
+
+def unpack(frame):
+    if frame[:4] == MAGIC_OK:
+        return frame[4:]
+    return None
+
+
+class Pipeline:
+    def __init__(self):
+        self._order_a = threading.Lock()
+        self._order_b = threading.Lock()
+        self._segment = SharedMemory(create=True, size=64)
+        self._latest = None
+        self._running = True
+
+    def transfer(self):
+        # every path takes the locks in the same order: acyclic
+        with self._order_a:
+            with self._order_b:
+                return True
+
+    def peek(self):
+        with self._order_a:
+            return self._latest
+
+    def _reader_loop(self):
+        while self._running:
+            frame = unpack(self._segment.buf.tobytes())
+            self._store(frame)
+
+    def _store(self, frame):
+        with self._order_b:
+            self._latest = frame
+
+    def close(self):
+        self._segment.close()
+        self._segment.unlink()

@@ -1,0 +1,33 @@
+"""Seeded-bug fixture: a classic lock-order cycle plus a blocking
+acquisition inside a frame-send critical section.  Never imported —
+the checker parses it; tests/test_analysis.py asserts the lock-order
+rule flags both defects.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit_log = threading.Lock()
+        self._send_lock = threading.Lock()
+
+    def transfer(self):
+        # one thread orders accounts -> audit_log ...
+        with self._accounts:
+            with self._audit_log:
+                return True
+
+    def audit(self):
+        # ... while another orders audit_log -> accounts: deadlock
+        with self._audit_log:
+            with self._accounts:
+                return True
+
+    def flush_frame(self):
+        # the wire invariant: nothing else may be acquired while a
+        # partial frame owns the socket
+        with self._send_lock:
+            with self._audit_log:
+                return True

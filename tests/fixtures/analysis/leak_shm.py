@@ -1,0 +1,14 @@
+"""Seeded-bug fixture: a POSIX shared-memory segment allocated with no
+unlink/close path anywhere in its owning class — the segment outlives
+the process.  Never imported; parsed by the checker only.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class LeakyArena:
+    def __init__(self, size):
+        self._segment = SharedMemory(create=True, size=size)
+
+    def slot(self):
+        return self._segment.buf

@@ -1,0 +1,21 @@
+"""Seeded-bug fixture: a frame magic constant with neither an encoder
+nor a decoder — a frame type that can never actually cross the wire.
+Never imported; parsed by the checker only.
+"""
+
+MAGIC_USED = b"USED"
+MAGIC_ORPHAN = b"ORFN"
+
+
+def _emit(magic, payload):
+    return magic + payload
+
+
+def pack(payload):
+    return _emit(MAGIC_USED, payload)
+
+
+def unpack(frame):
+    if frame[:4] == MAGIC_USED:
+        return frame[4:]
+    return None

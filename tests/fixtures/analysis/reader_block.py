@@ -1,0 +1,23 @@
+"""Seeded-bug fixture: a reader loop that (transitively) blocks on a
+future — the self-deadlock-with-a-timeout pattern the reader-blocking
+rule exists to catch.  Never imported; parsed by the checker only.
+"""
+
+
+class BlockingChannel:
+    def __init__(self):
+        self._pending = {}
+        self._running = True
+
+    def _reader_loop(self):
+        while self._running:
+            reply = self._next_reply()
+            self._deliver(reply)
+
+    def _next_reply(self):
+        return self._pending.popitem()
+
+    def _deliver(self, reply):
+        # blocking on the reader thread: the reply this waits for can
+        # only be delivered by the very thread now waiting
+        return reply.result()

@@ -1,0 +1,18 @@
+"""Lockwatch fixture: two locks with one static order (first ->
+second).  Lives under a ``repro/`` directory because the runtime
+watcher only instruments locks created from repro source paths.  This
+one IS imported (with the watcher installed) by the lockwatch tests.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._first = threading.Lock()
+        self._second = threading.Lock()
+
+    def forward(self):
+        with self._first:
+            with self._second:
+                return True

@@ -291,7 +291,7 @@ def test_runner_end_to_end_local():
     assert report.cached == 0
     assert len(report.results) == 6
     # results arrive indexed by member, whatever the completion order
-    for member, result in zip(spec, report.results):
+    for member, result in zip(spec, report.results, strict=True):
         assert result.member is member
         assert result.metrics["energy_drift"] > 0.0
     summary = report.aggregate.summary()
@@ -303,7 +303,7 @@ def test_runner_results_are_deterministic_per_seed():
     spec = _drift_sweep(4)
     first = CampaignRunner(spec, max_inflight=2).run(timeout=120)
     second = CampaignRunner(spec, max_inflight=4).run(timeout=120)
-    for a, b in zip(first.results, second.results):
+    for a, b in zip(first.results, second.results, strict=True):
         assert a.metrics["energy_drift"] == b.metrics["energy_drift"]
         assert a.metrics["mass_loss"] == b.metrics["mass_loss"]
 
@@ -317,7 +317,7 @@ def test_runner_cache_resubmission_hits(tmp_path):
     assert warm.cached == 5
     assert warm.completed == 0
     # cached metrics are the stored ones, bit-for-bit
-    for a, b in zip(cold.results, warm.results):
+    for a, b in zip(cold.results, warm.results, strict=True):
         assert a.metrics == b.metrics
     assert warm.cache_stats["hits"] == 5
 

@@ -36,8 +36,7 @@ def send_one(j, tx, rx_ibis, payload, port="in"):
             yield from tx.connect(rx_ibis.identifier, port)
         msg = tx.new_message()
         msg.write(payload)
-        n = yield from msg.finish()
-        return n
+        return (yield from msg.finish())
 
     p = j.env.process(client(j.env))
     j.env.run()

@@ -45,10 +45,9 @@ class TestPointToPoint:
             if comm.rank != 0:
                 comm.send(comm.rank, dest=0)
                 return None
-            got = sorted(
+            return sorted(
                 comm.recv(source=ANY_SOURCE) for _ in range(2)
             )
-            return got
 
         assert run(3, program)[0] == [1, 2]
 

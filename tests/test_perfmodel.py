@@ -115,7 +115,7 @@ class TestModelInternals:
         model = CostModel(j)
         effs = [model.parallel_efficiency(n) for n in (1, 2, 4, 8)]
         assert effs[0] == 1.0
-        assert all(a > b for a, b in zip(effs, effs[1:]))
+        assert all(a > b for a, b in zip(effs, effs[1:], strict=False))
 
     def test_gpu_preferred_when_available(self):
         j = make_desktop_jungle(with_gpu=True)

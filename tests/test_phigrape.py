@@ -11,11 +11,10 @@ from repro.ic import new_plummer_model
 def load_plummer(interface, n=64, rng=0):
     p = new_plummer_model(n, rng=rng)
     pos, vel, mass = p.position.number, p.velocity.number, p.mass.number
-    ids = interface.new_particle(
+    return interface.new_particle(
         mass, pos[:, 0], pos[:, 1], pos[:, 2],
         vel[:, 0], vel[:, 1], vel[:, 2],
     )
-    return ids
 
 
 class TestParticleManagement:

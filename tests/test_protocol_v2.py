@@ -115,7 +115,7 @@ class TestFrameV2:
             bytearray(b"raw-bytes-buffer"),
         ]
         out = v2_round_trip(("result", 3, arrays))
-        for sent, got in zip(arrays, out[2]):
+        for sent, got in zip(arrays, out[2], strict=True):
             if isinstance(sent, bytearray):
                 assert got == sent
             else:

@@ -425,6 +425,57 @@ class TestShutdownDrain:
         ]
         assert stray == []
 
+    def test_concurrent_shutdown_callers_wait_for_teardown(self):
+        """Regression: a shutdown() racing another used to return
+        immediately for the loser, while the winner was still draining
+        — "shutdown() returned" did not mean "the daemon is down".
+        Now every caller blocks until the teardown completes."""
+        d = IbisDaemon(max_active=1)
+        d.start()
+        session = connect(d)
+        ch = session.code(SleepInterface, cost_s=0.5)
+        result = {}
+
+        def call():
+            try:
+                result["value"] = ch.call("evolve_model", 0.1)
+            except Exception as exc:  # noqa: BLE001 - inspected below
+                result["error"] = exc
+
+        t = threading.Thread(target=call)
+        t.start()
+        time.sleep(0.15)                     # call is now in-flight
+        barrier = threading.Barrier(2)
+        observed = {}
+
+        def shut(name):
+            barrier.wait()
+            d.shutdown()
+            # the moment ANY caller returns, the drain must be over:
+            # the in-flight call has already been answered
+            observed[name] = (
+                "value" in result or "error" in result
+            )
+
+        racers = [
+            threading.Thread(target=shut, args=(name,))
+            for name in ("winner", "loser")
+        ]
+        for racer in racers:
+            racer.start()
+        for racer in racers:
+            racer.join(timeout=30)
+        t.join(timeout=30)
+        assert observed == {"winner": True, "loser": True}
+        assert result.get("value") == 0
+        assert not d.running
+
+    def test_shutdown_before_start_returns_immediately(self):
+        d = IbisDaemon()
+        started = time.monotonic()
+        d.shutdown()                         # nothing to wait for
+        assert time.monotonic() - started < 1.0
+
     def test_shutdown_frame_from_client(self):
         d = IbisDaemon()
         d.start()

@@ -231,7 +231,7 @@ class TestShmChannel:
                 np.full(1 << 15, float(i)) for i in range(8)
             ]
             requests = [ch.async_call("echo", a) for a in arrays]
-            for sent, req in zip(arrays, requests):
+            for sent, req in zip(arrays, requests, strict=True):
                 assert np.array_equal(req.result(timeout=10), sent)
         finally:
             ch.stop()

@@ -108,10 +108,9 @@ class TestConnectionTiming:
         server = factory.create_server_socket(j.host("right-node"))
 
         def proc(env):
-            conn = yield from factory.connect(
+            return (yield from factory.connect(
                 j.host("left-node"), server.address
-            )
-            return conn
+            ))
 
         p = j.env.process(proc(j.env))
         j.env.run()

@@ -14,6 +14,7 @@ resumes to completion.
 
 import os
 import signal
+import socket
 import threading
 import time
 
@@ -34,6 +35,14 @@ from repro.rpc import (
     TaskGraph,
     new_channel,
     wait_all,
+)
+from repro.rpc.channel import worker_loop
+from repro.rpc.protocol import (
+    WireState,
+    recv_frame,
+    send_cancel_frame,
+    send_frame,
+    send_frame_v2,
 )
 from repro.units import nbody_system, units
 
@@ -395,6 +404,93 @@ class TestCancelUnderFire:
             assert len(cleanups) == 1
         finally:
             code.stop()
+
+
+class TestCancelOvertakesCall:
+    """Regression: an AMCX frame can overtake its own call frame.
+
+    ``cancel()`` fires between the client's pending-table insert and
+    the call send (``_dispatch_call`` registers first, sends second),
+    so the worker may see the cancel for an id it has never heard of.
+    Pre-fix it acked "done" and then *executed* the call when the
+    frame arrived — the client had already resolved the future as
+    cancelled, so the call ran as a ghost.  The worker now tombstones
+    unknown cancel targets and drops the late frame with a
+    CancelledError error reply.
+    """
+
+    @staticmethod
+    def _serve(interface):
+        client, server = socket.socketpair()
+        thread = threading.Thread(
+            target=worker_loop, args=(interface, server), daemon=True
+        )
+        thread.start()
+        wire = WireState(version=2)
+        send_frame(client, ("hello", 0, 2, (), {"caps": {"cancel": True}}))
+        ack = recv_frame(client, wire)
+        assert ack[2]["caps"]["cancel"] is True
+        return client, server, thread, wire
+
+    def test_tombstoned_call_never_executes(self):
+        calls = []
+
+        class Iface:
+            def ping(self):
+                calls.append("ping")
+                return "pong"
+
+            def stop(self):
+                return True
+
+        client, server, thread, wire = self._serve(Iface())
+        try:
+            # the cancel arrives first: the worker has never seen id 7
+            send_cancel_frame(client, 100, 7)
+            ack = recv_frame(client, wire)
+            assert ack == ("result", 100, {"cancelled": 7,
+                                           "state": "done"})
+            # the overtaken call frame lands: dropped, not executed
+            send_frame_v2(client, ("call", 7, "ping", (), {}), wire)
+            reply = recv_frame(client, wire)
+            assert reply[:3] == ("error", 7, "CancelledError")
+            assert calls == []
+            # the tombstone is consumed; fresh ids run normally
+            send_frame_v2(client, ("call", 8, "ping", (), {}), wire)
+            assert recv_frame(client, wire) == ("result", 8, "pong")
+            assert calls == ["ping"]
+            send_frame_v2(client, ("call", 9, "stop", (), {}), wire)
+            assert recv_frame(client, wire)[0] == "result"
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            client.close()
+            server.close()
+
+    def test_tombstones_are_bounded(self):
+        """Cancels for long-gone ids must not grow worker state
+        without bound (every completed call's cancel is "done")."""
+
+        class Iface:
+            def stop(self):
+                return True
+
+        client, server, thread, wire = self._serve(Iface())
+        try:
+            for target in range(200):
+                send_cancel_frame(client, 1000 + target, target)
+                assert recv_frame(client, wire)[2]["state"] == "done"
+            # an id aged out of the tombstone window would execute if
+            # its frame arrived now — but recent ones still must not
+            send_frame_v2(client, ("call", 199, "stop", (), {}), wire)
+            reply = recv_frame(client, wire)
+            assert reply[:3] == ("error", 199, "CancelledError")
+            send_frame_v2(client, ("call", 500, "stop", (), {}), wire)
+            assert recv_frame(client, wire)[0] == "result"
+            thread.join(timeout=5)
+        finally:
+            client.close()
+            server.close()
 
 
 @pytest.mark.network
