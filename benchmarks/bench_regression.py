@@ -58,6 +58,12 @@ from bench_ensemble import (                               # noqa: E402
     CACHE_GATE_RATIO,
     measure_cold_vs_cached,
 )
+# for the relay data-plane cost, exactly what the bench_relay
+# acceptance test asserts
+from bench_relay import (                                  # noqa: E402
+    measure_autobatch_speedup,
+    measure_relay_vs_direct,
+)
 # for the warm-pool payoff, exactly what the bench_sessions
 # acceptance test asserts
 from bench_sessions import measure_warm_vs_cold            # noqa: E402
@@ -224,6 +230,24 @@ def measure(quick=False):
     add("ensemble_warm_campaign_s", warm_campaign_s, "s", False,
         gate=False)
 
+    # -- daemon relay data plane (relay tentpole): the zero-decode
+    # splice must keep the daemon hop within 10% of direct sockets
+    # (hard bound in bench_relay.py / the daemon-relay CI lane); the
+    # ratios compare one host against itself, so they gate
+    direct_gbit, relay_gbit, decoded_gbit = measure_relay_vs_direct(
+        payload, rounds=rounds
+    )
+    add("daemon_relay_vs_direct_ratio", relay_gbit / direct_gbit,
+        "x", True, gate=True)
+    add("daemon_decoded_vs_direct_ratio", decoded_gbit / direct_gbit,
+        "x", True, gate=False)
+    add("daemon_relay_gbit_s", relay_gbit, "Gbit/s", True, gate=False)
+    plain_s, autobatched_s = measure_autobatch_speedup(
+        rounds=10 if quick else 30
+    )
+    add("autobatch_chatty_speedup", plain_s / autobatched_s, "x",
+        True, gate=False)
+
     return metrics
 
 
@@ -288,6 +312,55 @@ def compare(current, baseline_path, tolerance, quick=False):
     return regressions
 
 
+def write_step_summary(metrics, baseline_path, regressions=None):
+    """Append a markdown ratio table to ``$GITHUB_STEP_SUMMARY``.
+
+    One row per metric — gated rows first — with the committed
+    baseline value and the relative delta alongside, so a PR's bench
+    run reads as a table in the Actions summary instead of a log
+    scrape.  No-op outside GitHub Actions (env var unset).
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    baseline = {}
+    baseline_name = "none"
+    if baseline_path is not None:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle).get("metrics", {})
+        baseline_name = os.path.basename(baseline_path)
+    lines = [
+        "### bench-regression vs " + baseline_name,
+        "",
+        "| metric | value | baseline | delta | gated |",
+        "|---|---:|---:|---:|:---:|",
+    ]
+    ordered = sorted(
+        metrics.items(), key=lambda kv: (not kv[1]["gate"], kv[0])
+    )
+    for name, metric in ordered:
+        base = baseline.get(name)
+        if base is None or base["value"] == 0:
+            base_cell = delta_cell = "—"
+        else:
+            base_cell = f"{base['value']} {metric['unit']}"
+            rel = (metric["value"] - base["value"]) / base["value"]
+            arrow = "" if abs(rel) < 1e-4 else \
+                (" ⬆" if (rel > 0) == metric["higher_is_better"]
+                 else " ⬇")
+            delta_cell = f"{rel:+.1%}{arrow}"
+        lines.append(
+            f"| `{name}` | {metric['value']} {metric['unit']} | "
+            f"{base_cell} | {delta_cell} | "
+            f"{'yes' if metric['gate'] else ''} |"
+        )
+    if regressions:
+        lines += ["", "**REGRESSIONS:**", ""]
+        lines += [f"- {entry}" for entry in regressions]
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0]
@@ -323,8 +396,9 @@ def main(argv=None):
               f"{metric['value']:>10} {metric['unit']}")
 
     status = 0
+    baseline = latest_baseline()
+    regressions = []
     if args.check:
-        baseline = latest_baseline()
         if baseline is None:
             print("no committed BENCH_*.json baseline yet; "
                   "nothing to gate against")
@@ -341,6 +415,7 @@ def main(argv=None):
                 status = 1
             else:
                 print("ok")
+    write_step_summary(metrics, baseline, regressions)
 
     if args.write:
         document = {

@@ -1,0 +1,192 @@
+"""Relay data-plane bench: daemon-relayed vs direct-socket throughput.
+
+ROADMAP item 1's acceptance bound: with the zero-decode splice
+(:func:`repro.rpc.protocol.relay_frame`) the daemon hop must cost no
+more than 10% of direct-socket bulk-echo throughput — the gateway as a
+pure store-and-forward station, its overhead a bounded, measured ratio
+(the Jungle Computing premise that the overlay stays off the critical
+path).  The old decoded dispatcher is measured alongside for the
+before/after story, and the micro-batching section quantifies what the
+Nagle-style send path saves on chatty call streams.
+
+Gate (enforced here and as ``daemon_relay_vs_direct_ratio`` in
+``BENCH_<n>.json`` / the ``daemon-relay`` CI lane)::
+
+    relayed echo throughput >= 0.9x direct SocketChannel
+
+Run: ``python -m pytest benchmarks/bench_relay.py -v``
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from bench_channels import echo_throughput_gbit_s
+from repro.codes.testing import ArrayEchoInterface
+from repro.distributed import IbisDaemon, connect
+from repro.rpc import new_channel
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ECHO_ROUNDS = 5 if QUICK else 15
+ECHO_WORDS = 1 << 20 if QUICK else 1 << 21
+#: the hard acceptance bound on relayed/direct throughput
+RELAY_GATE_RATIO = 0.9
+
+
+def measure_relay_vs_direct(payload=None, rounds=ECHO_ROUNDS):
+    """Bulk-echo Gbit/s for (direct sockets, relayed, decoded daemon).
+
+    One daemon, one host: the three numbers differ only in what sits
+    between the coupler and the pilot, so their ratios gate cleanly
+    across CI runner generations.
+    """
+    if payload is None:
+        payload = np.arange(ECHO_WORDS, dtype=np.float64)
+    direct = new_channel("sockets", ArrayEchoInterface)
+    try:
+        direct_gbit = echo_throughput_gbit_s(direct, payload, rounds)
+    finally:
+        direct.stop()
+    with IbisDaemon() as daemon:
+        with connect(daemon, relay=True) as session:
+            relayed = session.code(
+                ArrayEchoInterface, channel_type="subprocess"
+            )
+            assert relayed.relayed
+            try:
+                relay_gbit = echo_throughput_gbit_s(
+                    relayed, payload, rounds
+                )
+            finally:
+                relayed.stop()
+        with connect(daemon) as session:
+            decoded = session.code(
+                ArrayEchoInterface, channel_type="subprocess"
+            )
+            assert not decoded.relayed
+            try:
+                decoded_gbit = echo_throughput_gbit_s(
+                    decoded, payload, rounds
+                )
+            finally:
+                decoded.stop()
+    return direct_gbit, relay_gbit, decoded_gbit
+
+
+def measure_autobatch_speedup(calls=64, rounds=None):
+    """Wall time for *calls* pipelined async calls: one-frame-each vs
+    micro-batched; returns (plain_s, batched_s) medians."""
+    if rounds is None:
+        rounds = 10 if QUICK else 30
+    results = {}
+    for label, kwargs in (
+        ("plain", {}),
+        ("batched", {"autobatch": 0.0005}),
+    ):
+        channel = new_channel("sockets", ArrayEchoInterface, **kwargs)
+        try:
+            channel.call("scale", 1.0, 1.0)     # warmup
+            samples = []
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                futures = [
+                    channel.async_call("scale", float(i), 2.0)
+                    for i in range(calls)
+                ]
+                for future in futures:
+                    future.result(timeout=30)
+                samples.append(time.perf_counter() - t0)
+            samples.sort()
+            results[label] = samples[len(samples) // 2]
+        finally:
+            channel.stop()
+    return results["plain"], results["batched"]
+
+
+def test_relay_throughput_gate(report):
+    """THE acceptance check: relayed >= 0.9x direct-socket throughput
+    on the bulk echo (and the splice must beat the decoded path)."""
+    payload = np.arange(ECHO_WORDS, dtype=np.float64)
+    direct_gbit, relay_gbit, decoded_gbit = \
+        measure_relay_vs_direct(payload)
+    ratio = relay_gbit / direct_gbit
+    report(
+        "relay: daemon data-plane vs direct socket "
+        f"({payload.nbytes >> 20} MiB float64 echo)",
+        [f"direct sockets       {direct_gbit:7.1f} Gbit/s",
+         f"relayed (splice)     {relay_gbit:7.1f} Gbit/s "
+         f"({ratio:.2f}x; acceptance: >= {RELAY_GATE_RATIO}x)",
+         f"decoded dispatcher   {decoded_gbit:7.1f} Gbit/s "
+         f"({decoded_gbit / direct_gbit:.2f}x)"],
+    )
+    assert ratio >= RELAY_GATE_RATIO, (
+        f"daemon relay costs too much: {relay_gbit:.1f} vs "
+        f"{direct_gbit:.1f} Gbit/s direct ({ratio:.2f}x < "
+        f"{RELAY_GATE_RATIO}x)"
+    )
+
+
+def test_relay_end_to_end_shm_beats_socket_splice(report):
+    """Same-host shm pilot through the relay: arenas negotiated end to
+    end, so large arrays never cross the wire at all — the splice only
+    carries descriptor frames."""
+    payload = np.arange(ECHO_WORDS, dtype=np.float64)
+    with IbisDaemon() as daemon, connect(daemon, relay=True) as session:
+        plain = session.code(ArrayEchoInterface,
+                             channel_type="subprocess")
+        shm = session.code(ArrayEchoInterface, channel_type="shm")
+        try:
+            assert shm.transport_stats["shm"] is True
+            plain_gbit = echo_throughput_gbit_s(
+                plain, payload, ECHO_ROUNDS
+            )
+            shm_gbit = echo_throughput_gbit_s(shm, payload, ECHO_ROUNDS)
+            stats = shm.transport_stats
+        finally:
+            plain.stop()
+            shm.stop()
+    report(
+        "relay: end-to-end shm vs socket splice "
+        f"({payload.nbytes >> 20} MiB float64 echo)",
+        [f"relay (socket splice) {plain_gbit:7.1f} Gbit/s",
+         f"relay (e2e shm)       {shm_gbit:7.1f} Gbit/s "
+         f"({shm_gbit / plain_gbit:.2f}x)",
+         f"bytes through shared memory: "
+         f"{stats['shm_buffer_bytes'] >> 20} MiB"],
+    )
+    assert stats["shm_buffer_bytes"] > 0
+    assert shm_gbit > plain_gbit
+
+
+def test_autobatch_amortizes_chatty_streams(report):
+    """Micro-batching must not lose on a pipelined small-call stream
+    (it wins on per-frame overhead; the adaptive window keeps it from
+    adding latency when traffic is sparse)."""
+    plain_s, batched_s = measure_autobatch_speedup()
+    speedup = plain_s / batched_s
+    report(
+        "relay: adaptive micro-batching on 64 pipelined small calls",
+        [f"one frame per call   {plain_s * 1e3:7.2f} ms",
+         f"micro-batched        {batched_s * 1e3:7.2f} ms "
+         f"({speedup:.2f}x)"],
+    )
+    # batching must never cost more than noise on a pipelined stream
+    assert batched_s < plain_s * 1.25
+
+
+@pytest.mark.parametrize("mode", ["thread", "subprocess", "shm"])
+def test_relay_modes_round_trip(mode, benchmark):
+    """Every pilot mode answers through the splice (smoke + latency)."""
+    with IbisDaemon() as daemon, connect(daemon, relay=True) as session:
+        channel = session.code(ArrayEchoInterface, channel_type=mode)
+        try:
+            assert channel.relayed
+            benchmark.pedantic(
+                channel.call, args=("scale", 2.0, 3.0),
+                rounds=10 if QUICK else 50, iterations=1,
+                warmup_rounds=5,
+            )
+        finally:
+            channel.stop()

@@ -23,6 +23,12 @@ channel_type   worker runs                    pick it when
                or remote resource; WAN-       runs; remote GPUs;
                profile pilots negotiate       thin-link sites (codec
                per-buffer compression         shrinks transfers)
+ibis + relay   same pilots, but the daemon    bulk traffic through a
+               only SPLICES frames (zero-     shared daemon (>= 0.9x
+               decode relay; capabilities     direct sockets, gated);
+               negotiate end to end, cancel   hung remote pilots stay
+               forwards, micro-batching       cancellable; same-host
+               auto-enables off-host)         shm keeps zero copies
 =============  =============================  =========================
 
 For a shared daemon (``python -m repro.distributed.daemon``), don't
@@ -223,6 +229,39 @@ def main():
             f"{acct['calls']} calls, {acct['bytes_out']} bytes out)"
         )
         remote.stop()
+
+    # -- same-host end-to-end shm through the relay data plane --------
+    # connect(..., relay=True) makes every pilot of this session a
+    # RELAY pilot: the daemon stops decoding frames and just splices
+    # them between the two legs (kernel splice, zero userspace
+    # copies), while capabilities negotiate END TO END between this
+    # script and the pilot's worker loop.  With a same-host shm pilot
+    # that composes into the best of both: large arrays travel through
+    # the shared-memory arena (never on any socket), the daemon only
+    # ever forwards tiny descriptor frames, and a hung pilot can still
+    # be cancelled through the splice (AMCX frames forward).  shm_min
+    # rides the relay hello, so BOTH ends apply the lowered cutoff —
+    # this demo's small particle arrays still travel the arena.
+    with connect(address, name="quickstart-relay",
+                 relay=True) as session:
+        piped = session.code(
+            PhiGRAPE, converter, channel_type="shm",
+            kernel="cpu", eta=0.05,
+            channel_options={"shm_min": 256},
+        )
+        piped.add_particles(stars)
+        piped.evolve_model(0.5 | units.Myr)
+        stats = piped.channel.transport_stats
+        acct = session.status()["session"]["accounting"]
+        print(
+            f"relayed shm pilot evolved to "
+            f"{piped.model_time.value_in(units.Myr):.1f} Myr "
+            f"(relayed={piped.channel.relayed}, "
+            f"{stats['shm_buffer_bytes']} array bytes via shared "
+            f"memory, {acct['relay_frames']} frames spliced by the "
+            f"daemon without decoding)"
+        )
+        piped.stop()
     service.send_signal(signal.SIGINT)   # daemon drains and exits 0
     service.wait(timeout=30)
 

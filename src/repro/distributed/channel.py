@@ -48,6 +48,21 @@ Two transport knobs follow the paper's locality spectrum:
 * ``worker_mode="shm"`` asks the daemon for a subprocess pilot driven
   over the shared-memory channel — the daemon-side leg of the
   same-host zero-wire-copy path.
+
+And one routing knob keeps the daemon off the critical path entirely:
+
+* ``relay=True`` asks the daemon for a *relay pilot*: after
+  ``start_worker`` the client sends ``attach_worker`` and the daemon
+  flips the connection into a zero-decode splice
+  (:func:`~repro.rpc.protocol.relay_frame`) straight to the pilot.
+  Transport capabilities are then negotiated END TO END with the
+  pilot's :func:`~repro.rpc.channel.worker_loop` through the splice —
+  compression for WAN-profile resources, shm arenas for a same-host
+  ``worker_mode="shm"`` pilot (zero wire copies client → pilot), and
+  AMCX cancellation, so ``Future.cancel()`` can interrupt a hung
+  REMOTE pilot.  ``autobatch="auto"`` adds Nagle-style micro-batching
+  of async calls on WAN-profile relayed channels.  A daemon too old to
+  ack the relay capability quietly keeps the decoded dispatcher path.
 """
 
 from __future__ import annotations
@@ -101,10 +116,14 @@ class _DaemonLink(StreamChannel):
     def __init__(self, daemon=None, address=None, resource=None,
                  max_version=PROTOCOL_VERSION, compress="auto",
                  compress_min=None, session=None, session_name=None,
-                 require_session=False):
+                 require_session=False, relay=False):
         super().__init__()
         if daemon is not None:
-            address = daemon.address
+            # a daemon instance is same-host by construction; prefer
+            # its AF_UNIX listener — bulk relay traffic then skips the
+            # loopback TCP stack on both legs
+            address = getattr(daemon, "unix_address", None) \
+                or daemon.address
         self._join_token = None
         if session is not None:
             if address is None:
@@ -118,13 +137,22 @@ class _DaemonLink(StreamChannel):
         self.resource = resource
         self._compress = compress
         self._compress_min = compress_min
+        self._relay_requested = bool(relay)
         self._session_name = session_name
         self._require_session = require_session or session is not None
         self.session_id = None
         self.session_token = None
 
-        self._sock = socket.create_connection(tuple(address))
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if isinstance(address, str) and hasattr(socket, "AF_UNIX"):
+            self._sock = socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            )
+            self._sock.connect(address)
+        else:
+            self._sock = socket.create_connection(tuple(address))
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
         self._reader = threading.Thread(
             target=self._read_responses, daemon=True
         )
@@ -146,11 +174,16 @@ class _DaemonLink(StreamChannel):
 
     def _hello_caps(self):
         caps = {}
-        offer = self._compress_offer()
+        # a relay link defers compression to the END-TO-END hello with
+        # the pilot (the daemon only splices frames, it must not own a
+        # codec); everything else negotiates with the daemon as before
+        offer = [] if self._relay_requested else self._compress_offer()
         if offer:
             caps["compress"] = offer
             if self._compress_min is not None:
                 caps["compress_min"] = int(self._compress_min)
+        if self._relay_requested:
+            caps["relay"] = True
         session = {}
         if self._join_token is not None:
             session["join"] = self._join_token
@@ -231,6 +264,8 @@ class DistributedChannel(_DaemonLink):
                  resource="local", node_count=1,
                  max_version=PROTOCOL_VERSION, worker_mode=None,
                  compress="auto", compress_min=None, session=None,
+                 relay=False, autobatch="auto", shm_min=None,
+                 pilot_capabilities=True, stop_timeout=None,
                  daemon_host=None, daemon_port=None,
                  _from_session=False):
         if daemon_host is not None or daemon_port is not None:
@@ -255,9 +290,25 @@ class DistributedChannel(_DaemonLink):
             daemon=daemon, address=address, resource=resource,
             max_version=max_version, compress=compress,
             compress_min=compress_min, session=session,
+            relay=relay,
         )
         self.node_count = int(node_count)
         self.worker_mode = worker_mode
+        # end-to-end shm threshold: rides the relay hello's shm offer so
+        # the PILOT applies the same cutoff as this side (only
+        # meaningful for worker_mode="shm" through the splice)
+        self._shm_min = shm_min
+        if stop_timeout is not None:
+            self._stop_timeout = float(stop_timeout)
+        #: True once this connection was flipped into the daemon's
+        #: zero-decode splice (frames travel client <-> pilot directly)
+        self.relayed = False
+        self._pilot_capabilities = bool(pilot_capabilities)
+        # relay needs BOTH sides: the request and the daemon's ack (an
+        # old daemon that never saw the capability keeps the decoded
+        # dispatcher path — graceful degrade, compression stays off
+        # because the relay hello withheld the offer)
+        relay_active = bool(relay) and bool(self.wire_caps.get("relay"))
 
         factory_bytes = pickle.dumps(interface_factory, protocol=5)
         # worker_mode=None keeps the pre-subprocess 3-tuple shape, so
@@ -265,27 +316,116 @@ class DistributedChannel(_DaemonLink):
         # their own default mode); a granted session id rides after the
         # mode so the daemon can pin the pilot to this tenant
         start = ("start_worker", factory_bytes, resource, node_count)
-        if worker_mode is not None or self.session_id is not None:
-            start += (worker_mode,)
-        if self.session_id is not None:
-            start += (self.session_id,)
+        if relay_active:
+            options = {"relay": True}
+            if not self._pilot_capabilities:
+                options["worker_capabilities"] = False
+            start += (worker_mode, self.session_id, options)
+        else:
+            if worker_mode is not None or self.session_id is not None:
+                start += (worker_mode,)
+            if self.session_id is not None:
+                start += (self.session_id,)
         self.worker_id = self._request(start).result()
+        if relay_active:
+            self._attach_relay(worker_mode)
+            self._maybe_enable_autobatch(autobatch)
+        elif autobatch not in (None, False, "auto"):
+            # explicit autobatch works on the decoded path too: the
+            # daemon dispatcher understands mcall frames
+            self._enable_autobatch(autobatch)
+
+    # -- relay attach -------------------------------------------------------
+
+    def _attach_relay(self, worker_mode):
+        """Flip this connection into the daemon's zero-decode splice,
+        then negotiate transport END TO END with the pilot.
+
+        After the daemon acks ``attach_worker`` every subsequent frame
+        travels client <-> pilot verbatim, so the pilot's
+        :func:`~repro.rpc.channel.worker_loop` answers a second,
+        worker-shape hello through the splice: compression for
+        WAN-profile resources, shm arenas when a same-host shm pilot
+        can attach them (zero wire copies end to end), and AMCX
+        cancellation (the daemon's decoded path never grants it).
+        """
+        self._request(
+            ("attach_worker", self.worker_id, self.session_id)
+        ).result(timeout=30)
+        self.relayed = True
+        shm_segment_size = None
+        if worker_mode == "shm":
+            # the pilot only ACKS the arenas it can actually attach
+            # (same host, creator alive) — offering is always safe
+            from ..rpc.shm import DEFAULT_SEGMENT_SIZE
+
+            shm_segment_size = DEFAULT_SEGMENT_SIZE
+        caps = self._offer_capabilities(
+            compress=self._compress_offer() or None,
+            compress_min=self._compress_min,
+            shm_segment_size=shm_segment_size,
+            shm_min=self._shm_min,
+            cancellable=True,
+        )
+        hello = ("hello", PROTOCOL_VERSION, (),
+                 {"caps": caps} if caps else {})
+        try:
+            ack = self._request(hello).result(timeout=30)
+        except BaseException:
+            self._release_shm()
+            raise
+        if isinstance(ack, dict) and "version" in ack:
+            self.wire_caps = ack.get("caps") or {}
+            self._wire.version = min(PROTOCOL_VERSION, ack["version"])
+        else:
+            # pre-v2 pilot acked nothing; stay on v1 framing, no caps
+            self.wire_caps = {}
+            self._wire.version = 1
+        self._apply_negotiated_caps()
+
+    def _maybe_enable_autobatch(self, autobatch):
+        if autobatch in (None, False):
+            return
+        if autobatch == "auto":
+            # adaptive window only where round trips dominate: the
+            # modeled WAN link of a non-local resource
+            if self.resource in _LOCAL_RESOURCES or \
+                    self.resource is None:
+                return
+            self._enable_autobatch(True)
+        else:
+            self._enable_autobatch(autobatch)
 
     # -- plumbing ---------------------------------------------------------------
 
     def _call_message(self, call_id, method, args, kwargs):
+        if self.relayed:
+            # spliced frames are read by the pilot's worker_loop, so
+            # they use the plain worker shape — no worker id, no sid
+            return ("call", call_id, method, args, kwargs)
         message = ("call", call_id, self.worker_id, method, args, kwargs)
         if self.session_id is not None:
             message += (self.session_id,)
         return message
 
     def _mcall_message(self, call_id, calls):
+        if self.relayed:
+            return ("mcall", call_id, calls)
         message = ("mcall", call_id, self.worker_id, calls)
         if self.session_id is not None:
             message += (self.session_id,)
         return message
 
     def stop(self):
+        if self.relayed:
+            # the pilot answers the stop itself; the daemon's
+            # downstream pump then sees EOF and retires the worker
+            if self._begin_stop():
+                self._release_shm()
+            return
+        self._legacy_stop()
+
+    def _legacy_stop(self):
         # _stopped may already be set by the reader's loss cleanup;
         # the socket still needs releasing in that case
         if not self._stopped:

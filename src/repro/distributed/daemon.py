@@ -33,9 +33,21 @@ Daemon message surface (all frames per :mod:`repro.rpc.protocol`):
   attach to an existing session, ``{"name": ...}`` to label a new
   one).  The ack carries the granted ``{"id", "token"}`` pair.
 * ``("start_worker", req_id, factory_bytes, resource, node_count
-  [, worker_mode[, session_id]])`` — *worker_mode* ("thread",
-  "subprocess" or "shm") overrides the daemon's default; subprocess
-  and shm pilots are claimed from the warm pool when one is parked
+  [, worker_mode[, session_id[, options]]])`` — *worker_mode*
+  ("thread", "subprocess" or "shm") overrides the daemon's default;
+  subprocess and shm pilots are claimed from the warm pool when one
+  is parked.  ``options={"relay": True}`` starts a *relay pilot*: the
+  pilot is bootstrapped but NOT wire-negotiated, waiting for an
+  ``attach_worker`` splice
+* ``("attach_worker", req_id, worker_id[, session_id])`` — flips this
+  connection into the zero-decode data plane: after the ack, every
+  frame in either direction is spliced verbatim between client and
+  pilot (:func:`repro.rpc.protocol.relay_frame` — header + buffer
+  table parsed for byte counts, metadata never decoded), so the
+  client negotiates capabilities (cancel, compression, same-host shm)
+  end to end with the pilot's ``worker_loop``.  When the pilot dies,
+  the client is sent a ``("relay_lost", 0, {...})`` obituary carrying
+  exit code and stderr tail before the connection closes
 * ``("call", req_id, worker_id, method, args, kwargs[, session_id])``
 * ``("mcall", req_id, worker_id, [(method, args, kwargs), ...]
   [, session_id])`` — pipelined batch, one mresult frame
@@ -61,19 +73,23 @@ without re-pickling their contents into an intermediate payload.
 from __future__ import annotations
 
 import logging
+import os
 import pickle
+import secrets
 import socket
 import threading
 import time
 import traceback
 
-from ..rpc.channel import call_entry
+from ..rpc.channel import call_entry, worker_loop
 from ..rpc.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    RelayScratch,
     WireState,
     accept_capabilities,
     recv_frame,
+    relay_frame,
     send_frame,
     send_frame_v2,
 )
@@ -154,6 +170,107 @@ class _SubprocessWorker:
         self.channel.stop()
 
 
+class _RelayThreadWorker:
+    """A relay pilot hosted in the daemon process: a real
+    :func:`~repro.rpc.channel.worker_loop` on its own thread behind a
+    ``socketpair``, so the spliced client negotiates capabilities
+    (cancel, compression, shm) end to end exactly as it would against
+    a remote pilot."""
+
+    mode = "thread"
+    pid = None
+    warm_hit = False
+
+    def __init__(self, factory, worker_capabilities=True):
+        self.interface = factory()
+        daemon_side, worker_side = socket.socketpair()
+        self.relay_sock = daemon_side
+        self.attached = False
+        self._thread = threading.Thread(
+            target=worker_loop, args=(self.interface, worker_side),
+            kwargs={"enable_capabilities": worker_capabilities},
+            name="relay-thread-pilot", daemon=True,
+        )
+        self._thread.start()
+
+    def call(self, method, *args, **kwargs):
+        raise ProtocolError(
+            "worker is relay-attached; calls travel through the "
+            "spliced connection, not the daemon dispatcher"
+        )
+
+    def death_info(self):
+        return {
+            "message": "relayed pilot (daemon thread) connection lost",
+        }
+
+    def stop(self):
+        try:
+            self.relay_sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.relay_sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class _RelaySubprocessWorker:
+    """A relay pilot in its own OS process, bootstrapped but NEVER
+    activated: the factory frame is shipped and the pid ack awaited,
+    then the raw socket is handed to the relay pump — no daemon-leg
+    hello, so the client's capability negotiation passes through to
+    the child's :func:`worker_loop` untouched.  Warm-pool claims work
+    exactly as for decoded pilots (the parked child is waiting for a
+    factory frame either way)."""
+
+    warm_hit = False
+
+    def __init__(self, factory, mode="subprocess", warm_pool=None,
+                 worker_capabilities=True):
+        self.mode = mode
+        self.attached = False
+        channel = None
+        if warm_pool is not None and worker_capabilities:
+            channel = warm_pool.claim()
+        if channel is not None:
+            try:
+                channel.detach_for_relay(factory)
+                self.warm_hit = True
+            except Exception:  # noqa: BLE001 - warm claim best-effort
+                logger.exception(
+                    "warm relay bootstrap failed; cold-spawning"
+                )
+                channel = None
+        if channel is None:
+            channel = SubprocessChannel(
+                warm=True, worker_capabilities=worker_capabilities,
+            )
+            # detach failure tears the child down inside the channel;
+            # the error propagates to the start_worker reply
+            channel.detach_for_relay(factory)
+        self.channel = channel
+        self.relay_sock = channel._sock
+        self.pid = channel.pid
+
+    def call(self, method, *args, **kwargs):
+        raise ProtocolError(
+            "worker is relay-attached; calls travel through the "
+            "spliced connection, not the daemon dispatcher"
+        )
+
+    def death_info(self):
+        return self.channel.death_info()
+
+    def stop(self):
+        try:
+            self.relay_sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.channel.stop()
+
+
 class IbisDaemon:
     """Loopback TCP daemon hosting AMUSE workers for many sessions.
 
@@ -191,7 +308,9 @@ class IbisDaemon:
         self._max_active = max_active
         self._drain_timeout = float(drain_timeout)
         self._listener = None
+        self._unix_listener = None
         self._accept_thread = None
+        self._unix_accept_thread = None
         self._reaper_thread = None
         self._sessions = {}
         self._by_token = {}
@@ -206,6 +325,10 @@ class IbisDaemon:
         self.warm_pool = None
         self.reaped_sessions = 0
         self.address = None
+        #: abstract AF_UNIX address for same-host clients (None when
+        #: the platform has no AF_UNIX); bulk relay traffic over this
+        #: listener skips the loopback TCP stack entirely
+        self.unix_address = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -223,15 +346,44 @@ class IbisDaemon:
         self._listener.bind((self._host, self._port))
         self._listener.listen(16)
         self.address = self._listener.getsockname()
+        # same-host fast path: an abstract-namespace AF_UNIX listener
+        # alongside TCP.  Local clients that dial it (connect() with a
+        # daemon instance does so automatically) move bulk relay
+        # traffic off the loopback TCP stack — measurably faster under
+        # the zero-decode splice, and no filesystem socket to clean up
+        if hasattr(socket, "AF_UNIX"):
+            try:
+                unix = socket.socket(
+                    socket.AF_UNIX, socket.SOCK_STREAM
+                )
+                name = (f"\0repro-daemon-{os.getpid()}-"
+                        f"{secrets.token_hex(4)}")
+                unix.bind(name)
+                unix.listen(16)
+            except OSError:
+                logger.info(
+                    "AF_UNIX listener unavailable; same-host "
+                    "clients will use loopback TCP"
+                )
+            else:
+                self._unix_listener = unix
+                self.unix_address = name
         self._started_at = time.monotonic()
         self._running = True
         self.admission = AdmissionController(slots=self._max_active)
         if self._warm_size > 0:
             self.warm_pool = WarmWorkerPool(self._warm_size)
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True
+            target=self._accept_loop, args=(self._listener,),
+            daemon=True,
         )
         self._accept_thread.start()
+        if self._unix_listener is not None:
+            self._unix_accept_thread = threading.Thread(
+                target=self._accept_loop,
+                args=(self._unix_listener,), daemon=True,
+            )
+            self._unix_accept_thread.start()
         if self._idle_timeout is not None:
             self._reaper_thread = threading.Thread(
                 target=self._reap_loop, daemon=True
@@ -276,6 +428,11 @@ class IbisDaemon:
             self._listener.close()
         except OSError:
             pass
+        if self._unix_listener is not None:
+            try:
+                self._unix_listener.close()
+            except OSError:
+                pass
         if self.admission is not None:
             drained = self.admission.close(self._drain_timeout)
             if not drained:
@@ -308,6 +465,9 @@ class IbisDaemon:
         if self._accept_thread is not None \
                 and self._accept_thread is not current:
             self._accept_thread.join(timeout=2.0)
+        if self._unix_accept_thread is not None \
+                and self._unix_accept_thread is not current:
+            self._unix_accept_thread.join(timeout=2.0)
 
     # -- session management ------------------------------------------------
 
@@ -393,13 +553,16 @@ class IbisDaemon:
 
     # -- serving -----------------------------------------------------------
 
-    def _accept_loop(self):
+    def _accept_loop(self, listener):
         while self._running:
             try:
-                conn, _ = self._listener.accept()
+                conn, _ = listener.accept()
             except OSError:
                 return
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if conn.family == socket.AF_INET:
+                conn.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
             with self._lock:
                 self._conns.add(conn)
             handler = threading.Thread(
@@ -464,11 +627,60 @@ class IbisDaemon:
                         # the WAN-relay end, so a negotiated codec
                         # shrinks exactly the modeled-bottleneck hop
                         ack["caps"] = accept_capabilities(offer, wire)
+                        if offer.get("relay"):
+                            # relay is a daemon-level capability, not
+                            # a wire one: acked here, honoured by the
+                            # attach_worker splice
+                            ack["caps"]["relay"] = True
                     ack["session"] = {
                         "id": session.sid, "token": session.token,
                     }
                     reply_frame(("result", req_id, ack))
                     continue
+                if kind == "attach_worker":
+                    try:
+                        if session is None:
+                            session = self._attach_session(state, None)
+                            session.accounting["bytes_in"] += delta_in
+                        worker_id = rest[0] if rest else None
+                        self._validate_sid(
+                            session, rest[1] if len(rest) >= 2 else None
+                        )
+                        with self._lock:
+                            worker = session.workers.get(worker_id)
+                        if worker is None:
+                            raise KeyError(
+                                f"unknown worker {worker_id} in "
+                                f"session {session.sid}"
+                            )
+                        if getattr(worker, "relay_sock", None) is None:
+                            raise ProtocolError(
+                                f"worker {worker_id} was not started "
+                                "for relay"
+                            )
+                        if worker.attached:
+                            raise ProtocolError(
+                                f"worker {worker_id} is already "
+                                "relay-attached"
+                            )
+                        worker.attached = True
+                    except BaseException as exc:  # noqa: BLE001 - to peer
+                        session = state["session"]
+                        if session is not None:
+                            session.accounting["errors"] += 1
+                        reply_frame(
+                            ("error", req_id, type(exc).__name__,
+                             str(exc), traceback.format_exc()),
+                        )
+                        continue
+                    reply_frame(("result", req_id,
+                                 {"attached": worker_id}))
+                    session.touch()
+                    # from here this connection is a pure byte pipe to
+                    # the pilot; the serve loop never decodes another
+                    # frame on it
+                    self._relay(conn, session, worker_id, worker)
+                    return
                 # a max_version=1 daemon behaves exactly like a pre-v2
                 # one: hello falls through to the unknown-kind error
                 try:
@@ -576,8 +788,40 @@ class IbisDaemon:
             self._validate_sid(
                 session, opt[1] if len(opt) >= 2 else None
             )
+            options = opt[2] if len(opt) >= 3 \
+                and isinstance(opt[2], dict) else {}
+            relay = bool(options.get("relay"))
             factory = pickle.loads(factory_bytes)
-            if worker_mode in ("subprocess", "shm"):
+            if relay:
+                if worker_mode not in _WORKER_MODES:
+                    raise ValueError(
+                        f"unknown worker mode {worker_mode!r}; "
+                        f"known: {sorted(_WORKER_MODES)}"
+                    )
+                pilot_caps = bool(
+                    options.get("worker_capabilities", True)
+                )
+                code_name = getattr(
+                    getattr(factory, "func", factory), "__name__",
+                    type(factory).__name__,
+                )
+                if worker_mode == "thread":
+                    worker = _RelayThreadWorker(
+                        factory, worker_capabilities=pilot_caps,
+                    )
+                else:
+                    # relay shm pilots are plain subprocess spawns:
+                    # the shm leg is negotiated client<->pilot end to
+                    # end through the splice, not with the daemon
+                    worker = _RelaySubprocessWorker(
+                        factory, mode=worker_mode,
+                        warm_pool=self.warm_pool,
+                        worker_capabilities=pilot_caps,
+                    )
+                    key = "warm_hits" if worker.warm_hit else \
+                        "cold_spawns"
+                    session.accounting[key] += 1
+            elif worker_mode in ("subprocess", "shm"):
                 worker = _SubprocessWorker(
                     factory, shm=(worker_mode == "shm"),
                     warm_pool=self.warm_pool,
@@ -612,6 +856,8 @@ class IbisDaemon:
                         "mode": worker.mode,
                         "pid": worker.pid,
                         "warm": worker.warm_hit,
+                        "relay": getattr(worker, "relay_sock", None)
+                        is not None,
                     }
             if not live:
                 try:
@@ -663,6 +909,104 @@ class IbisDaemon:
         if kind == "shutdown":
             return True
         raise ProtocolError(f"unknown daemon message kind {kind!r}")
+
+    # -- relay data plane ----------------------------------------------------
+
+    def _relay(self, conn, session, worker_id, worker):
+        """Pump frames between a client and its relay pilot without
+        decoding them (runs on the connection's serve thread).
+
+        The upstream direction (client → pilot) runs here; a helper
+        thread pumps downstream (pilot → client) concurrently, so the
+        two hops of a transfer pipeline through the cut-through splice
+        instead of store-and-forwarding.  Each relayed frame updates
+        the session byte accounting and its idle clock — an actively
+        relaying session never looks idle to the reaper, while a
+        genuinely idle one is reaped exactly like a decoded tenant
+        (the client then sees the pilot connection drop).
+
+        A malformed or oversized frame from either side tears down
+        ONLY this relay: the pilot is stopped and retired from the
+        session; other connections and pilots are untouched.
+        """
+        pilot = worker.relay_sock
+        down = threading.Thread(
+            target=self._relay_downstream,
+            args=(conn, pilot, session, worker),
+            name=f"relay-down-{worker_id}", daemon=True,
+        )
+        down.start()
+        scratch = RelayScratch()
+        try:
+            while True:
+                spliced = relay_frame(conn, pilot, scratch)
+                if spliced is None:
+                    break
+                session.accounting["bytes_in"] += spliced
+                session.accounting["relay_frames"] += 1
+                session.touch()
+        except ProtocolError as exc:
+            logger.warning(
+                "relay for worker %s: dropping connection: %s",
+                worker_id, exc,
+            )
+        except OSError:
+            pass
+        # client leg over (EOF, error, or a bad frame): retire the
+        # pilot — shutdown wakes the downstream pump out of its recv,
+        # stop() runs the usual escalation for subprocess pilots
+        with self._lock:
+            still = session.workers.pop(worker_id, None)
+            session.worker_meta.pop(worker_id, None)
+        try:
+            pilot.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        if still is not None:
+            try:
+                still.stop()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+        down.join(timeout=5.0)
+        scratch.close()
+
+    def _relay_downstream(self, conn, pilot, session, worker):
+        """Pilot → client pump.  When the pilot side ends — clean EOF,
+        death mid-frame, or a malformed frame — the client is sent a
+        ``relay_lost`` obituary (exit code + stderr tail for
+        subprocess pilots, mirroring SubprocessChannel's local death
+        reports) and the connection is shut down so its reader fails
+        over immediately."""
+        scratch = RelayScratch()
+        reason = None
+        try:
+            while True:
+                spliced = relay_frame(pilot, conn, scratch)
+                if spliced is None:
+                    break
+                session.accounting["bytes_out"] += spliced
+                session.accounting["relay_frames"] += 1
+                session.touch()
+        except ProtocolError as exc:
+            reason = f"relay frame error from pilot: {exc}"
+        except OSError:
+            pass
+        try:
+            info = worker.death_info()
+        except Exception:  # noqa: BLE001 - obituary best-effort
+            info = {}
+        if reason:
+            info["message"] = reason
+        try:
+            send_frame(conn, ("relay_lost", 0, info))
+        except (OSError, ProtocolError):
+            pass
+        # wake the upstream pump parked in recv on the client socket
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        scratch.close()
 
     def _status(self, session):
         with self._lock:

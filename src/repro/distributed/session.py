@@ -67,6 +67,7 @@ logger = logging.getLogger("repro.distributed.sessions")
 ACCOUNTING_KEYS = (
     "calls", "errors", "bytes_in", "bytes_out", "compute_s",
     "queue_s", "warm_hits", "cold_spawns", "queue_warnings",
+    "relay_frames",
 )
 
 
@@ -387,10 +388,27 @@ class WarmWorkerPool:
 # -- client side ------------------------------------------------------------
 
 
+def _format_address(address):
+    """Human-readable form of a daemon address (TCP pair or the
+    abstract AF_UNIX name, shown with ``@`` for its NUL byte)."""
+    if isinstance(address, str):
+        return address.replace("\0", "@", 1)
+    return f"{address[0]}:{address[1]}"
+
+
 def _resolve_address(target):
-    """Accept an IbisDaemon, a ``(host, port)`` pair or "host:port"."""
+    """Accept an IbisDaemon, a ``(host, port)`` pair or "host:port".
+
+    A daemon instance resolves to its abstract AF_UNIX address when it
+    has one — the caller holds an in-process handle, so it is on the
+    daemon's host by construction and the Unix-socket fast path is
+    always valid (and measurably faster for relayed bulk transfers).
+    """
     address = getattr(target, "address", None)
     if address is not None and not isinstance(target, (tuple, list, str)):
+        unix = getattr(target, "unix_address", None)
+        if unix:
+            return unix
         return tuple(address)
     if isinstance(target, str):
         host, _, port = target.rpartition(":")
@@ -412,14 +430,16 @@ class Session:
     """
 
     def __init__(self, link, address, name=None, worker_mode=None,
-                 compress="auto"):
+                 compress="auto", relay=False):
         self._link = link
-        self.address = tuple(address)
+        self.address = address if isinstance(address, str) \
+            else tuple(address)
         self.name = name
         self.id = link.session_id
         self.token = link.session_token
         self.default_worker_mode = worker_mode
         self.default_compress = compress
+        self.default_relay = bool(relay)
         self._placed = []
         # closed-pilot accumulator: (channel, last good transport
         # snapshot) for EVERY channel this session ever observed, so
@@ -445,6 +465,7 @@ class Session:
             "worker_mode", worker_mode or self.default_worker_mode
         )
         options.setdefault("compress", self.default_compress)
+        options.setdefault("relay", self.default_relay)
         options["session"] = self
         return "ibis", options
 
@@ -585,20 +606,22 @@ class Session:
         state = "closed" if self._closed else "open"
         return (
             f"<Session {self.id} ({state}) at "
-            f"{self.address[0]}:{self.address[1]}>"
+            f"{_format_address(self.address)}>"
         )
 
 
 def connect(address, *, name=None, worker_mode=None, compress="auto",
-            max_version=PROTOCOL_VERSION):
+            relay=False, max_version=PROTOCOL_VERSION):
     """Open a :class:`Session` against a running Ibis daemon.
 
     *address* is an :class:`~repro.distributed.daemon.IbisDaemon`
     instance, a ``(host, port)`` pair, or a ``"host:port"`` string
     (the form printed by ``python -m repro.distributed.daemon``).
-    *name* labels the session in ``status()`` output; *worker_mode*
-    and *compress* become the session's defaults for pilots placed via
-    :meth:`Session.code`.
+    *name* labels the session in ``status()`` output; *worker_mode*,
+    *compress* and *relay* become the session's defaults for pilots
+    placed via :meth:`Session.code` (``relay=True`` routes pilot
+    traffic through the daemon's zero-decode splice instead of the
+    decoded dispatcher).
 
     Raises :class:`~repro.rpc.protocol.RemoteError` when the daemon
     rejects the session (``--max-sessions`` reached) and
@@ -615,10 +638,10 @@ def connect(address, *, name=None, worker_mode=None, compress="auto",
     if link.session_id is None:
         link.close()
         raise ProtocolError(
-            f"daemon at {addr[0]}:{addr[1]} did not grant a session "
-            "(pre-session daemon?)"
+            f"daemon at {_format_address(addr)} did not grant a "
+            "session (pre-session daemon?)"
         )
     return Session(
         link, addr, name=name, worker_mode=worker_mode,
-        compress=compress,
+        compress=compress, relay=relay,
     )

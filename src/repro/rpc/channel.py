@@ -42,6 +42,7 @@ import itertools
 import os
 import socket
 import threading
+import time
 import traceback
 import warnings
 
@@ -446,6 +447,51 @@ class DirectChannel(Channel):
         self._stopped = True
 
 
+#: autobatch: flush once this many calls are queued regardless of age
+_AUTOBATCH_MAX_QUEUE = 32
+#: autobatch adaptive-window clamp (seconds)
+_AUTOBATCH_MIN_WINDOW_S = 100e-6
+_AUTOBATCH_MAX_WINDOW_S = 5e-3
+#: EWMA gain for the round-trip estimate driving the adaptive window
+_AUTOBATCH_RTT_GAIN = 0.2
+
+
+class _AutoBatchedRequest(AsyncRequest):
+    """A request parked in the channel's autobatch queue.
+
+    Like :class:`_BatchedRequest`, waiting on it flushes the queue
+    first — a caller joining a coalesced call must never deadlock on a
+    frame the flusher has not sent yet."""
+
+    def __init__(self, channel):
+        super().__init__()
+        self._channel = channel
+
+    def wait(self, timeout=None):
+        if not self._event.is_set():
+            self._channel._flush_autobatch()
+        super().wait(timeout)
+
+    def cancel(self):
+        """Still queued: withdrawn locally before any frame is built.
+        Already flushed: falls through to the normal wire cancel."""
+        channel = self._channel
+        with channel._auto_lock:
+            entries = channel._auto_entries
+            for index, (_m, _a, _k, request) in enumerate(entries):
+                if request is self:
+                    del entries[index]
+                    break
+            else:
+                request = None
+        if request is not None:
+            self._resolve(error=CancelledError(
+                "autobatched call cancelled before its frame was sent"
+            ))
+            return True
+        return super().cancel()
+
+
 class StreamChannel(Channel):
     """Shared machinery for channels speaking frames over a stream
     socket: pending-request table matched by call id in a reader
@@ -476,6 +522,18 @@ class StreamChannel(Channel):
         self._shm_arenas = None    # (tx, rx) pair this channel created
         self._compress_min = None  # local overrides applied post-hello
         self._shm_min = None
+        #: set from a relay's "relay_lost" frame: how the relayed peer
+        #: died (exit code, stderr tail) — enriches the loss error
+        self._peer_death = None
+        # -- adaptive micro-batching (Nagle for RPC) --
+        self._autobatch = None     # None (off) | "adaptive" | seconds
+        self._auto_lock = threading.Lock()
+        self._auto_flush_lock = threading.Lock()
+        self._auto_entries = []
+        self._auto_first_at = 0.0
+        self._auto_wake = threading.Event()
+        self._auto_thread = None
+        self._rtt_ewma = None
 
     @property
     def wire_version(self):
@@ -566,7 +624,24 @@ class StreamChannel(Channel):
     def _connection_lost_error(self):
         """Build the error delivered to every stranded request when the
         peer vanishes.  Subclasses enrich it (the subprocess channel
-        reaps the child and attaches its exit code and stderr tail)."""
+        reaps the child and attaches its exit code and stderr tail);
+        a relay's death report (``relay_lost`` frame) is folded in here
+        so a pilot SIGKILLed behind the daemon reads like a local
+        subprocess crash."""
+        death = self._peer_death
+        if death:
+            message = death.get("message") or self._lost_message
+            returncode = death.get("returncode")
+            stderr_tail = death.get("stderr_tail") or ""
+            if returncode is not None:
+                message = f"{message} (exit code {returncode})"
+            if stderr_tail:
+                message = (
+                    f"{message}; worker stderr tail:\n{stderr_tail}"
+                )
+            return ConnectionLostError(
+                message, returncode=returncode, stderr_tail=stderr_tail
+            )
         return ConnectionLostError(self._lost_message)
 
     def _read_responses(self):
@@ -574,6 +649,12 @@ class StreamChannel(Channel):
             while True:
                 message = recv_frame(self._sock, self._wire)
                 kind, call_id, *rest = message
+                if kind == "relay_lost":
+                    # the relay's obituary for the spliced peer; the
+                    # relay closes the connection right after, so the
+                    # loss cleanup below picks this up
+                    self._peer_death = rest[0] if rest else {}
+                    continue
                 with self._pending_lock:
                     request = self._pending.pop(call_id, None)
                 if request is None:
@@ -598,6 +679,13 @@ class StreamChannel(Channel):
                 self._stopped = True
             for request in pending:
                 fail_all(request, failure)
+            # autobatched calls never sent must fail too, not hang
+            with self._auto_lock:
+                queued = [req for *_call, req in self._auto_entries]
+                self._auto_entries = []
+            for request in queued:
+                request._resolve(error=failure)
+            self._auto_wake.set()   # let the flusher thread exit
 
     # -- capability negotiation --------------------------------------------
 
@@ -744,10 +832,16 @@ class StreamChannel(Channel):
         """
         if not self._stopped:
             try:
+                if self._autobatch is not None:
+                    self._flush_autobatch()
                 self._dispatch_call("stop", (), {}).result(
                     timeout=self._stop_timeout
                 )
-            except (ProtocolError, RemoteError, TimeoutError) as exc:
+            except (ProtocolError, RemoteError, TimeoutError,
+                    OSError) as exc:
+                # OSError: the peer died and the reader's loss cleanup
+                # has not marked _stopped yet — the dispatch hit the
+                # dead socket directly; same no-ack outcome
                 if warn_on_noack:
                     warnings.warn(
                         f"{self._describe()}: worker did not "
@@ -756,6 +850,7 @@ class StreamChannel(Channel):
                         RuntimeWarning, stacklevel=3,
                     )
             self._stopped = True
+        self._auto_wake.set()   # release the autobatch flusher thread
         if self._closed:
             return False
         self._closed = True
@@ -766,7 +861,136 @@ class StreamChannel(Channel):
             pass
         return True
 
+    # -- adaptive micro-batching (Nagle for RPC) -----------------------------
+
+    def _enable_autobatch(self, window=True):
+        """Turn on Nagle-style coalescing of ``async_call``s.
+
+        Calls are parked briefly instead of hitting the socket one
+        frame each; a flusher thread sends the queue as a single mcall
+        frame when it fills (:data:`_AUTOBATCH_MAX_QUEUE`), when the
+        oldest entry outlives the window, or the moment any caller
+        blocks on a result.  ``window=True`` adapts the window to a
+        fraction of the measured round-trip time — long-haul (daemon
+        WAN) links coalesce aggressively, loopback stays latency-bound
+        — while a float pins it.  Requires a v2 peer (mcall frames);
+        on a v1 connection this quietly stays off.
+        """
+        if self.wire_version < 2 or self._autobatch is not None:
+            return
+        self._autobatch = "adaptive" if window is True else float(window)
+        self._auto_thread = threading.Thread(
+            target=self._autobatch_flusher,
+            name=f"{self.kind}-autobatch", daemon=True,
+        )
+        self._auto_thread.start()
+
+    def _autobatch_window_s(self):
+        window = self._autobatch
+        if window != "adaptive":
+            return float(window)
+        rtt = self._rtt_ewma
+        if rtt is None:
+            return _AUTOBATCH_MIN_WINDOW_S
+        return min(
+            max(rtt / 8.0, _AUTOBATCH_MIN_WINDOW_S),
+            _AUTOBATCH_MAX_WINDOW_S,
+        )
+
+    def _queue_autobatch(self, method, args, kwargs):
+        request = _AutoBatchedRequest(self)
+        with self._auto_lock:
+            if not self._auto_entries:
+                self._auto_first_at = time.monotonic()
+            self._auto_entries.append((method, args, kwargs, request))
+            full = len(self._auto_entries) >= _AUTOBATCH_MAX_QUEUE
+        if full:
+            self._flush_autobatch()
+        else:
+            self._auto_wake.set()
+        return request
+
+    def _flush_autobatch(self):
+        """Send everything parked in the autobatch queue, preserving
+        program order.  The flush lock serialises concurrent flushers
+        (the window thread racing a blocking ``result()``) so batches
+        reach the wire in queue order."""
+        with self._auto_flush_lock:
+            with self._auto_lock:
+                entries, self._auto_entries = self._auto_entries, []
+            if not entries:
+                return
+            sent_at = time.monotonic()
+            requests = [req for *_call, req in entries]
+            try:
+                if len(entries) == 1:
+                    method, args, kwargs, request = entries[0]
+                    call_id = self._register_pending(request)
+                    request._canceller = \
+                        lambda: self._cancel_call(call_id, request)
+                    self._send_frame_locked(
+                        self._call_message(call_id, method, args, kwargs)
+                    )
+                else:
+                    call_id = self._register_pending(requests)
+                    self._send_frame_locked(self._mcall_message(
+                        call_id,
+                        [(m, a, k) for m, a, k, _req in entries],
+                    ))
+            except BaseException as exc:
+                if isinstance(exc, OSError):
+                    # the send was deferred, so the caller never sees
+                    # the raw socket error — deliver the same loss
+                    # error the reader thread gives stranded pendings
+                    failure = self._connection_lost_error()
+                elif isinstance(exc, Exception):
+                    failure = exc
+                else:
+                    failure = ProtocolError(
+                        f"autobatch flush failed: {exc!r}"
+                    )
+                for request in requests:
+                    if not request.is_result_available():
+                        request._resolve(error=failure)
+                return
+            requests[-1].add_done_callback(
+                lambda _req: self._note_rtt(sent_at)
+            )
+
+    def _note_rtt(self, sent_at):
+        rtt = time.monotonic() - sent_at
+        previous = self._rtt_ewma
+        self._rtt_ewma = rtt if previous is None else (
+            (1.0 - _AUTOBATCH_RTT_GAIN) * previous
+            + _AUTOBATCH_RTT_GAIN * rtt
+        )
+
+    def _autobatch_flusher(self):
+        while True:
+            self._auto_wake.wait()
+            self._auto_wake.clear()
+            if self._stopped:
+                return
+            while True:
+                with self._auto_lock:
+                    if not self._auto_entries:
+                        break
+                    deadline = (
+                        self._auto_first_at + self._autobatch_window_s()
+                    )
+                delay = deadline - time.monotonic()
+                if delay > 0:
+                    time.sleep(min(delay, _AUTOBATCH_MAX_WINDOW_S))
+                    if self._stopped:
+                        return
+                    continue
+                self._flush_autobatch()
+
     def _send_batch(self, entries):
+        if self._autobatch is not None:
+            # queued micro-batch entries predate this explicit batch:
+            # flush them first so calls reach the worker in order
+            self._flush_autobatch()
         if self.wire_version < 2:
             # v1 peers predate mcall frames: pipeline individual calls
             requests = [
@@ -795,6 +1019,9 @@ class StreamChannel(Channel):
             raise ProtocolError("channel is stopped")
         if self._batch_depth:
             self._drain_batch()
+        if self._autobatch is not None:
+            # a blocking call must not overtake parked async calls
+            self._flush_autobatch()
         return self._dispatch_call(method, args, kwargs).result()
 
     def async_call(self, method, *args, **kwargs):
@@ -803,6 +1030,8 @@ class StreamChannel(Channel):
         queued = self._queue_batched(method, args, kwargs)
         if queued is not None:
             return queued
+        if self._autobatch is not None:
+            return self._queue_autobatch(method, args, kwargs)
         return self._dispatch_call(method, args, kwargs)
 
 
@@ -1089,7 +1318,8 @@ class SocketChannel(StreamChannel):
                  worker_max_version=PROTOCOL_VERSION,
                  stop_timeout=10.0, compress=None, compress_min=None,
                  shm_segment_size=None, shm_min=None,
-                 worker_capabilities=True, cancellable=True):
+                 worker_capabilities=True, cancellable=True,
+                 autobatch=None):
         super().__init__()
         self._stop_timeout = float(stop_timeout)
         self._compress_min = compress_min
@@ -1150,6 +1380,8 @@ class SocketChannel(StreamChannel):
             daemon=True,
         )
         self._reader_thread.start()
+        if autobatch:
+            self._enable_autobatch(autobatch)
 
     # -- internals ---------------------------------------------------------
 

@@ -28,6 +28,14 @@ Mechanics (frame layout in :mod:`repro.rpc.protocol`, magic ``AMSH``):
   connection loss (a peer that died mid-call), and on the subprocess
   terminate/kill escalation paths, so no ``/dev/shm`` entry outlives
   the channel.  Workers only ever attach and close.
+* the negotiation is RELAY-TRANSPARENT: a daemon-relayed channel
+  (``relay=True`` on :class:`~repro.distributed.channel.
+  DistributedChannel`) offers its segment names in the end-to-end
+  hello that travels through the daemon's zero-decode splice, and the
+  pilot attaches them directly when it shares the host.  ``AMSH``
+  descriptors (offset/length into the arenas) are then spliced
+  verbatim by :func:`~repro.rpc.protocol.relay_frame` — large arrays
+  cross client → daemon → pilot with ZERO wire copies end to end.
 
 Python <= 3.12 registers attached segments with the per-process
 ``resource_tracker`` as if they were created locally (bpo-38119), which

@@ -39,6 +39,7 @@ import functools
 import importlib
 import os
 import pickle
+import secrets
 import socket
 import subprocess
 import sys
@@ -168,16 +169,37 @@ class SubprocessChannel(StreamChannel):
         self._stderr_thread = None
         self._reader_thread = None
 
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        # same-host child: prefer an abstract-namespace AF_UNIX
+        # listener over loopback TCP — faster bulk transfers (and
+        # faster still under the daemon's zero-decode splice, which
+        # can kernel-splice between Unix sockets), nothing on the
+        # filesystem to clean up.  A non-default host means the
+        # caller wants a routable listener: keep TCP.
+        if host == "127.0.0.1" and hasattr(socket, "AF_UNIX"):
+            listener = socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            )
+            bind_to = (f"\0repro-worker-{os.getpid()}-"
+                       f"{secrets.token_hex(4)}")
+        else:
+            listener = socket.socket(
+                socket.AF_INET, socket.SOCK_STREAM
+            )
+            bind_to = (host, 0)
         try:
-            listener.bind((host, 0))
+            listener.bind(bind_to)
             listener.listen(1)
             listener.settimeout(self._spawn_timeout)
-            self.address = listener.getsockname()
+            if listener.family == socket.AF_INET:
+                self.address = listener.getsockname()
+                connect_arg = f"{self.address[0]}:{self.address[1]}"
+            else:
+                self.address = bind_to
+                connect_arg = "unix:" + bind_to.replace("\0", "@", 1)
 
             command = [
                 sys.executable, "-m", "repro.rpc.subproc",
-                "--connect", f"{self.address[0]}:{self.address[1]}",
+                "--connect", connect_arg,
                 "--max-version", str(int(worker_max_version)),
             ]
             if not worker_capabilities:
@@ -201,9 +223,10 @@ class SubprocessChannel(StreamChannel):
             # the child connects back only after its --preload imports
             # completed, so a returned accept IS the warm-ready signal
             self._sock, _ = listener.accept()
-            self._sock.setsockopt(
-                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-            )
+            if self._sock.family == socket.AF_INET:
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
         except BaseException as exc:
             raise self._wrap_spawn_failure(exc, listener) from exc
         finally:
@@ -257,6 +280,54 @@ class SubprocessChannel(StreamChannel):
         )
         self._reader_thread.start()
         return self
+
+    def detach_for_relay(self, interface_factory):
+        """Bootstrap the child for a relay, WITHOUT negotiating a wire.
+
+        Ships the pickled factory and waits for the pid ack — the same
+        first half as :meth:`activate` — but deliberately performs no
+        hello and starts no reader thread: on a daemon-relayed pilot
+        the *client* negotiates capabilities end to end through the
+        splice, so the daemon leg must stay a dumb byte pipe.  Returns
+        the raw socket for the relay pump; the channel itself stays
+        un-activated, so ``stop()`` takes the parked-worker path
+        (close + escalate) for teardown.
+        """
+        if self._activated:
+            raise ProtocolError(
+                "subprocess channel already activated; a relay detach "
+                "needs a parked worker"
+            )
+        try:
+            self._sock.settimeout(self._spawn_timeout)
+            self._bootstrap(interface_factory)
+            self._sock.settimeout(None)
+        except BaseException as exc:
+            raise self._wrap_spawn_failure(exc, None) from exc
+        return self._sock
+
+    def death_info(self):
+        """Obituary for a relay-detached worker: pid, exit code (the
+        child is reaped when it just died) and the stderr tail — the
+        payload of the daemon's ``relay_lost`` frame, mirroring what
+        :meth:`_connection_lost_error` reports for local children."""
+        returncode = None
+        try:
+            returncode = self._proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            pass
+        else:
+            _untrack_child(self._proc)
+        message = (
+            f"relayed pilot (worker pid {self._proc.pid}) "
+            "connection lost"
+        )
+        return {
+            "message": message,
+            "pid": self._proc.pid,
+            "returncode": returncode,
+            "stderr_tail": self._stderr_tail().strip(),
+        }
 
     def _wrap_spawn_failure(self, exc, listener):
         """Shared constructor/activate failure path: tear down, enrich
@@ -471,8 +542,10 @@ def main(argv=None):
                     "SubprocessChannel)",
     )
     parser.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
-        help="address of the spawning channel's listener",
+        "--connect", required=True, metavar="HOST:PORT|unix:@NAME",
+        help="address of the spawning channel's listener (TCP "
+             "host:port, or unix:@name for an abstract AF_UNIX "
+             "socket)",
     )
     parser.add_argument(
         "--interface", default=None, metavar="MOD:CLASS",
@@ -506,9 +579,14 @@ def main(argv=None):
             except Exception:  # noqa: BLE001 - warm-up is best-effort
                 traceback.print_exc(file=sys.stderr)
 
-    host, _, port = args.connect.rpartition(":")
-    conn = socket.create_connection((host, int(port)))
-    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    if args.connect.startswith("unix:"):
+        name = args.connect[len("unix:"):]
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.connect(name.replace("@", "\0", 1))
+    else:
+        host, _, port = args.connect.rpartition(":")
+        conn = socket.create_connection((host, int(port)))
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     try:
         message = recv_frame(conn)
